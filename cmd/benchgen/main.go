@@ -1,0 +1,80 @@
+// Command benchgen writes synthetic ISPD'08-format benchmark files.
+//
+// Usage:
+//
+//	benchgen -name adaptec1 -out bench/        # one instance
+//	benchgen -all -out bench/                  # the whole suite
+//	benchgen -name custom -w 32 -h 32 -layers 8 -nets 1500 -seed 7 -out bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	cpla "repro"
+	"repro/internal/ispd08"
+)
+
+func main() {
+	name := flag.String("name", "", "benchmark name (suite name, or custom with -w/-h/...)")
+	all := flag.Bool("all", false, "generate the full 15-instance suite")
+	out := flag.String("out", ".", "output directory")
+	w := flag.Int("w", 0, "custom: grid width")
+	h := flag.Int("h", 0, "custom: grid height")
+	layers := flag.Int("layers", 8, "custom: layer count (6 or 8)")
+	nets := flag.Int("nets", 0, "custom: net count")
+	seed := flag.Int64("seed", 1, "custom: random seed")
+	capacity := flag.Int("cap", 10, "custom: tracks per layer per edge")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	var params []ispd08.GenParams
+	switch {
+	case *all:
+		params = ispd08.Suite
+	case *name != "":
+		if p, err := ispd08.ByName(*name); err == nil && *w == 0 {
+			params = []ispd08.GenParams{p}
+		} else {
+			if *w == 0 || *h == 0 || *nets == 0 {
+				fail(fmt.Errorf("custom benchmark %q needs -w, -h and -nets", *name))
+			}
+			params = []ispd08.GenParams{{
+				Name: *name, W: *w, H: *h, Layers: *layers,
+				NumNets: *nets, Capacity: int32(*capacity), Seed: *seed,
+			}}
+		}
+	default:
+		fail(fmt.Errorf("specify -name or -all"))
+	}
+
+	for _, p := range params {
+		d, err := cpla.Generate(p)
+		if err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*out, p.Name+".gr")
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := cpla.WriteISPD08(f, d); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%dx%dx%d, %d nets)\n", path, p.W, p.H, p.Layers, p.NumNets)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

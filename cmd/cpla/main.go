@@ -1,0 +1,154 @@
+// Command cpla runs incremental layer assignment on one benchmark and
+// prints the paper's metrics before and after.
+//
+// Usage:
+//
+//	cpla -bench adaptec1                    # synthetic suite instance
+//	cpla -gr design.gr                      # ISPD'08 file
+//	cpla -bench adaptec1 -engine ilp        # exact engine
+//	cpla -bench adaptec1 -engine tila       # baseline (tila-dp, tila-flow: variants)
+//	cpla -bench adaptec1 -ratio 0.01 -maxsegs 20 -rounds 5
+//	cpla -bench adaptec1 -mapping flow -solver ipm
+//	cpla -bench adaptec1 -budget 15000      # release by timing budget
+//	cpla -bench adaptec1 -steiner -legalize -clock 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	cpla "repro"
+)
+
+func main() {
+	bench := flag.String("bench", "", "synthetic suite benchmark name (adaptec1 … newblue7)")
+	grFile := flag.String("gr", "", "ISPD'08 .gr benchmark file")
+	engine := flag.String("engine", "sdp", "optimizer: sdp|ilp|tila|tila-dp|tila-flow")
+	ratio := flag.Float64("ratio", 0.005, "critical net release ratio")
+	budget := flag.Float64("budget", 0, "release nets with Tcp above this budget instead of by ratio")
+	maxSegs := flag.Int("maxsegs", 0, "partition segment budget (0 = paper default 10)")
+	k := flag.Int("k", 0, "uniform KxK division (0 = default 5)")
+	rounds := flag.Int("rounds", 0, "max optimization rounds (0 = default 3)")
+	mapping := flag.String("mapping", "alg1", "SDP rounding: alg1|greedy|flow")
+	solver := flag.String("solver", "admm", "SDP backend: admm|ipm")
+	steiner := flag.Bool("steiner", false, "use Steiner-guided 2-D routing")
+	doLegalize := flag.Bool("legalize", false, "run the overflow repair pass after optimization")
+	clock := flag.Float64("clock", 0, "report WNS/TNS against this required arrival time")
+	flag.Parse()
+
+	design, err := load(*bench, *grFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("design %s: %dx%d grid, %d layers, %d nets\n",
+		design.Name, design.Grid.W, design.Grid.H, design.Stack.NumLayers(), len(design.Nets))
+
+	popt := cpla.DefaultPrepareOptions()
+	popt.Route.Steiner = *steiner
+	sys, err := cpla.Prepare(design, popt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var released []int
+	if *budget > 0 {
+		released = sys.SelectViolating(*budget)
+	} else {
+		released = sys.SelectCritical(*ratio)
+	}
+	before := sys.CriticalMetrics(released)
+	ovBefore := sys.Overflow()
+	fmt.Printf("released %d critical nets (ratio %.2f%%)\n", len(released), *ratio*100)
+	fmt.Printf("before : Avg(Tcp)=%.1f Max(Tcp)=%.1f viaOV=%d via#=%d\n",
+		before.AvgTcp, before.MaxTcp, ovBefore.ViaExcess, sys.ViaCount())
+
+	start := time.Now()
+	switch *engine {
+	case "tila":
+		sys.OptimizeTILA(released, cpla.TILAOptions{})
+	case "tila-dp":
+		sys.OptimizeTILA(released, cpla.TILAOptions{ExactDP: true})
+	case "tila-flow":
+		sys.OptimizeTILA(released, cpla.TILAOptions{FlowPricing: true})
+	case "sdp", "ilp":
+		opt := cpla.CPLAOptions{MaxSegs: *maxSegs, K: *k, MaxRounds: *rounds}
+		if *engine == "ilp" {
+			opt.Engine = cpla.EngineILP
+		}
+		switch *mapping {
+		case "greedy":
+			opt.Mapping = cpla.MappingGreedy
+		case "flow":
+			opt.Mapping = cpla.MappingFlow
+		case "alg1":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mapping %q\n", *mapping)
+			os.Exit(2)
+		}
+		switch *solver {
+		case "ipm":
+			opt.SDPSolver = cpla.SolverIPM
+		case "admm":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
+			os.Exit(2)
+		}
+		if _, err := sys.OptimizeCPLA(released, opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	if *doLegalize {
+		lr := sys.Legalize(released)
+		fmt.Printf("legalize: %d moves, %d slots still over capacity\n", len(lr.Moves), lr.Remaining)
+	}
+	elapsed := time.Since(start)
+
+	after := sys.CriticalMetrics(released)
+	ovAfter := sys.Overflow()
+	fmt.Printf("after  : Avg(Tcp)=%.1f Max(Tcp)=%.1f viaOV=%d via#=%d\n",
+		after.AvgTcp, after.MaxTcp, ovAfter.ViaExcess, sys.ViaCount())
+	fmt.Printf("improve: Avg %.1f%%  Max %.1f%%  (%s, %.2fs)\n",
+		pct(before.AvgTcp, after.AvgTcp), pct(before.MaxTcp, after.MaxTcp), *engine, elapsed.Seconds())
+	if *clock > 0 {
+		sr := sys.Slacks(*clock)
+		fmt.Printf("slack  : WNS=%.1f TNS=%.1f violating %d nets / %d sinks (clock %.1f)\n",
+			sr.WNS, sr.TNS, sr.ViolatingNets, sr.ViolatingSinks, *clock)
+	}
+}
+
+func load(bench, grFile string) (*cpla.Design, error) {
+	switch {
+	case bench != "" && grFile != "":
+		return nil, fmt.Errorf("use either -bench or -gr, not both")
+	case bench != "":
+		return cpla.Benchmark(bench)
+	case grFile != "":
+		f, err := os.Open(grFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		d, err := cpla.ParseISPD08(f)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = grFile
+		return d, nil
+	}
+	return nil, fmt.Errorf("specify -bench <name> (one of %v) or -gr <file>", cpla.BenchmarkNames())
+}
+
+func pct(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * (before - after) / before
+}

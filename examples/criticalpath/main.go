@@ -1,0 +1,77 @@
+// Criticalpath: drill into the worst net of a design — its per-sink
+// delays, critical path, and per-segment layer assignment — before and
+// after CPLA, comparing against the TILA baseline. This is the per-net
+// view behind the paper's Fig. 1.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	cpla "repro"
+)
+
+func main() {
+	const ratio = 0.01
+
+	fmt.Println("== TILA baseline ==")
+	inspect("tila")
+	fmt.Println()
+	fmt.Println("== CPLA (SDP) ==")
+	inspect("sdp")
+}
+
+func inspect(method string) {
+	design, err := cpla.Generate(cpla.GenParams{
+		Name: "criticalpath", W: 28, H: 28, Layers: 8,
+		NumNets: 900, Capacity: 8, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := cpla.Prepare(design, cpla.DefaultPrepareOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	released := sys.SelectCritical(0.01)
+	worst := released[0] // SelectCritical sorts by Tcp descending
+
+	report := func(stage string) {
+		nt := sys.NetTiming(worst)
+		fmt.Printf("%s: net %d Tcp=%.1f, critical sink %d, path %d segments\n",
+			stage, worst, nt.Tcp, nt.CritSink, len(nt.CritPath))
+		delays := make([]float64, 0, len(nt.SinkDelay))
+		for _, d := range nt.SinkDelay {
+			delays = append(delays, d)
+		}
+		sort.Float64s(delays)
+		fmt.Printf("  sink delays: %s\n", fmtDelays(delays))
+		fmt.Printf("  segment layers: %v\n", sys.SegmentLayers(worst))
+	}
+
+	report("before")
+	switch method {
+	case "tila":
+		sys.OptimizeTILA(released, cpla.TILAOptions{})
+	default:
+		if _, err := sys.OptimizeCPLA(released, cpla.CPLAOptions{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("after ")
+
+	m := sys.CriticalMetrics(released)
+	fmt.Printf("all released nets: Avg(Tcp)=%.1f Max(Tcp)=%.1f\n", m.AvgTcp, m.MaxTcp)
+}
+
+func fmtDelays(ds []float64) string {
+	out := ""
+	for i, d := range ds {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.0f", d)
+	}
+	return out
+}

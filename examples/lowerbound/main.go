@@ -1,0 +1,76 @@
+// Lowerbound: measure how close each optimizer gets to the capacity-free
+// per-net optimum (the exact Pareto-DP bound). The gap that remains after
+// CPLA is the price of sharing layer capacity with everyone else.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cpla "repro"
+)
+
+func main() {
+	const ratio = 0.01
+
+	type flowResult struct {
+		name string
+		avg  float64
+	}
+	var results []flowResult
+
+	run := func(name string, optimize func(sys *cpla.System, released []int)) []int {
+		design, err := cpla.Generate(cpla.GenParams{
+			Name: "lb", W: 24, H: 24, Layers: 8,
+			NumNets: 700, Capacity: 8, Seed: 21,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := cpla.Prepare(design, cpla.DefaultPrepareOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		released := sys.SelectCritical(ratio)
+		if optimize != nil {
+			optimize(sys, released)
+		}
+		m := sys.CriticalMetrics(released)
+		results = append(results, flowResult{name, m.AvgTcp})
+
+		if optimize == nil {
+			// Compute the bound once, on the shared initial state.
+			sum := 0.0
+			for _, ni := range released {
+				sum += sys.NetLowerBound(ni)
+			}
+			results = append(results, flowResult{"per-net lower bound", sum / float64(len(released))})
+		}
+		return released
+	}
+
+	run("initial assignment", nil)
+	run("TILA", func(sys *cpla.System, released []int) {
+		sys.OptimizeTILA(released, cpla.TILAOptions{})
+	})
+	run("CPLA (SDP)", func(sys *cpla.System, released []int) {
+		if _, err := sys.OptimizeCPLA(released, cpla.CPLAOptions{}); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	bound := 0.0
+	for _, r := range results {
+		if r.name == "per-net lower bound" {
+			bound = r.avg
+		}
+	}
+	fmt.Printf("%-22s %12s %10s\n", "method", "Avg(Tcp)", "gap to LB")
+	for _, r := range results {
+		gap := "-"
+		if r.name != "per-net lower bound" && bound > 0 {
+			gap = fmt.Sprintf("%+.1f%%", 100*(r.avg-bound)/bound)
+		}
+		fmt.Printf("%-22s %12.1f %10s\n", r.name, r.avg, gap)
+	}
+}

@@ -1,0 +1,49 @@
+// Sweep: mini versions of the paper's Fig. 8 (partition budget) and
+// Fig. 9 (critical ratio) studies through the public API, on a small
+// instance that runs in seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cpla "repro"
+)
+
+func main() {
+	fmt.Println("partition budget sweep (Fig. 8 shape):")
+	fmt.Printf("%8s | %10s %10s %8s\n", "maxSegs", "Avg(Tcp)", "Max(Tcp)", "time")
+	for _, budget := range []int{5, 10, 20, 40} {
+		m, dt := run(0.01, cpla.CPLAOptions{MaxSegs: budget})
+		fmt.Printf("%8d | %10.1f %10.1f %7.2fs\n", budget, m.AvgTcp, m.MaxTcp, dt.Seconds())
+	}
+
+	fmt.Println()
+	fmt.Println("critical ratio sweep (Fig. 9 shape):")
+	fmt.Printf("%8s | %10s %10s %8s\n", "ratio", "Avg(Tcp)", "Max(Tcp)", "time")
+	for _, ratio := range []float64{0.005, 0.01, 0.02, 0.04} {
+		m, dt := run(ratio, cpla.CPLAOptions{})
+		fmt.Printf("%7.1f%% | %10.1f %10.1f %7.2fs\n", ratio*100, m.AvgTcp, m.MaxTcp, dt.Seconds())
+	}
+}
+
+func run(ratio float64, opt cpla.CPLAOptions) (cpla.Metrics, time.Duration) {
+	design, err := cpla.Generate(cpla.GenParams{
+		Name: "sweep", W: 24, H: 24, Layers: 8,
+		NumNets: 700, Capacity: 8, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := cpla.Prepare(design, cpla.DefaultPrepareOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	released := sys.SelectCritical(ratio)
+	start := time.Now()
+	if _, err := sys.OptimizeCPLA(released, opt); err != nil {
+		log.Fatal(err)
+	}
+	return sys.CriticalMetrics(released), time.Since(start)
+}

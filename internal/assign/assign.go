@@ -1,0 +1,203 @@
+// Package assign implements the initial layer assignment that seeds the
+// incremental flow: a congestion-aware net-by-net dynamic program over each
+// routing tree (in the spirit of the COLA-style assigners the paper cites
+// as prior work [5,6]), minimizing via count plus a congestion penalty
+// under per-layer edge capacities.
+//
+// The fixed net order is exactly the weakness the paper attributes to this
+// family of methods — later nets see depleted capacity — which is what makes
+// the incremental re-assignment of TILA and CPLA worthwhile.
+package assign
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/tree"
+)
+
+// Order selects the net processing order — the fixed-order weakness the
+// paper attributes to this family of assigners is directly observable by
+// switching it.
+type Order int
+
+const (
+	// OrderSmallFirst processes short nets first (default): long critical
+	// nets get the leftovers — the realistic worst case for the
+	// incremental optimizers.
+	OrderSmallFirst Order = iota
+	// OrderLargeFirst processes long nets first.
+	OrderLargeFirst
+	// OrderByID processes nets in netlist order.
+	OrderByID
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderLargeFirst:
+		return "large-first"
+	case OrderByID:
+		return "by-id"
+	}
+	return "small-first"
+}
+
+// Options tunes the initial assigner.
+type Options struct {
+	// ViaWeight is the cost per via level crossed (0 → default 1).
+	ViaWeight float64
+	// CongWeight scales the edge congestion penalty (0 → default 4).
+	CongWeight float64
+	// Order selects the net processing order.
+	Order Order
+}
+
+func (o Options) withDefaults() Options {
+	if o.ViaWeight == 0 {
+		o.ViaWeight = 1
+	}
+	if o.CongWeight == 0 {
+		o.CongWeight = 4
+	}
+	return o
+}
+
+// AssignAll runs the initial assignment over all trees and commits wire and
+// via usage to the grid. Nets are processed smallest-first so that the
+// large timing-critical nets route last into the tightest leftover
+// capacity — the realistic worst case for the incremental optimizers.
+func AssignAll(g *grid.Grid, trees []*tree.Tree, opt Options) {
+	opt = opt.withDefaults()
+	order := make([]int, 0, len(trees))
+	for i, t := range trees {
+		if t != nil && len(t.Segs) > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		switch opt.Order {
+		case OrderByID:
+			return order[a] < order[b]
+		case OrderLargeFirst:
+			wa, wb := trees[order[a]].TotalWirelength(), trees[order[b]].TotalWirelength()
+			if wa != wb {
+				return wa > wb
+			}
+		default:
+			wa, wb := trees[order[a]].TotalWirelength(), trees[order[b]].TotalWirelength()
+			if wa != wb {
+				return wa < wb
+			}
+		}
+		return order[a] < order[b]
+	})
+	for _, ti := range order {
+		assignNet(g, trees[ti], opt)
+		trees[ti].ApplyUsage(g, +1)
+	}
+}
+
+// assignNet runs a tree DP choosing one layer per segment: cost =
+// edge-congestion cost of the segment's wires on that layer, plus via cost
+// to each child's chosen layer, plus via cost to pin layers at the
+// segment's endpoints.
+func assignNet(g *grid.Grid, t *tree.Tree, opt Options) {
+	numLayers := g.NumLayers()
+	// dp[sid][l]: best subtree cost with segment sid on layer l; valid only
+	// for layers matching the segment direction.
+	dp := make([][]float64, len(t.Segs))
+	choice := make([][][]int, len(t.Segs)) // choice[sid][l][k] = child k's layer
+
+	// Process segments children-first (reverse BFS over nodes gives a
+	// usable order: a node's DownSegs are deeper than its UpSeg).
+	order := t.BFSOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := &t.Nodes[order[i]]
+		for _, sid := range n.DownSegs {
+			s := t.Segs[sid]
+			layers := g.LayersFor(s.Edges[0])
+			dp[sid] = make([]float64, numLayers)
+			choice[sid] = make([][]int, numLayers)
+			for l := range dp[sid] {
+				dp[sid][l] = math.Inf(1)
+			}
+			for _, l := range layers {
+				cost := wireCost(g, s, l, opt)
+				// Vias to pins at the far node.
+				end := &t.Nodes[s.ToNode]
+				if end.PinLayer >= 0 {
+					cost += opt.ViaWeight * float64(absInt(l-end.PinLayer))
+				}
+				var childLayers []int
+				for _, cid := range t.Segs[sid].Children {
+					c := t.Segs[cid]
+					bestCL, bestCost := -1, math.Inf(1)
+					for _, cl := range g.LayersFor(c.Edges[0]) {
+						v := dp[cid][cl] + opt.ViaWeight*float64(absInt(l-cl))
+						if v < bestCost {
+							bestCost = v
+							bestCL = cl
+						}
+					}
+					cost += bestCost
+					childLayers = append(childLayers, bestCL)
+				}
+				dp[sid][l] = cost
+				choice[sid][l] = childLayers
+			}
+		}
+	}
+
+	// Root segments: add via cost from the source pin layer, pick the best
+	// layer, then propagate choices downward.
+	rootPin := t.Nodes[t.Root].PinLayer
+	var fix func(sid, l int)
+	fix = func(sid, l int) {
+		t.Segs[sid].Layer = l
+		for k, cid := range t.Segs[sid].Children {
+			fix(cid, choice[sid][l][k])
+		}
+	}
+	for _, sid := range t.RootSegs() {
+		s := t.Segs[sid]
+		bestL, bestCost := -1, math.Inf(1)
+		for _, l := range g.LayersFor(s.Edges[0]) {
+			v := dp[sid][l]
+			if rootPin >= 0 {
+				v += opt.ViaWeight * float64(absInt(l-rootPin))
+			}
+			if v < bestCost {
+				bestCost = v
+				bestL = l
+			}
+		}
+		fix(sid, bestL)
+	}
+}
+
+// wireCost is the congestion cost of placing segment s on layer l given
+// current usage.
+func wireCost(g *grid.Grid, s *tree.Segment, l int, opt Options) float64 {
+	cost := 0.0
+	for _, e := range s.Edges {
+		u := float64(g.EdgeUse(e, l))
+		c := float64(g.EdgeCap(e, l))
+		switch {
+		case c <= 0:
+			cost += 1000
+		case u+1 > c:
+			cost += opt.CongWeight * 25 * (u + 1 - c)
+		default:
+			cost += opt.CongWeight * (u + 1) / c
+		}
+	}
+	return cost
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+// Package chart renders small ASCII bar charts for the experiment harness:
+// the paper presents Figs. 1 and 7–9 as plots, and a terminal rendition
+// makes trends visible without leaving the shell.
+package chart
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of values, aligned with the chart's labels.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Bars renders horizontally scaled bars for one or two series per label.
+// Width is the maximum bar width in characters (0 → 40).
+type Bars struct {
+	Title  string
+	Labels []string
+	Series []Series
+	Width  int
+}
+
+// Render writes the chart. Returns an error on shape mismatch.
+func (b *Bars) Render(w io.Writer) error {
+	width := b.Width
+	if width == 0 {
+		width = 40
+	}
+	for _, s := range b.Series {
+		if len(s.Values) != len(b.Labels) {
+			return fmt.Errorf("chart: series %q has %d values for %d labels",
+				s.Name, len(s.Values), len(b.Labels))
+		}
+	}
+	max := 0.0
+	for _, s := range b.Series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 || math.IsInf(max, 1) || math.IsNaN(max) {
+		max = 1
+	}
+	labelW := 0
+	for _, l := range b.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 0
+	for _, s := range b.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	if b.Title != "" {
+		fmt.Fprintln(w, b.Title)
+	}
+	marks := []byte{'#', '=', '-', '.'}
+	for i, label := range b.Labels {
+		for si, s := range b.Series {
+			n := int(math.Round(s.Values[i] / max * float64(width)))
+			if s.Values[i] > 0 && n == 0 {
+				n = 1
+			}
+			mark := marks[si%len(marks)]
+			prefix := label
+			if si > 0 {
+				prefix = ""
+			}
+			fmt.Fprintf(w, "%-*s %-*s |%s %.4g\n",
+				labelW, prefix, nameW, s.Name,
+				strings.Repeat(string(mark), n), s.Values[i])
+		}
+	}
+	return nil
+}
+
+// Sparkline returns a one-line unicode sparkline of the values.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		return strings.Repeat(string(ticks[0]), len(values))
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		k := int((v - lo) / (hi - lo) * float64(len(ticks)-1))
+		sb.WriteRune(ticks[k])
+	}
+	return sb.String()
+}

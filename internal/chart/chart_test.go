@@ -1,0 +1,74 @@
+package chart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarsRender(t *testing.T) {
+	b := &Bars{
+		Title:  "demo",
+		Labels: []string{"a", "bb"},
+		Series: []Series{
+			{Name: "x", Values: []float64{10, 20}},
+			{Name: "yy", Values: []float64{5, 0}},
+		},
+		Width: 10,
+	}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if len(lines) != 5 { // title + 2 labels × 2 series
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The 20-value bar is full width; the 10-value bar is half.
+	if !strings.Contains(out, strings.Repeat("#", 10)) {
+		t.Fatalf("missing full bar:\n%s", out)
+	}
+	if !strings.Contains(out, "##### 10") {
+		t.Fatalf("missing half bar:\n%s", out)
+	}
+	// Zero values draw no bar but still print.
+	if !strings.Contains(out, "| 0") {
+		t.Fatalf("missing zero row:\n%s", out)
+	}
+}
+
+func TestBarsShapeMismatch(t *testing.T) {
+	b := &Bars{Labels: []string{"a"}, Series: []Series{{Name: "x", Values: []float64{1, 2}}}}
+	if err := b.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	b := &Bars{Labels: []string{"a"}, Series: []Series{{Name: "x", Values: []float64{0}}}}
+	var buf bytes.Buffer
+	if err := b.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "| 0") {
+		t.Fatalf("zero chart wrong:\n%s", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Fatalf("empty sparkline = %q", s)
+	}
+	if s := Sparkline([]float64{1, 1, 1}); s != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", s)
+	}
+	s := Sparkline([]float64{0, 5, 10})
+	runes := []rune(s)
+	if len(runes) != 3 || runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// Engine selects the per-partition solver.
+type Engine int
+
+const (
+	// EngineSDP solves the semidefinite relaxation and rounds with
+	// Algorithm 1 (the paper's headline method).
+	EngineSDP Engine = iota
+	// EngineILP solves the exact formulation (4a)–(4i) by branch and
+	// bound (the paper's Fig. 7 comparison method; small cases only).
+	EngineILP
+)
+
+func (e Engine) String() string {
+	if e == EngineILP {
+		return "ILP"
+	}
+	return "SDP"
+}
+
+// Mapping selects the rounding strategy for fractional solutions.
+type Mapping int
+
+const (
+	// MappingAlg1 is the paper's post-mapping Algorithm 1: per edge,
+	// highest layer first, top-capacity fractional entries win.
+	MappingAlg1 Mapping = iota
+	// MappingGreedy is per-segment argmax, ignoring capacities (ablation).
+	MappingGreedy
+	// MappingFlow solves a min-cost-flow transportation problem: segments
+	// flow to (bottleneck-edge, layer) resources with costs 1−x — a
+	// globally optimal rounding under single-edge capacity approximation
+	// (extension beyond the paper, built on the solver family TILA uses).
+	MappingFlow
+)
+
+func (m Mapping) String() string {
+	switch m {
+	case MappingGreedy:
+		return "greedy"
+	case MappingFlow:
+		return "flow"
+	}
+	return "alg1"
+}
+
+// SDPSolver selects the semidefinite solver backend.
+type SDPSolver int
+
+const (
+	// SolverADMM is the first-order alternating-direction method (default:
+	// moderate accuracy, very robust).
+	SolverADMM SDPSolver = iota
+	// SolverIPM is the primal-dual interior-point method with HKM
+	// directions — the algorithm family of CSDP, which the paper used.
+	SolverIPM
+)
+
+func (s SDPSolver) String() string {
+	if s == SolverIPM {
+		return "ipm"
+	}
+	return "admm"
+}
+
+// Options tunes the CPLA flow. The zero value gives the paper's defaults.
+type Options struct {
+	Engine Engine
+	// K is the uniform K×K division (0 → 5).
+	K int
+	// MaxSegs bounds critical segments per partition leaf (0 → 10, the
+	// paper's tuned value).
+	MaxSegs int
+	// NoAdaptive disables the self-adaptive quadtree refinement (ablation).
+	NoAdaptive bool
+	// MaxRounds bounds the iterative scheme (0 → 3).
+	MaxRounds int
+	// Alpha weights the overflow relief variable Vo (0 → 2000, §3.1).
+	Alpha float64
+	// BranchWeight is the objective weight of released segments that are
+	// not on their net's critical path (0 → 0.25). Critical-path segments
+	// always weigh 1 — this is what points the objective at the worst
+	// path rather than TILA's uniform weighted sum.
+	BranchWeight float64
+	// ViaPenalty scales the via-congestion penalty folded into the via
+	// cost entries (§3.3). Negative disables; 0 → 1.
+	ViaPenalty float64
+	// OVWeight prices each via site a wire blocks on an already-overflowed
+	// (tile, level) — the wire-blocking side of constraint (4d) in the
+	// objective. Zero disables (default): at this reproduction's scale the
+	// released nets contribute a few percent of via demand and the
+	// penalty only distorts the delay objective. Kept as an ablation knob.
+	OVWeight float64
+	// SDPIters / SDPTol control the per-partition ADMM (0 → 150 / 2e-3).
+	SDPIters int
+	SDPTol   float64
+	// SDPSolver selects the SDP backend: the first-order ADMM (default) or
+	// the CSDP-style interior-point method.
+	SDPSolver SDPSolver
+	// ILPMaxNodes / ILPGap control branch and bound (0 → 4000 / 0.02).
+	ILPMaxNodes int
+	ILPGap      float64
+	// Mapping selects how fractional SDP solutions become integer layer
+	// choices (MappingAlg1 default).
+	Mapping Mapping
+	// ILPHardViaCaps adds the paper's hard via-capacity rows (4d) to the
+	// ILP instead of the penalty pricing both engines share by default.
+	ILPHardViaCaps bool
+	// Workers is the partition-solve parallelism (0 → GOMAXPROCS),
+	// mirroring the paper's OpenMP threads.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 5
+	}
+	if o.MaxSegs == 0 {
+		o.MaxSegs = 10
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 3
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 2000
+	}
+	if o.BranchWeight == 0 {
+		o.BranchWeight = 0.25
+	}
+	if o.ViaPenalty == 0 {
+		o.ViaPenalty = 1
+	} else if o.ViaPenalty < 0 {
+		o.ViaPenalty = 0
+	}
+	if o.OVWeight < 0 {
+		o.OVWeight = 0
+	}
+	if o.SDPIters == 0 {
+		o.SDPIters = 150
+	}
+	if o.SDPTol == 0 {
+		o.SDPTol = 2e-3
+	}
+	if o.ILPMaxNodes == 0 {
+		o.ILPMaxNodes = 50000
+	}
+	if o.ILPGap == 0 {
+		o.ILPGap = 1e-6 // prove optimality, like the GUROBI baseline
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// RoundStats records one round of the iterative scheme for observability.
+type RoundStats struct {
+	// Score is the released nets' summed critical-path delay after the
+	// round's commit (before any revert).
+	Score float64
+	// Accepted reports whether the round improved the score and was kept.
+	Accepted bool
+	// Partitions is the number of leaves solved.
+	Partitions int
+	// SolveErrors counts failed partition solves in this round.
+	SolveErrors int
+}
+
+// Result summarizes an Optimize run.
+type Result struct {
+	Rounds     int
+	Partitions int // leaves solved in the final executed round
+	Released   []int
+	Before     timing.Metrics
+	After      timing.Metrics
+	// SolveErrors counts partitions whose solver failed (left at their
+	// previous assignment).
+	SolveErrors int
+	// RoundLog holds per-round telemetry in execution order.
+	RoundLog []RoundStats
+}
+
+// Optimize runs CPLA on the released nets of a prepared state. Grid usage
+// and the trees' segment layers are updated in place.
+func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	g := st.Design.Grid
+	eng := st.Engine
+
+	// Working set: released trees with segments.
+	var work []int
+	for _, ni := range released {
+		if t := st.Trees[ni]; t != nil && len(t.Segs) > 0 {
+			work = append(work, ni)
+		}
+	}
+	res := &Result{Released: released}
+	timings := st.Timings()
+	res.Before = timing.CriticalMetrics(timings, released)
+	if len(work) == 0 {
+		res.After = res.Before
+		return res, nil
+	}
+
+	prevScore := releasedScore(timings, work)
+
+	for round := 0; round < opt.MaxRounds; round++ {
+		// Frozen per-round state: downstream caps and criticality weights.
+		in := &buildInput{
+			g:   g,
+			eng: eng,
+			cds: map[int][]float64{},
+			wts: map[int][]float64{},
+			ups: map[int][]float64{},
+			opts: Options{
+				ViaPenalty: opt.ViaPenalty,
+				OVWeight:   opt.OVWeight,
+			},
+		}
+		var items []partition.Item
+		for _, ni := range work {
+			tr := st.Trees[ni]
+			nt := eng.Analyze(tr)
+			in.cds[ni] = nt.Cd
+			w := make([]float64, len(tr.Segs))
+			for i := range w {
+				w[i] = opt.BranchWeight
+			}
+			for _, sid := range nt.CritPath {
+				w[sid] = 1
+			}
+			in.wts[ni] = w
+			in.ups[ni] = upstreamResistance(tr, eng, w)
+			for _, s := range tr.Segs {
+				mid := s.Edges[len(s.Edges)/2]
+				items = append(items, partition.Item{
+					Tree: ni, Seg: s.ID,
+					Pos: midPoint(mid),
+				})
+			}
+		}
+
+		leaves := partition.Split(g.W, g.H, items, partition.Options{
+			K: opt.K, MaxSegs: opt.MaxSegs, Adaptive: !opt.NoAdaptive,
+		})
+		res.Partitions = len(leaves)
+
+		// Solve every leaf in parallel; proposals are independent because
+		// each leaf owns its segments and reads frozen grid state.
+		type proposal struct {
+			leaf   *partition.Leaf
+			layers []int // chosen layer per leaf item, aligned with items
+			err    error
+		}
+		proposals := make([]proposal, len(leaves))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opt.Workers)
+		for li, leaf := range leaves {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(li int, leaf *partition.Leaf) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				layers, err := solveLeaf(in, st.Trees, leaf, opt)
+				proposals[li] = proposal{leaf: leaf, layers: layers, err: err}
+			}(li, leaf)
+		}
+		wg.Wait()
+
+		// Commit: per affected tree, swap usage out, set layers, swap in.
+		affected := map[int]bool{}
+		snapshots := map[int][]int{}
+		for _, ni := range work {
+			affected[ni] = true
+			snapshots[ni] = st.Trees[ni].SnapshotLayers()
+		}
+		for ni := range affected {
+			st.Trees[ni].ApplyUsage(g, -1)
+		}
+		for _, pr := range proposals {
+			if pr.err != nil {
+				res.SolveErrors++
+				continue
+			}
+			for k, it := range pr.leaf.Items {
+				st.Trees[it.Tree].Segs[it.Seg].Layer = pr.layers[k]
+			}
+		}
+		for ni := range affected {
+			st.Trees[ni].ApplyUsage(g, +1)
+		}
+
+		// Accept or revert by the released nets' critical-path score.
+		newTimings := st.Timings()
+		newScore := releasedScore(newTimings, work)
+		res.Rounds++
+		roundErrs := res.SolveErrors
+		if len(res.RoundLog) > 0 {
+			for _, rs := range res.RoundLog {
+				roundErrs -= rs.SolveErrors
+			}
+		}
+		stats := RoundStats{
+			Score:       newScore,
+			Partitions:  len(leaves),
+			SolveErrors: roundErrs,
+			Accepted:    newScore < prevScore,
+		}
+		res.RoundLog = append(res.RoundLog, stats)
+		if newScore >= prevScore {
+			// Revert this round.
+			for ni := range affected {
+				st.Trees[ni].ApplyUsage(g, -1)
+				st.Trees[ni].RestoreLayers(snapshots[ni])
+				st.Trees[ni].ApplyUsage(g, +1)
+			}
+			break
+		}
+		improvement := (prevScore - newScore) / prevScore
+		prevScore = newScore
+		if improvement < 1e-4 {
+			break
+		}
+	}
+
+	res.After = timing.CriticalMetrics(st.Timings(), released)
+	return res, nil
+}
+
+// solveLeaf builds and solves one partition, returning the chosen layer per
+// leaf item.
+func solveLeaf(in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Options) ([]int, error) {
+	items := make([]item, len(leaf.Items))
+	for i, it := range leaf.Items {
+		items[i] = item{treeIdx: it.Tree, segID: it.Seg}
+	}
+	p := buildProblem(in, trees, items)
+
+	var xFrac [][]float64
+	var err error
+	switch opt.Engine {
+	case EngineILP:
+		xFrac, err = solveILP(p, opt)
+	default:
+		xFrac, err = solveSDP(p, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var choice []int
+	switch opt.Mapping {
+	case MappingGreedy:
+		choice = argmaxMap(p, xFrac)
+	case MappingFlow:
+		choice = flowMap(p, xFrac)
+	default:
+		choice = postMap(p, xFrac)
+	}
+	layers := make([]int, len(items))
+	for i := range items {
+		li := choice[i]
+		if li < 0 || li >= len(p.segs[i].layers) {
+			return nil, fmt.Errorf("core: mapping produced invalid layer index %d", li)
+		}
+		layers[i] = p.segs[i].layers[li]
+	}
+	return layers, nil
+}
+
+// upstreamResistance computes, per segment, the weighted wire resistance of
+// its ancestor chain at the current (frozen) layers:
+// up(s) = up(parent) + w_parent·UnitR(parent)·len(parent). A segment's wire
+// capacitance multiplies this in every ancestor's Elmore term.
+func upstreamResistance(tr *tree.Tree, eng *timing.Engine, w []float64) []float64 {
+	up := make([]float64, len(tr.Segs))
+	order := tr.BFSOrder()
+	for _, nid := range order {
+		n := &tr.Nodes[nid]
+		for _, sid := range n.DownSegs {
+			s := tr.Segs[sid]
+			if s.Parent >= 0 {
+				par := tr.Segs[s.Parent]
+				up[sid] = up[s.Parent] +
+					w[s.Parent]*eng.Stack.Layers[par.Layer].UnitR*float64(par.Len())
+			}
+		}
+	}
+	return up
+}
+
+// midPoint locates a segment by its middle edge's lower tile for
+// partitioning.
+func midPoint(e grid.Edge) geom.Point { return geom.Point{X: e.X, Y: e.Y} }
+
+// releasedScore is the iterative scheme's acceptance objective: the summed
+// critical-path delay of the released nets.
+func releasedScore(timings []*timing.NetTiming, work []int) float64 {
+	s := 0.0
+	for _, ni := range work {
+		if timings[ni] != nil {
+			s += timings[ni].Tcp
+		}
+	}
+	return s
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/mcmf"
+	"repro/internal/tech"
+)
+
+// argmaxMap is the naive rounding used by the mapping ablation: each
+// segment independently takes its highest-preference layer, ignoring edge
+// capacities entirely.
+func argmaxMap(p *problem, xFrac [][]float64) []int {
+	out := make([]int, len(p.segs))
+	for vi := range p.segs {
+		best, bestVal := 0, -1.0
+		for li, v := range xFrac[vi] {
+			if v > bestVal {
+				bestVal = v
+				best = li
+			}
+		}
+		out[vi] = best
+	}
+	return out
+}
+
+// flowMap rounds the fractional solution by a min-cost-flow transportation
+// problem: each segment sends one unit of flow through a (bottleneck edge,
+// layer) resource node whose capacity is the tracks available to this
+// partition; arc costs are 1−x so the flow maximizes total fractional
+// preference under capacity. Multi-edge segments are charged only at their
+// tightest edge (single-commodity approximation); segments the flow cannot
+// place fall back to their best fractional layer.
+func flowMap(p *problem, xFrac [][]float64) []int {
+	type resKey struct {
+		e grid.Edge
+		l int
+	}
+	// Availability per (edge, layer), background excluded as in postMap.
+	avail := map[resKey]int{}
+	selfAt := func(e grid.Edge, l int) int {
+		n := 0
+		for vi := range p.segs {
+			if p.segs[vi].seg.Layer != l {
+				continue
+			}
+			for _, se := range p.segs[vi].seg.Edges {
+				if se == e {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	ensure := func(e grid.Edge, l int) int {
+		k := resKey{e, l}
+		if v, ok := avail[k]; ok {
+			return v
+		}
+		left := int(p.g.EdgeCap(e, l)) - (int(p.g.EdgeUse(e, l)) - selfAt(e, l))
+		if left < 0 {
+			left = 0
+		}
+		avail[k] = left
+		return left
+	}
+
+	// Bottleneck edge per segment: the edge with the smallest summed
+	// availability over the segment's legal layers.
+	bottleneck := make([]grid.Edge, len(p.segs))
+	for vi := range p.segs {
+		sv := &p.segs[vi]
+		best, bestSum := sv.seg.Edges[0], 1<<30
+		for _, e := range sv.seg.Edges {
+			sum := 0
+			for _, l := range sv.layers {
+				sum += ensure(e, l)
+			}
+			if sum < bestSum {
+				bestSum = sum
+				best = e
+			}
+		}
+		bottleneck[vi] = best
+	}
+
+	// Build the flow network: source → segments → resources → sink.
+	resIndex := map[resKey]int{}
+	var resKeys []resKey
+	for vi := range p.segs {
+		for _, l := range p.segs[vi].layers {
+			k := resKey{bottleneck[vi], l}
+			if _, ok := resIndex[k]; !ok {
+				resIndex[k] = len(resKeys)
+				resKeys = append(resKeys, k)
+			}
+		}
+	}
+	numSegs := len(p.segs)
+	numRes := len(resKeys)
+	src := 0
+	segBase := 1
+	resBase := 1 + numSegs
+	sink := resBase + numRes
+	g := mcmf.New(sink + 1)
+
+	type arcRef struct{ vi, li, id int }
+	var arcs []arcRef
+	for vi := range p.segs {
+		g.AddEdge(src, segBase+vi, 1, 0)
+		for li, l := range p.segs[vi].layers {
+			k := resKey{bottleneck[vi], l}
+			id := g.AddEdge(segBase+vi, resBase+resIndex[k], 1, 1-xFrac[vi][li])
+			arcs = append(arcs, arcRef{vi, li, id})
+		}
+	}
+	for i, k := range resKeys {
+		g.AddEdge(resBase+i, sink, ensure(k.e, k.l), 0)
+	}
+	if _, _, err := g.MinCostFlow(src, sink, numSegs); err != nil {
+		return argmaxMap(p, xFrac) // graceful degradation
+	}
+
+	out := make([]int, numSegs)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, a := range arcs {
+		if g.Flow(a.id) > 0 {
+			out[a.vi] = a.li
+		}
+	}
+	for vi, li := range out {
+		if li < 0 {
+			best, bestVal := 0, -1.0
+			for k, v := range xFrac[vi] {
+				if v > bestVal {
+					bestVal = v
+					best = k
+				}
+			}
+			out[vi] = best
+		}
+	}
+	return out
+}
+
+// postMap implements Algorithm 1: turn the fractional SDP solution into a
+// legal integer layer choice per segment. Edges carrying critical segments
+// are traversed; per edge, layers are filled from the highest matching
+// layer downward (high layers are the scarce, low-resistance resource),
+// admitting the top-cap_e(j) fractional entries each time. Segments already
+// assigned on a previous edge are skipped; a segment assigned anywhere
+// consumes capacity on *all* its edges. Any segment left unassigned (no
+// capacity anywhere) falls back to its best fractional layer.
+//
+// Returns the chosen index into segVar.layers per segment.
+func postMap(p *problem, xFrac [][]float64) []int {
+	assigned := make([]int, len(p.segs))
+	for i := range assigned {
+		assigned[i] = -1
+	}
+
+	// Edges touched by partition segments, deterministic order, with the
+	// member segments per edge.
+	type edgeInfo struct {
+		e       grid.Edge
+		members []int
+	}
+	em := map[grid.Edge][]int{}
+	for vi := range p.segs {
+		for _, e := range p.segs[vi].seg.Edges {
+			em[e] = append(em[e], vi)
+		}
+	}
+	edges := make([]edgeInfo, 0, len(em))
+	for e, members := range em {
+		edges = append(edges, edgeInfo{e, members})
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		ea, eb := edges[a].e, edges[b].e
+		if ea.Horiz != eb.Horiz {
+			return ea.Horiz
+		}
+		if ea.Y != eb.Y {
+			return ea.Y < eb.Y
+		}
+		return ea.X < eb.X
+	})
+
+	// Remaining capacity per (edge, layer) available to this partition:
+	// current usage minus this partition's own (outgoing) wires.
+	type capKey struct {
+		e grid.Edge
+		l int
+	}
+	capLeft := map[capKey]int{}
+	for _, ei := range edges {
+		for _, l := range p.g.LayersFor(ei.e) {
+			// Background = current usage minus this partition's own wires.
+			self := 0
+			for _, vi := range ei.members {
+				if p.segs[vi].seg.Layer == l {
+					self++
+				}
+			}
+			left := int(p.g.EdgeCap(ei.e, l)) - (int(p.g.EdgeUse(ei.e, l)) - self)
+			if left < 0 {
+				left = 0
+			}
+			capLeft[capKey{ei.e, l}] = left
+		}
+	}
+
+	consume := func(vi, layer int) {
+		for _, e := range p.segs[vi].seg.Edges {
+			capLeft[capKey{e, layer}]--
+		}
+	}
+
+	for _, ei := range edges {
+		dir := tech.Horizontal
+		if !ei.e.Horiz {
+			dir = tech.Vertical
+		}
+		layers := p.g.Stack.LayersWithDir(dir)
+		// Highest layer first.
+		for k := len(layers) - 1; k >= 0; k-- {
+			l := layers[k]
+			n := capLeft[capKey{ei.e, l}]
+			if n <= 0 {
+				continue
+			}
+			// Candidates: unassigned members sorted by fractional
+			// preference for layer l, descending (Alg 1 line 5).
+			type cand struct {
+				vi int
+				x  float64
+			}
+			var cands []cand
+			for _, vi := range ei.members {
+				if assigned[vi] >= 0 {
+					continue
+				}
+				li := indexOf(p.segs[vi].layers, l)
+				if li < 0 {
+					continue
+				}
+				cands = append(cands, cand{vi, xFrac[vi][li]})
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				if cands[a].x != cands[b].x {
+					return cands[a].x > cands[b].x
+				}
+				return cands[a].vi < cands[b].vi
+			})
+			for i := 0; i < len(cands) && n > 0; i++ {
+				// Only place a segment here if the layer is its best
+				// *remaining* choice by a sensible margin — Alg 1 admits
+				// the top entries; skipping near-zero entries avoids
+				// pinning segments to high layers they never wanted.
+				if cands[i].x <= 0.02 {
+					continue
+				}
+				vi := cands[i].vi
+				li := indexOf(p.segs[vi].layers, l)
+				assigned[vi] = li
+				consume(vi, l)
+				n--
+			}
+		}
+	}
+
+	// Fallback: best fractional layer with remaining capacity, then best
+	// fractional layer outright.
+	for vi := range p.segs {
+		if assigned[vi] >= 0 {
+			continue
+		}
+		bestLi, bestVal := -1, -1.0
+		for li, l := range p.segs[vi].layers {
+			val := xFrac[vi][li]
+			fits := true
+			for _, e := range p.segs[vi].seg.Edges {
+				if capLeft[capKey{e, l}] <= 0 {
+					fits = false
+					break
+				}
+			}
+			if fits && val > bestVal {
+				bestVal = val
+				bestLi = li
+			}
+		}
+		if bestLi < 0 {
+			for li, val := range xFrac[vi] {
+				if val > bestVal {
+					bestVal = val
+					bestLi = li
+				}
+			}
+		}
+		assigned[vi] = bestLi
+		consume(vi, p.segs[vi].layers[bestLi])
+	}
+	return assigned
+}

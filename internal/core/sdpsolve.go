@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sdp"
+)
+
+// solveSDP builds the lifted semidefinite relaxation of the partition
+// problem (§3.3) and returns fractional layer preferences xFrac[vi][li] ∈
+// [0,1] per segment and legal layer.
+//
+// The lifting is the standard binary-quadratic one: the matrix variable is
+//
+//	Y = | 1  xᵀ |
+//	    | x  X  |  ⪰ 0,   diag(X) = x,
+//
+// under which the PSD constraint implies 0 ≤ x ≤ 1 and
+// X_{kl}² ≤ x_k·x_l — the relaxation of the ILP's product variables
+// y = x_i·x_j (constraints (4e)–(4g)). Assignment rows (4b) are equalities
+// on the first row; binding edge capacities (4c) gain diagonal slack
+// entries (nonnegative because PSD diagonals are); the via-capacity terms
+// (4d) are folded into the objective as congestion penalties on the via
+// cost entries, as the paper prescribes.
+func solveSDP(p *problem, opt Options) ([][]float64, error) {
+	numX := p.numXVars()
+	off := p.xOffsets()
+	nSlack := len(p.edges)
+	n := 1 + numX + nSlack
+
+	prob := &sdp.Problem{N: n}
+	xIdx := func(vi, li int) int { return 1 + off[vi] + li }
+	slackIdx := func(k int) int { return 1 + numX + k }
+
+	// Objective: linear costs on the diagonal, via pair costs on the
+	// off-diagonal coupling entries (each entry counts twice in C•X, so
+	// halve).
+	scale := costScale(p)
+	for vi := range p.segs {
+		for li := range p.segs[vi].layers {
+			prob.C.Add(xIdx(vi, li), xIdx(vi, li), p.segs[vi].cost[li]/scale)
+		}
+	}
+	for _, pr := range p.pairs {
+		for la := range pr.cost {
+			for lb, tv := range pr.cost[la] {
+				if tv == 0 {
+					continue
+				}
+				prob.C.Add(xIdx(pr.a, la), xIdx(pr.b, lb), tv/(2*scale))
+			}
+		}
+	}
+
+	// Y₀₀ = 1.
+	var a00 sdp.SymMatrix
+	a00.Add(0, 0, 1)
+	prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a00, RHS: 1})
+
+	// diag(X) = x: X_kk − Y₀k = 0.
+	for vi := range p.segs {
+		for li := range p.segs[vi].layers {
+			var a sdp.SymMatrix
+			k := xIdx(vi, li)
+			a.Add(k, k, 1)
+			a.Add(0, k, -0.5)
+			prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a, RHS: 0})
+		}
+	}
+
+	// Assignment (4b): Σ_l Y₀,(s,l) = 1.
+	for vi := range p.segs {
+		var a sdp.SymMatrix
+		for li := range p.segs[vi].layers {
+			a.Add(0, xIdx(vi, li), 0.5)
+		}
+		prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a, RHS: 1})
+	}
+
+	// Edge capacity (4c): Σ_members Y₀,(s,l) + slack = avail.
+	for k, ec := range p.edges {
+		var a sdp.SymMatrix
+		for _, vi := range ec.members {
+			li := indexOf(p.segs[vi].layers, ec.layer)
+			if li < 0 {
+				continue
+			}
+			a.Add(0, xIdx(vi, li), 0.5)
+		}
+		si := slackIdx(k)
+		a.Add(si, si, 1)
+		rhs := float64(ec.avail)
+		if rhs < 1 {
+			// A fully consumed edge still must admit the constrained
+			// segments somewhere; keep the relaxation feasible and let
+			// post-mapping resolve the conflict.
+			rhs = 1
+		}
+		prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a, RHS: rhs})
+	}
+
+	var res *sdp.Result
+	var err error
+	if opt.SDPSolver == SolverIPM {
+		// Post-mapping needs ranking rather than certificates; 1e-4 with a
+		// generous iteration cap is plenty and much faster than full
+		// convergence on the larger partitions.
+		res, err = sdp.SolveIPM(prob, sdp.Options{MaxIters: 120, Tol: 1e-4})
+	} else {
+		res, err = sdp.Solve(prob, sdp.Options{
+			MaxIters: opt.SDPIters,
+			Tol:      opt.SDPTol,
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: partition SDP (%v) failed: %w", opt.SDPSolver, err)
+	}
+
+	// Read the diagonal (the paper reads xij off the diagonal of X).
+	out := make([][]float64, len(p.segs))
+	for vi := range p.segs {
+		out[vi] = make([]float64, len(p.segs[vi].layers))
+		for li := range p.segs[vi].layers {
+			v := res.X.At(xIdx(vi, li), xIdx(vi, li))
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			out[vi][li] = v
+		}
+	}
+	return out, nil
+}
+
+// costScale normalizes objective magnitudes so the ADMM penalty
+// adaptation starts in a sane regime regardless of delay units.
+func costScale(p *problem) float64 {
+	max := 1.0
+	for vi := range p.segs {
+		for _, c := range p.segs[vi].cost {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTable2CSV exports Table 2 rows as CSV for downstream plotting.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"bench",
+		"tila_avg_tcp", "tila_max_tcp", "tila_ov", "tila_vias", "tila_cpu_s",
+		"sdp_avg_tcp", "sdp_max_tcp", "sdp_ov", "sdp_vias", "sdp_cpu_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Bench,
+			f(r.TILA.AvgTcp), f(r.TILA.MaxTcp), strconv.Itoa(r.TILA.OV),
+			strconv.Itoa(r.TILA.Vias), f(r.TILA.CPU.Seconds()),
+			f(r.SDP.AvgTcp), f(r.SDP.MaxTcp), strconv.Itoa(r.SDP.OV),
+			strconv.Itoa(r.SDP.Vias), f(r.SDP.CPU.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteHistogramCSV exports Fig. 1 bins.
+func WriteHistogramCSV(w io.Writer, bins []HistogramBin) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"delay_lo", "delay_hi", "tila_pins", "sdp_pins"}); err != nil {
+		return err
+	}
+	for _, b := range bins {
+		if err := cw.Write([]string{
+			f(b.DelayLo), f(b.DelayHi),
+			strconv.Itoa(b.TILA), strconv.Itoa(b.SDP),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV exports Fig. 8 / Fig. 9-style rows: one generic record per
+// (label, x, metrics) sample.
+func WriteSweepCSV(w io.Writer, label string, xs []float64, ms []RunMetrics) error {
+	if len(xs) != len(ms) {
+		return fmt.Errorf("exp: sweep export length mismatch %d vs %d", len(xs), len(ms))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{label, "avg_tcp", "max_tcp", "ov", "cpu_s"}); err != nil {
+		return err
+	}
+	for i := range xs {
+		if err := cw.Write([]string{
+			f(xs[i]), f(ms[i].AvgTcp), f(ms[i].MaxTcp),
+			strconv.Itoa(ms[i].OV), f(ms[i].CPU.Seconds()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

@@ -1,0 +1,24 @@
+package exp
+
+import "testing"
+
+func TestLowerBound(t *testing.T) {
+	avg, max, err := LowerBound(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg <= 0 || max < avg {
+		t.Fatalf("bound avg=%g max=%g", avg, max)
+	}
+	// The bound must not exceed what any method achieves.
+	s, err := Run(tiny, MethodSDP, Config{SDPIters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg > s.AvgTcp+1e-9 {
+		t.Fatalf("lower bound avg %g exceeds SDP avg %g", avg, s.AvgTcp)
+	}
+	if max > s.MaxTcp+1e-9 {
+		t.Fatalf("lower bound max %g exceeds SDP max %g", max, s.MaxTcp)
+	}
+}

@@ -1,0 +1,99 @@
+// Package geom provides the small geometric vocabulary shared by the grid,
+// router and layer-assignment packages: tile-grid points, 3-D points with a
+// layer coordinate, rectangles and Manhattan distance helpers.
+package geom
+
+import "fmt"
+
+// Point is a 2-D tile coordinate.
+type Point struct {
+	X, Y int
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// ManhattanDist returns |p.X-q.X| + |p.Y-q.Y|.
+func ManhattanDist(p, q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// Point3 is a 3-D grid coordinate: tile position plus metal layer index.
+type Point3 struct {
+	X, Y, L int
+}
+
+func (p Point3) String() string { return fmt.Sprintf("(%d,%d,L%d)", p.X, p.Y, p.L) }
+
+// P2 projects to the 2-D tile coordinate.
+func (p Point3) P2() Point { return Point{p.X, p.Y} }
+
+// Rect is an axis-aligned rectangle of tiles, inclusive of both corners.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// NewRect returns the rectangle spanning the two points in any order.
+func NewRect(a, b Point) Rect {
+	r := Rect{a.X, a.Y, b.X, b.Y}
+	if r.MinX > r.MaxX {
+		r.MinX, r.MaxX = r.MaxX, r.MinX
+	}
+	if r.MinY > r.MaxY {
+		r.MinY, r.MaxY = r.MaxY, r.MinY
+	}
+	return r
+}
+
+// Contains reports whether p lies in the rectangle (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Width returns the number of tiles spanned horizontally.
+func (r Rect) Width() int { return r.MaxX - r.MinX + 1 }
+
+// Height returns the number of tiles spanned vertically.
+func (r Rect) Height() int { return r.MaxY - r.MinY + 1 }
+
+// Area returns the number of tiles covered.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Expand grows the rectangle to include p.
+func (r Rect) Expand(p Point) Rect {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+	return r
+}
+
+// HPWL returns the half-perimeter wirelength of the rectangle.
+func (r Rect) HPWL() int { return (r.Width() - 1) + (r.Height() - 1) }
+
+// BoundingBox returns the smallest rectangle containing all points. It
+// panics on an empty slice.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingBox of no points")
+	}
+	r := NewRect(pts[0], pts[0])
+	for _, p := range pts[1:] {
+		r = r.Expand(p)
+	}
+	return r
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,127 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattanDist(t *testing.T) {
+	if d := ManhattanDist(Point{0, 0}, Point{3, 4}); d != 7 {
+		t.Fatalf("dist = %d, want 7", d)
+	}
+	if d := ManhattanDist(Point{5, 5}, Point{2, 9}); d != 7 {
+		t.Fatalf("dist = %d, want 7", d)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := NewRect(Point{5, 1}, Point{2, 7})
+	if r.MinX != 2 || r.MaxX != 5 || r.MinY != 1 || r.MaxY != 7 {
+		t.Fatalf("rect = %+v", r)
+	}
+	if r.Width() != 4 || r.Height() != 7 {
+		t.Fatalf("w=%d h=%d", r.Width(), r.Height())
+	}
+	if r.Area() != 28 {
+		t.Fatalf("area = %d", r.Area())
+	}
+	if r.HPWL() != 9 {
+		t.Fatalf("hpwl = %d", r.HPWL())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{3, 3})
+	for _, tc := range []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{3, 3}, true},
+		{Point{2, 1}, true},
+		{Point{4, 0}, false},
+		{Point{-1, 2}, false},
+	} {
+		if got := r.Contains(tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{{3, 4}, {1, 9}, {7, 2}}
+	bb := BoundingBox(pts)
+	if bb != (Rect{1, 2, 7, 9}) {
+		t.Fatalf("bb = %+v", bb)
+	}
+	for _, p := range pts {
+		if !bb.Contains(p) {
+			t.Fatalf("bb does not contain %v", p)
+		}
+	}
+}
+
+func TestBoundingBoxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestPoint3Projection(t *testing.T) {
+	p := Point3{X: 2, Y: 3, L: 5}
+	if p.P2() != (Point{2, 3}) {
+		t.Fatalf("P2 = %v", p.P2())
+	}
+}
+
+// Property: Manhattan distance is a metric — symmetric, zero iff equal, and
+// satisfies the triangle inequality.
+func TestQuickManhattanMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Point{rng.Intn(100), rng.Intn(100)}
+		q := Point{rng.Intn(100), rng.Intn(100)}
+		r := Point{rng.Intn(100), rng.Intn(100)}
+		if ManhattanDist(p, q) != ManhattanDist(q, p) {
+			return false
+		}
+		if (ManhattanDist(p, q) == 0) != (p == q) {
+			return false
+		}
+		return ManhattanDist(p, r) <= ManhattanDist(p, q)+ManhattanDist(q, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BoundingBox is the minimal containing rectangle.
+func TestQuickBoundingBoxMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Intn(50), rng.Intn(50)}
+		}
+		bb := BoundingBox(pts)
+		hitMinX, hitMaxX, hitMinY, hitMaxY := false, false, false, false
+		for _, p := range pts {
+			if !bb.Contains(p) {
+				return false
+			}
+			hitMinX = hitMinX || p.X == bb.MinX
+			hitMaxX = hitMaxX || p.X == bb.MaxX
+			hitMinY = hitMinY || p.Y == bb.MinY
+			hitMaxY = hitMaxY || p.Y == bb.MaxY
+		}
+		return hitMinX && hitMaxX && hitMinY && hitMaxY
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

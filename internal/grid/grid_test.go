@@ -1,0 +1,250 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g := New(8, 6, tech.Default8())
+	caps := make([]int32, 8)
+	for i := range caps {
+		caps[i] = 10
+	}
+	g.SetUniformCapacity(caps)
+	return g
+}
+
+func TestEdgeBetween(t *testing.T) {
+	e, err := EdgeBetween(geom.Point{X: 2, Y: 3}, geom.Point{X: 3, Y: 3})
+	if err != nil || e != (Edge{X: 2, Y: 3, Horiz: true}) {
+		t.Fatalf("e=%v err=%v", e, err)
+	}
+	e, err = EdgeBetween(geom.Point{X: 3, Y: 3}, geom.Point{X: 2, Y: 3})
+	if err != nil || e != (Edge{X: 2, Y: 3, Horiz: true}) {
+		t.Fatalf("reversed: e=%v err=%v", e, err)
+	}
+	e, err = EdgeBetween(geom.Point{X: 1, Y: 5}, geom.Point{X: 1, Y: 4})
+	if err != nil || e != (Edge{X: 1, Y: 4, Horiz: false}) {
+		t.Fatalf("vertical: e=%v err=%v", e, err)
+	}
+	if _, err = EdgeBetween(geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 1}); err == nil {
+		t.Fatal("diagonal must error")
+	}
+	if _, err = EdgeBetween(geom.Point{X: 0, Y: 0}, geom.Point{X: 0, Y: 0}); err == nil {
+		t.Fatal("identical must error")
+	}
+}
+
+func TestCapacityDirectionality(t *testing.T) {
+	g := testGrid(t)
+	he := Edge{X: 1, Y: 1, Horiz: true}
+	ve := Edge{X: 1, Y: 1, Horiz: false}
+	// Layer 0 is horizontal: capacity on horizontal edges only.
+	if g.EdgeCap(he, 0) != 10 {
+		t.Fatalf("cap H layer0 = %d", g.EdgeCap(he, 0))
+	}
+	if g.EdgeCap(ve, 0) != 0 {
+		t.Fatalf("cap V layer0 = %d, want 0", g.EdgeCap(ve, 0))
+	}
+	if g.EdgeCap(ve, 1) != 10 {
+		t.Fatalf("cap V layer1 = %d", g.EdgeCap(ve, 1))
+	}
+	if g.EdgeCap2D(he) != 40 { // 4 horizontal layers × 10
+		t.Fatalf("cap2D = %d, want 40", g.EdgeCap2D(he))
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	g := testGrid(t)
+	e := Edge{X: 2, Y: 2, Horiz: true}
+	g.AddEdgeUse(e, 0, 3)
+	g.AddEdgeUse(e, 2, 1)
+	if g.EdgeUse(e, 0) != 3 || g.EdgeUse(e, 2) != 1 {
+		t.Fatalf("use = %d,%d", g.EdgeUse(e, 0), g.EdgeUse(e, 2))
+	}
+	if g.EdgeUse2D(e) != 4 {
+		t.Fatalf("use2D = %d", g.EdgeUse2D(e))
+	}
+	g.AddEdgeUse(e, 0, -3)
+	if g.EdgeUse(e, 0) != 0 {
+		t.Fatalf("use after removal = %d", g.EdgeUse(e, 0))
+	}
+}
+
+func TestNegativeUsagePanics(t *testing.T) {
+	g := testGrid(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddEdgeUse(Edge{X: 0, Y: 0, Horiz: true}, 0, -1)
+}
+
+func TestDirectionMismatchPanics(t *testing.T) {
+	g := testGrid(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddEdgeUse(Edge{X: 0, Y: 0, Horiz: true}, 1, 1) // layer 1 is vertical
+}
+
+func TestViaCapacityDerivation(t *testing.T) {
+	g := testGrid(t)
+	// Interior tile, level 0 (between M1 horizontal and M2): Eqn (1) with
+	// c0=c1=10 → 2·40·20/4 = 400.
+	if got := g.ViaCap(3, 3, 0); got != 400 {
+		t.Fatalf("ViaCap = %d, want 400", got)
+	}
+	// Corner tile (0,0) on a horizontal layer has only one adjacent
+	// horizontal edge; it is counted twice.
+	if got := g.ViaCap(0, 0, 0); got != 400 {
+		t.Fatalf("corner ViaCap = %d, want 400", got)
+	}
+}
+
+func TestViaSpanAndOverflow(t *testing.T) {
+	g := testGrid(t)
+	g.AddViaSpan(2, 2, 0, 3, 1) // levels 0,1,2
+	if g.ViaUse(2, 2, 0) != 1 || g.ViaUse(2, 2, 1) != 1 || g.ViaUse(2, 2, 2) != 1 {
+		t.Fatal("via span accounting wrong")
+	}
+	if g.ViaUse(2, 2, 3) != 0 {
+		t.Fatal("span leaked past hi layer")
+	}
+	if g.TotalViaUse() != 3 {
+		t.Fatalf("TotalViaUse = %d", g.TotalViaUse())
+	}
+	// Reversed order must behave the same.
+	g.AddViaSpan(2, 2, 3, 0, 1)
+	if g.ViaUse(2, 2, 1) != 2 {
+		t.Fatal("reversed span accounting wrong")
+	}
+
+	e := Edge{X: 1, Y: 1, Horiz: true}
+	g.AddEdgeUse(e, 0, 12) // cap 10 → excess 2
+	ov := g.CollectOverflow()
+	if ov.EdgeViolations != 1 || ov.EdgeExcess != 2 {
+		t.Fatalf("overflow = %+v", ov)
+	}
+}
+
+func TestScaleRegionCapacity(t *testing.T) {
+	g := testGrid(t)
+	g.ScaleRegionCapacity(geom.Rect{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}, 0.5)
+	if got := g.EdgeCap(Edge{X: 2, Y: 2, Horiz: true}, 0); got != 5 {
+		t.Fatalf("scaled cap = %d, want 5", got)
+	}
+	if got := g.EdgeCap(Edge{X: 5, Y: 4, Horiz: true}, 0); got != 10 {
+		t.Fatalf("outside cap = %d, want 10", got)
+	}
+	// Via capacities must have been re-derived for the reduced region.
+	if got := g.ViaCap(2, 2, 0); got != 200 {
+		t.Fatalf("via cap after scale = %d, want 200", got)
+	}
+}
+
+func TestResetUsage(t *testing.T) {
+	g := testGrid(t)
+	g.AddEdgeUse(Edge{X: 0, Y: 0, Horiz: true}, 0, 5)
+	g.AddViaUse(1, 1, 0, 2)
+	g.ResetUsage()
+	if g.EdgeUse2D(Edge{X: 0, Y: 0, Horiz: true}) != 0 || g.TotalViaUse() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestEdges2DCount(t *testing.T) {
+	g := testGrid(t)
+	count := 0
+	g.Edges2D(func(e Edge) {
+		if !g.ValidEdge(e) {
+			t.Fatalf("invalid edge %v from Edges2D", e)
+		}
+		count++
+	})
+	want := (8-1)*6 + 8*(6-1) // 42 + 40
+	if count != want {
+		t.Fatalf("edge count = %d, want %d", count, want)
+	}
+}
+
+// Property: adding then removing random usage restores a clean grid.
+func TestQuickUsageRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(6, 6, tech.Default6())
+		caps := []int32{8, 8, 8, 8, 8, 8}
+		g.SetUniformCapacity(caps)
+		type op struct {
+			e Edge
+			l int
+			n int32
+		}
+		var ops []op
+		for k := 0; k < 20; k++ {
+			horiz := rng.Intn(2) == 0
+			var e Edge
+			var l int
+			if horiz {
+				e = Edge{X: rng.Intn(5), Y: rng.Intn(6), Horiz: true}
+				l = []int{0, 2, 4}[rng.Intn(3)]
+			} else {
+				e = Edge{X: rng.Intn(6), Y: rng.Intn(5), Horiz: false}
+				l = []int{1, 3, 5}[rng.Intn(3)]
+			}
+			n := int32(1 + rng.Intn(4))
+			g.AddEdgeUse(e, l, n)
+			ops = append(ops, op{e, l, n})
+		}
+		for _, o := range ops {
+			g.AddEdgeUse(o.e, o.l, -o.n)
+		}
+		clean := true
+		g.Edges2D(func(e Edge) {
+			if g.EdgeUse2D(e) != 0 {
+				clean = false
+			}
+		})
+		return clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overflow excess equals the sum of injected excess.
+func TestQuickOverflowAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(6, 6, tech.Default6())
+		g.SetUniformCapacity([]int32{4, 4, 4, 4, 4, 4})
+		wantExcess := 0
+		wantViol := 0
+		for x := 0; x < 5; x++ {
+			e := Edge{X: x, Y: rng.Intn(6), Horiz: true}
+			use := int32(rng.Intn(9))
+			if g.EdgeUse(e, 0) != 0 {
+				continue
+			}
+			g.AddEdgeUse(e, 0, use)
+			if use > 4 {
+				wantViol++
+				wantExcess += int(use - 4)
+			}
+		}
+		ov := g.CollectOverflow()
+		return ov.EdgeViolations == wantViol && ov.EdgeExcess == wantExcess
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package ilp implements a branch-and-bound solver for mixed 0/1 integer
+// linear programs on top of the simplex solver in internal/lp. It stands in
+// for GUROBI in the paper's ILP formulation (4a)-(4i): partition-sized
+// problems with binary layer-assignment variables.
+//
+// Branching is best-first on LP bound with a most-fractional variable rule;
+// an incumbent is tightened by rounding heuristics at every node.
+package ilp
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MaxNodes bounds the number of explored B&B nodes (0 → default).
+	MaxNodes int
+	// IntTol is the integrality tolerance (0 → default 1e-6).
+	IntTol float64
+	// Gap is the relative optimality gap at which search stops (0 → exact).
+	Gap float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 50000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Result reports the outcome of a solve.
+type Result struct {
+	Status    lp.Status
+	X         []float64
+	Objective float64
+	Nodes     int
+	// Proven reports whether the returned incumbent is proven optimal
+	// (within Gap). False when MaxNodes was hit with an incumbent in hand.
+	Proven bool
+}
+
+// Problem is a 0/1 ILP: an LP problem plus the set of binary variables.
+type Problem struct {
+	LP     *lp.Problem
+	Binary []int // indices of binary variables
+}
+
+// ErrNoIncumbent is returned when the node budget is exhausted before any
+// feasible integer point is found.
+var ErrNoIncumbent = errors.New("ilp: node limit reached without incumbent")
+
+type node struct {
+	bound  float64
+	fixes  []fix // variable fixings along the path from the root
+	depth  int
+	heapIx int
+}
+
+type fix struct {
+	v   int
+	val int // 0 or 1
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIx = i; h[j].heapIx = j }
+func (h *nodeHeap) Push(x interface{}) { n := x.(*node); n.heapIx = len(*h); *h = append(*h, n) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return n
+}
+
+// Solve runs branch and bound. The binary variables automatically receive an
+// upper bound of 1.
+func Solve(p *Problem, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	isBinary := make(map[int]bool, len(p.Binary))
+	for _, v := range p.Binary {
+		isBinary[v] = true
+		p.LP.SetUpper(v, 1)
+	}
+
+	best := math.Inf(1)
+	var bestX []float64
+	nodes := 0
+
+	solveWithFixes := func(fixes []fix) (*lp.Solution, error) {
+		// Fixings are expressed as temporary equality rows appended to a
+		// fresh copy of the constraint system. lp.Problem has no removal
+		// API, so rebuild: cheap relative to the simplex solve itself.
+		sub := cloneLP(p.LP)
+		for _, f := range fixes {
+			sub.AddConstraint([]lp.Entry{{Var: f.v, Coef: 1}}, lp.EQ, float64(f.val))
+		}
+		return sub.Solve()
+	}
+
+	h := &nodeHeap{}
+	heap.Init(h)
+
+	rootSol, err := solveWithFixes(nil)
+	if err != nil {
+		return nil, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		return &Result{Status: lp.Infeasible}, nil
+	case lp.Unbounded:
+		return &Result{Status: lp.Unbounded}, nil
+	case lp.IterLimit:
+		return nil, errors.New("ilp: root LP hit iteration limit")
+	}
+
+	consider := func(sol *lp.Solution, fixes []fix, depth int) {
+		frac := mostFractional(sol.X, p.Binary, opt.IntTol)
+		if frac < 0 {
+			// Integer-feasible: candidate incumbent.
+			if sol.Objective < best-1e-12 {
+				best = sol.Objective
+				bestX = append([]float64(nil), sol.X...)
+			}
+			return
+		}
+		// Rounding heuristic: try the nearest-integer rounding as an
+		// incumbent candidate (validated by an LP solve with all binaries
+		// fixed, so feasibility is exact).
+		if bestX == nil {
+			if rx, rObj, ok := tryRounding(p, sol.X, isBinary, solveWithFixes); ok && rObj < best {
+				best = rObj
+				bestX = rx
+			}
+		}
+		if sol.Objective >= best-gapCut(best, opt.Gap) {
+			return // dominated subtree
+		}
+		heap.Push(h, &node{bound: sol.Objective, fixes: fixes, depth: depth})
+	}
+
+	consider(rootSol, nil, 0)
+
+	for h.Len() > 0 && nodes < opt.MaxNodes {
+		n := heap.Pop(h).(*node)
+		if n.bound >= best-gapCut(best, opt.Gap) {
+			continue
+		}
+		// Re-solve the node LP to obtain its fractional point for branching.
+		sol, err := solveWithFixes(n.fixes)
+		nodes++
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue
+		}
+		branchVar := mostFractional(sol.X, p.Binary, opt.IntTol)
+		if branchVar < 0 {
+			if sol.Objective < best {
+				best = sol.Objective
+				bestX = append([]float64(nil), sol.X...)
+			}
+			continue
+		}
+		for _, val := range []int{roundDir(sol.X[branchVar]), 1 - roundDir(sol.X[branchVar])} {
+			childFixes := append(append([]fix(nil), n.fixes...), fix{branchVar, val})
+			childSol, err := solveWithFixes(childFixes)
+			nodes++
+			if err != nil {
+				return nil, err
+			}
+			if childSol.Status != lp.Optimal {
+				continue
+			}
+			consider(childSol, childFixes, n.depth+1)
+		}
+	}
+
+	if bestX == nil {
+		if nodes >= opt.MaxNodes {
+			return nil, ErrNoIncumbent
+		}
+		return &Result{Status: lp.Infeasible, Nodes: nodes}, nil
+	}
+	// Snap binaries exactly.
+	for _, v := range p.Binary {
+		bestX[v] = math.Round(bestX[v])
+	}
+	return &Result{
+		Status:    lp.Optimal,
+		X:         bestX,
+		Objective: best,
+		Nodes:     nodes,
+		Proven:    h.Len() == 0 || nodes < opt.MaxNodes,
+	}, nil
+}
+
+func gapCut(best, gap float64) float64 {
+	if gap <= 0 || math.IsInf(best, 1) {
+		return 1e-9
+	}
+	return gap * math.Abs(best)
+}
+
+func roundDir(v float64) int {
+	if v >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// mostFractional returns the binary variable whose value is farthest from
+// integer, or -1 if all are integral within tol.
+func mostFractional(x []float64, binary []int, tol float64) int {
+	best := -1
+	bestDist := tol
+	for _, v := range binary {
+		f := x[v] - math.Floor(x[v])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist = dist
+			best = v
+		}
+	}
+	return best
+}
+
+// tryRounding fixes every binary to its rounded value and solves the
+// remaining LP (continuous variables free). Returns the full solution if
+// feasible.
+func tryRounding(p *Problem, x []float64, isBinary map[int]bool,
+	solve func([]fix) (*lp.Solution, error)) ([]float64, float64, bool) {
+	fixes := make([]fix, 0, len(isBinary))
+	for v := range isBinary {
+		fixes = append(fixes, fix{v, roundDir(x[v])})
+	}
+	sol, err := solve(fixes)
+	if err != nil || sol.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	return append([]float64(nil), sol.X...), sol.Objective, true
+}
+
+// cloneLP deep-copies an lp.Problem via its exported API.
+func cloneLP(src *lp.Problem) *lp.Problem {
+	return src.Clone()
+}

@@ -1,0 +1,334 @@
+// Package ispd08 reads and writes the ISPD 2008 global-routing benchmark
+// format and provides a deterministic synthetic generator that emits
+// scaled-down instances named after the original suite (adaptec1 …
+// newblue7).
+//
+// The real benchmark files are not redistributable, and the container is
+// offline; the generator reproduces the properties the paper's flow consumes
+// — grid with per-layer directional capacities, nets with clustered pins and
+// a long-tailed pin-count distribution, and regionally varying congestion
+// (Fig. 3(b)) — at a scale where the full evaluation runs on one core.
+package ispd08
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Parse reads an ISPD'08-format benchmark. Layer directions are inferred
+// from which of the vertical/horizontal capacity entries are nonzero; wire
+// RC parameters are taken from the default technology stack since the
+// format does not carry them.
+func Parse(r io.Reader) (*netlist.Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" {
+				return line, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.EOF
+	}
+
+	// Header: "grid W H L".
+	line, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("ispd08: missing grid line: %w", err)
+	}
+	var w, h, l int
+	if _, err := fmt.Sscanf(line, "grid %d %d %d", &w, &h, &l); err != nil {
+		return nil, fmt.Errorf("ispd08: bad grid line %q: %w", line, err)
+	}
+	if w < 2 || h < 2 || l < 2 || l > 16 {
+		return nil, fmt.Errorf("ispd08: implausible grid %dx%dx%d", w, h, l)
+	}
+
+	readVec := func(prefix string) ([]float64, error) {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("ispd08: missing %q line: %w", prefix, err)
+		}
+		if !strings.HasPrefix(line, prefix) {
+			return nil, fmt.Errorf("ispd08: expected %q line, got %q", prefix, line)
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, prefix))
+		if len(fields) != l {
+			return nil, fmt.Errorf("ispd08: %q has %d entries, want %d", prefix, len(fields), l)
+		}
+		out := make([]float64, l)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ispd08: bad number %q in %q: %w", f, prefix, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	vcap, err := readVec("vertical capacity:")
+	if err != nil {
+		return nil, err
+	}
+	hcap, err := readVec("horizontal capacity:")
+	if err != nil {
+		return nil, err
+	}
+	minW, err := readVec("minimum width:")
+	if err != nil {
+		return nil, err
+	}
+	minS, err := readVec("minimum spacing:")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := readVec("via spacing:"); err != nil {
+		return nil, err
+	}
+
+	// Origin and tile size.
+	line, err = next()
+	if err != nil {
+		return nil, fmt.Errorf("ispd08: missing origin line: %w", err)
+	}
+	var lowX, lowY, tileW, tileH float64
+	if _, err := fmt.Sscanf(line, "%g %g %g %g", &lowX, &lowY, &tileW, &tileH); err != nil {
+		return nil, fmt.Errorf("ispd08: bad origin line %q: %w", line, err)
+	}
+	if tileW <= 0 || tileH <= 0 {
+		return nil, fmt.Errorf("ispd08: non-positive tile size in %q", line)
+	}
+
+	// Build the stack: directions from nonzero capacities, RC from the
+	// default profile (the format carries no RC).
+	stack := stackFor(l, vcap, hcap)
+
+	g := grid.New(w, h, stack)
+	caps := make([]int32, l)
+	for i := 0; i < l; i++ {
+		pitch := minW[i] + minS[i]
+		if pitch <= 0 {
+			pitch = 1
+		}
+		if stack.Dir(i) == tech.Horizontal {
+			caps[i] = int32(hcap[i] / pitch)
+		} else {
+			caps[i] = int32(vcap[i] / pitch)
+		}
+	}
+	g.SetUniformCapacity(caps)
+
+	design := &netlist.Design{Grid: g, Stack: stack}
+
+	// Nets: "num net N".
+	line, err = next()
+	if err != nil {
+		return nil, fmt.Errorf("ispd08: missing net count: %w", err)
+	}
+	var numNets int
+	if _, err := fmt.Sscanf(line, "num net %d", &numNets); err != nil {
+		return nil, fmt.Errorf("ispd08: bad net count line %q: %w", line, err)
+	}
+	toTile := func(x, y float64) (geom.Point, error) {
+		tx := int((x - lowX) / tileW)
+		ty := int((y - lowY) / tileH)
+		p := geom.Point{X: tx, Y: ty}
+		if !g.InBounds(p) {
+			return p, fmt.Errorf("ispd08: pin (%g,%g) maps to out-of-grid tile %v", x, y, p)
+		}
+		return p, nil
+	}
+	for ni := 0; ni < numNets; ni++ {
+		line, err = next()
+		if err != nil {
+			return nil, fmt.Errorf("ispd08: truncated at net %d: %w", ni, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("ispd08: bad net header %q", line)
+		}
+		name := fields[0]
+		numPins, err := strconv.Atoi(fields[2])
+		if err != nil || numPins < 1 {
+			return nil, fmt.Errorf("ispd08: bad pin count in %q", line)
+		}
+		net := &netlist.Net{ID: ni, Name: name}
+		for pi := 0; pi < numPins; pi++ {
+			line, err = next()
+			if err != nil {
+				return nil, fmt.Errorf("ispd08: truncated pins of net %q: %w", name, err)
+			}
+			var px, py float64
+			var pl int
+			if _, err := fmt.Sscanf(line, "%g %g %d", &px, &py, &pl); err != nil {
+				return nil, fmt.Errorf("ispd08: bad pin line %q: %w", line, err)
+			}
+			pos, err := toTile(px, py)
+			if err != nil {
+				return nil, err
+			}
+			if pl < 1 || pl > l {
+				return nil, fmt.Errorf("ispd08: pin layer %d out of 1..%d", pl, l)
+			}
+			net.Pins = append(net.Pins, netlist.Pin{Pos: pos, Layer: pl - 1})
+		}
+		design.Nets = append(design.Nets, net)
+	}
+
+	// Optional capacity adjustments.
+	if line, err = next(); err == nil {
+		var numAdj int
+		if _, err := fmt.Sscanf(line, "%d", &numAdj); err == nil {
+			for a := 0; a < numAdj; a++ {
+				line, err = next()
+				if err != nil {
+					return nil, fmt.Errorf("ispd08: truncated adjustments: %w", err)
+				}
+				var x1, y1, l1, x2, y2, l2 int
+				var newCap float64
+				if _, err := fmt.Sscanf(line, "%d %d %d %d %d %d %g", &x1, &y1, &l1, &x2, &y2, &l2, &newCap); err != nil {
+					return nil, fmt.Errorf("ispd08: bad adjustment %q: %w", line, err)
+				}
+				e, err := grid.EdgeBetween(geom.Point{X: x1, Y: y1}, geom.Point{X: x2, Y: y2})
+				if err != nil {
+					return nil, err
+				}
+				li := l1 - 1
+				pitch := minW[li] + minS[li]
+				if pitch <= 0 {
+					pitch = 1
+				}
+				if e.Dir() == stack.Dir(li) {
+					g.SetEdgeCap(e, li, int32(newCap/pitch))
+				}
+			}
+			g.DeriveViaCapacities()
+		}
+	}
+	if err := design.Validate(); err != nil {
+		return nil, fmt.Errorf("ispd08: parsed design invalid: %w", err)
+	}
+	return design, nil
+}
+
+// stackFor constructs a technology stack with directions inferred from the
+// capacity vectors and the default RC ramp.
+func stackFor(l int, vcap, hcap []float64) *tech.Stack {
+	base := tech.Default8()
+	stack := &tech.Stack{
+		WireWidth:   base.WireWidth,
+		WireSpacing: base.WireSpacing,
+		ViaWidth:    base.ViaWidth,
+		ViaSpacing:  base.ViaSpacing,
+		TileWidth:   base.TileWidth,
+	}
+	for i := 0; i < l; i++ {
+		dir := tech.Horizontal
+		if vcap[i] > hcap[i] {
+			dir = tech.Vertical
+		} else if vcap[i] == hcap[i] {
+			// Degenerate file; alternate.
+			if i%2 == 1 {
+				dir = tech.Vertical
+			}
+		}
+		// RC ramp: reuse the default profile, clamped to its top entry.
+		ref := base.Layers[min(i, len(base.Layers)-1)]
+		stack.Layers = append(stack.Layers, tech.Layer{
+			Name:  fmt.Sprintf("M%d", i+1),
+			Dir:   dir,
+			UnitR: ref.UnitR,
+			UnitC: ref.UnitC,
+			ViaR:  ref.ViaR,
+		})
+	}
+	return stack
+}
+
+// Write emits the design in ISPD'08 format. Tile size is fixed at
+// stack.TileWidth with origin (0,0); pins are written at tile centers.
+func Write(w io.Writer, d *netlist.Design) error {
+	bw := bufio.NewWriter(w)
+	g := d.Grid
+	l := d.Stack.NumLayers()
+	fmt.Fprintf(bw, "grid %d %d %d\n", g.W, g.H, l)
+
+	tw := d.Stack.TileWidth
+	pitch := d.Stack.WireWidth + d.Stack.WireSpacing
+	caps := make([]int32, l)
+	for i := 0; i < l; i++ {
+		// Uniform write-out uses the capacity of edge (0,0) in the layer's
+		// direction; region adjustments are emitted separately below.
+		e := grid.Edge{X: 0, Y: 0, Horiz: d.Stack.Dir(i) == tech.Horizontal}
+		caps[i] = g.EdgeCap(e, i)
+	}
+	writeVec := func(prefix string, sel func(int) float64) {
+		fmt.Fprint(bw, prefix)
+		for i := 0; i < l; i++ {
+			fmt.Fprintf(bw, " %g", sel(i))
+		}
+		fmt.Fprintln(bw)
+	}
+	writeVec("vertical capacity:", func(i int) float64 {
+		if d.Stack.Dir(i) == tech.Vertical {
+			return float64(caps[i]) * pitch
+		}
+		return 0
+	})
+	writeVec("horizontal capacity:", func(i int) float64 {
+		if d.Stack.Dir(i) == tech.Horizontal {
+			return float64(caps[i]) * pitch
+		}
+		return 0
+	})
+	writeVec("minimum width:", func(int) float64 { return d.Stack.WireWidth })
+	writeVec("minimum spacing:", func(int) float64 { return d.Stack.WireSpacing })
+	writeVec("via spacing:", func(int) float64 { return d.Stack.ViaSpacing })
+	fmt.Fprintf(bw, "0 0 %g %g\n", tw, tw)
+
+	fmt.Fprintf(bw, "num net %d\n", len(d.Nets))
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "%s %d %d 1\n", n.Name, n.ID, len(n.Pins))
+		for _, p := range n.Pins {
+			cx := (float64(p.Pos.X) + 0.5) * tw
+			cy := (float64(p.Pos.Y) + 0.5) * tw
+			fmt.Fprintf(bw, "%g %g %d\n", cx, cy, p.Layer+1)
+		}
+	}
+
+	// Capacity adjustments for edges deviating from the uniform value.
+	type adj struct {
+		e grid.Edge
+		l int
+		c int32
+	}
+	var adjs []adj
+	g.Edges2D(func(e grid.Edge) {
+		for _, li := range g.LayersFor(e) {
+			if c := g.EdgeCap(e, li); c != caps[li] {
+				adjs = append(adjs, adj{e, li, c})
+			}
+		}
+	})
+	fmt.Fprintf(bw, "%d\n", len(adjs))
+	for _, a := range adjs {
+		o := a.e.Other()
+		fmt.Fprintf(bw, "%d %d %d %d %d %d %g\n",
+			a.e.X, a.e.Y, a.l+1, o.X, o.Y, a.l+1, float64(a.c)*pitch)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,171 @@
+package ispd08
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// GenParams configures the synthetic benchmark generator.
+type GenParams struct {
+	Name     string
+	W, H     int
+	Layers   int // 6 or 8
+	NumNets  int
+	Capacity int32 // tracks per directional layer per edge
+	Seed     int64
+	// Hotspots are congested regions: net centers are drawn from hotspots
+	// with probability HotspotBias, producing the regionally varying
+	// density of Fig. 3(b).
+	Hotspots    []geom.Rect
+	HotspotBias float64
+}
+
+func (p GenParams) withDefaults() GenParams {
+	if p.Layers == 0 {
+		p.Layers = 8
+	}
+	if p.Capacity == 0 {
+		p.Capacity = 10
+	}
+	if p.HotspotBias == 0 {
+		p.HotspotBias = 0.45
+	}
+	if len(p.Hotspots) == 0 {
+		// Two default hotspots: center block and lower-left block.
+		cw, ch := p.W/4, p.H/4
+		p.Hotspots = []geom.Rect{
+			{MinX: p.W/2 - cw/2, MinY: p.H/2 - ch/2, MaxX: p.W/2 + cw/2, MaxY: p.H/2 + ch/2},
+			{MinX: p.W / 8, MinY: p.H / 8, MaxX: p.W/8 + cw, MaxY: p.H/8 + ch},
+		}
+	}
+	return p
+}
+
+// Generate builds a synthetic design. The same params always produce the
+// same design.
+func Generate(p GenParams) (*netlist.Design, error) {
+	p = p.withDefaults()
+	if p.W < 8 || p.H < 8 {
+		return nil, fmt.Errorf("ispd08: grid %dx%d too small", p.W, p.H)
+	}
+	var stack *tech.Stack
+	switch p.Layers {
+	case 6:
+		stack = tech.Default6()
+	case 8:
+		stack = tech.Default8()
+	default:
+		return nil, fmt.Errorf("ispd08: unsupported layer count %d", p.Layers)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	g := grid.New(p.W, p.H, stack)
+	caps := make([]int32, stack.NumLayers())
+	for i := range caps {
+		caps[i] = p.Capacity
+	}
+	// The two lowest layers are partially consumed by standard-cell
+	// pins/power in real designs; halve them.
+	caps[0] /= 2
+	caps[1] /= 2
+	g.SetUniformCapacity(caps)
+
+	d := &netlist.Design{Name: p.Name, Grid: g, Stack: stack}
+
+	for ni := 0; ni < p.NumNets; ni++ {
+		center := p.sampleCenter(rng)
+		numPins := samplePinCount(rng)
+		spread := sampleSpread(rng, p.W, p.H, numPins)
+		net := &netlist.Net{ID: ni, Name: fmt.Sprintf("n%d", ni)}
+		seen := make(map[geom.Point]bool, numPins)
+		for len(net.Pins) < numPins {
+			pos := clampPoint(geom.Point{
+				X: center.X + intNorm(rng, spread),
+				Y: center.Y + intNorm(rng, spread),
+			}, p.W, p.H)
+			if seen[pos] {
+				// Nudge deterministically to keep pin tiles distinct.
+				pos = clampPoint(geom.Point{X: pos.X + rng.Intn(3) - 1, Y: pos.Y + rng.Intn(3) - 1}, p.W, p.H)
+				if seen[pos] {
+					continue
+				}
+			}
+			seen[pos] = true
+			net.Pins = append(net.Pins, netlist.Pin{Pos: pos, Layer: 0})
+		}
+		d.Nets = append(d.Nets, net)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p GenParams) sampleCenter(rng *rand.Rand) geom.Point {
+	if rng.Float64() < p.HotspotBias {
+		h := p.Hotspots[rng.Intn(len(p.Hotspots))]
+		return geom.Point{
+			X: h.MinX + rng.Intn(h.Width()),
+			Y: h.MinY + rng.Intn(h.Height()),
+		}
+	}
+	return geom.Point{X: rng.Intn(p.W), Y: rng.Intn(p.H)}
+}
+
+// samplePinCount draws from a long-tailed distribution: mostly 2-4 pin
+// nets, occasionally up to ~24 pins, mimicking real netlists.
+func samplePinCount(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.42:
+		return 2
+	case r < 0.64:
+		return 3
+	case r < 0.78:
+		return 4
+	case r < 0.87:
+		return 5
+	case r < 0.95:
+		return 6 + rng.Intn(4) // 6..9
+	default:
+		return 10 + rng.Intn(15) // 10..24
+	}
+}
+
+// sampleSpread picks the pin scatter radius; bigger nets scatter wider.
+func sampleSpread(rng *rand.Rand, w, h, pins int) float64 {
+	base := 1.5 + rng.ExpFloat64()*float64(w+h)/24
+	if pins > 6 {
+		base *= 1.8
+	}
+	max := float64(w+h) / 5
+	if base > max {
+		base = max
+	}
+	return base
+}
+
+func intNorm(rng *rand.Rand, sigma float64) int {
+	return int(rng.NormFloat64() * sigma)
+}
+
+func clampPoint(p geom.Point, w, h int) geom.Point {
+	if p.X < 0 {
+		p.X = 0
+	}
+	if p.X >= w {
+		p.X = w - 1
+	}
+	if p.Y < 0 {
+		p.Y = 0
+	}
+	if p.Y >= h {
+		p.Y = h - 1
+	}
+	return p
+}

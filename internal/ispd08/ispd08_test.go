@@ -1,0 +1,317 @@
+package ispd08
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tech"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := GenParams{Name: "x", W: 16, H: 16, Layers: 6, NumNets: 50, Seed: 42}
+	d1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Nets) != len(d2.Nets) {
+		t.Fatal("net counts differ")
+	}
+	for i := range d1.Nets {
+		if len(d1.Nets[i].Pins) != len(d2.Nets[i].Pins) {
+			t.Fatalf("net %d pin counts differ", i)
+		}
+		for j := range d1.Nets[i].Pins {
+			if d1.Nets[i].Pins[j] != d2.Nets[i].Pins[j] {
+				t.Fatalf("net %d pin %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateValidAndDistinctPins(t *testing.T) {
+	d, err := Generate(GenParams{Name: "x", W: 20, H: 20, Layers: 8, NumNets: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Nets) != 200 {
+		t.Fatalf("nets = %d", len(d.Nets))
+	}
+	for _, n := range d.Nets {
+		seen := map[geom.Point]bool{}
+		for _, p := range n.Pins {
+			if seen[p.Pos] {
+				t.Fatalf("net %s has duplicate pin tile %v", n.Name, p.Pos)
+			}
+			seen[p.Pos] = true
+		}
+	}
+}
+
+func TestGeneratePinDistributionLongTail(t *testing.T) {
+	d, err := Generate(GenParams{Name: "x", W: 32, H: 32, Layers: 8, NumNets: 2000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, big := 0, 0
+	for _, n := range d.Nets {
+		switch {
+		case n.NumPins() == 2:
+			two++
+		case n.NumPins() >= 10:
+			big++
+		}
+	}
+	if two < 600 || two > 1200 {
+		t.Fatalf("2-pin nets = %d, want roughly 42%% of 2000", two)
+	}
+	if big < 30 || big > 250 {
+		t.Fatalf("10+ pin nets = %d, want a small tail", big)
+	}
+}
+
+func TestGenerateHotspotBias(t *testing.T) {
+	hot := geom.Rect{MinX: 0, MinY: 0, MaxX: 7, MaxY: 7}
+	d, err := Generate(GenParams{
+		Name: "x", W: 32, H: 32, Layers: 6, NumNets: 1500, Seed: 5,
+		Hotspots: []geom.Rect{hot}, HotspotBias: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := 0
+	total := 0
+	for _, n := range d.Nets {
+		for _, p := range n.Pins {
+			total++
+			if hot.Contains(p.Pos) {
+				in++
+			}
+		}
+	}
+	// Hotspot covers 1/16 of the area; with bias it must hold far more than
+	// its proportional share of pins.
+	if frac := float64(in) / float64(total); frac < 0.2 {
+		t.Fatalf("hotspot pin fraction = %g, want > 0.2", frac)
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	if _, err := Generate(GenParams{Name: "x", W: 4, H: 4, NumNets: 5}); err == nil {
+		t.Fatal("expected error for tiny grid")
+	}
+	if _, err := Generate(GenParams{Name: "x", W: 16, H: 16, Layers: 7, NumNets: 5}); err == nil {
+		t.Fatal("expected error for odd layer count")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	d, err := Generate(GenParams{Name: "rt", W: 12, H: 12, Layers: 6, NumNets: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one region's capacity so adjustments are exercised.
+	d.Grid.ScaleRegionCapacity(geom.Rect{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4}, 0.5)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Grid.W != 12 || d2.Grid.H != 12 || d2.Stack.NumLayers() != 6 {
+		t.Fatalf("shape mismatch: %dx%dx%d", d2.Grid.W, d2.Grid.H, d2.Stack.NumLayers())
+	}
+	if len(d2.Nets) != len(d.Nets) {
+		t.Fatalf("nets = %d, want %d", len(d2.Nets), len(d.Nets))
+	}
+	for i, n := range d.Nets {
+		n2 := d2.Nets[i]
+		if len(n.Pins) != len(n2.Pins) {
+			t.Fatalf("net %d pins differ", i)
+		}
+		for j := range n.Pins {
+			if n.Pins[j].Pos != n2.Pins[j].Pos {
+				t.Fatalf("net %d pin %d: %v vs %v", i, j, n.Pins[j].Pos, n2.Pins[j].Pos)
+			}
+		}
+	}
+	// Directions and capacities must round-trip, including the adjusted
+	// region.
+	for l := 0; l < 6; l++ {
+		if d.Stack.Dir(l) != d2.Stack.Dir(l) {
+			t.Fatalf("layer %d direction differs", l)
+		}
+	}
+	probe := []grid.Edge{
+		{X: 3, Y: 3, Horiz: true},
+		{X: 8, Y: 8, Horiz: true},
+		{X: 3, Y: 3, Horiz: false},
+	}
+	for _, e := range probe {
+		for _, l := range d.Grid.LayersFor(e) {
+			if d.Grid.EdgeCap(e, l) != d2.Grid.EdgeCap(e, l) {
+				t.Fatalf("edge %v layer %d cap %d vs %d",
+					e, l, d.Grid.EdgeCap(e, l), d2.Grid.EdgeCap(e, l))
+			}
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"grid 2 2\n",
+		"grid 500 500 99\n",
+		"grid 10 10 2\nvertical capacity: 1\n",
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseMinimalHandWritten(t *testing.T) {
+	src := `grid 4 4 2
+vertical capacity: 0 20
+horizontal capacity: 20 0
+minimum width: 1 1
+minimum spacing: 1 1
+via spacing: 1 1
+0 0 10 10
+num net 1
+netA 0 2 1
+5 5 1
+35 35 2
+`
+	d, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stack.Dir(0) != tech.Horizontal || d.Stack.Dir(1) != tech.Vertical {
+		t.Fatal("directions wrong")
+	}
+	if got := d.Grid.EdgeCap(grid.Edge{X: 0, Y: 0, Horiz: true}, 0); got != 10 {
+		t.Fatalf("tracks = %d, want 20/(1+1) = 10", got)
+	}
+	n := d.Nets[0]
+	if n.Pins[0].Pos != (geom.Point{X: 0, Y: 0}) || n.Pins[1].Pos != (geom.Point{X: 3, Y: 3}) {
+		t.Fatalf("pins = %v", n.Pins)
+	}
+	if n.Pins[1].Layer != 1 {
+		t.Fatalf("pin layer = %d", n.Pins[1].Layer)
+	}
+}
+
+func TestSuiteLookup(t *testing.T) {
+	if len(Suite) != 15 {
+		t.Fatalf("suite size = %d, want 15", len(Suite))
+	}
+	if len(SmallSuite) != 6 {
+		t.Fatalf("small suite size = %d, want 6", len(SmallSuite))
+	}
+	p, err := ByName("adaptec1")
+	if err != nil || p.W == 0 {
+		t.Fatalf("ByName: %v %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+	sp, err := SmallByName("newblue4")
+	if err != nil || sp.W == 0 {
+		t.Fatalf("SmallByName: %v %v", sp, err)
+	}
+	if _, err := SmallByName("nope"); err == nil {
+		t.Fatal("expected error for unknown small name")
+	}
+	seen := map[string]bool{}
+	for _, p := range Suite {
+		if seen[p.Name] {
+			t.Fatalf("duplicate suite name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+// TestParseRobustToMutations feeds the parser many corrupted variants of a
+// valid file; every one must return an error or a valid design — never
+// panic.
+func TestParseRobustToMutations(t *testing.T) {
+	d, err := Generate(GenParams{Name: "fz", W: 10, H: 10, Layers: 6, NumNets: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.String()
+	rng := rand.New(rand.NewSource(99))
+	mutations := []func(string) string{
+		func(s string) string { return s[:rng.Intn(len(s))] },                       // truncate
+		func(s string) string { i := rng.Intn(len(s)); return s[:i] + "x" + s[i:] }, // inject
+		func(s string) string { // digit swap
+			b := []byte(s)
+			for k := 0; k < 10; k++ {
+				i := rng.Intn(len(b))
+				if b[i] >= '0' && b[i] <= '9' {
+					b[i] = byte('0' + rng.Intn(10))
+				}
+			}
+			return string(b)
+		},
+		func(s string) string { // delete a random line
+			lines := strings.Split(s, "\n")
+			i := rng.Intn(len(lines))
+			return strings.Join(append(lines[:i], lines[i+1:]...), "\n")
+		},
+	}
+	for trial := 0; trial < 200; trial++ {
+		m := mutations[rng.Intn(len(mutations))](base)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutated input: %v", r)
+				}
+			}()
+			if d2, err := Parse(strings.NewReader(m)); err == nil && d2 != nil {
+				// Accepted: the design must still be structurally valid.
+				if err := d2.Validate(); err != nil {
+					t.Fatalf("parser accepted invalid design: %v", err)
+				}
+			}
+		}()
+	}
+}
+
+func TestScaledSuite(t *testing.T) {
+	base := Suite[0]
+	scaled := ScaledSuite(2)[0]
+	if scaled.W != base.W*2 || scaled.H != base.H*2 {
+		t.Fatalf("scaled grid %dx%d from %dx%d", scaled.W, scaled.H, base.W, base.H)
+	}
+	if scaled.NumNets != base.NumNets*4 {
+		t.Fatalf("scaled nets = %d, want %d", scaled.NumNets, base.NumNets*4)
+	}
+	// Factor below 1 clamps to identity.
+	same := ScaledSuite(0.5)[0]
+	if same.W != base.W || same.NumNets != base.NumNets {
+		t.Fatalf("clamped suite changed: %+v", same)
+	}
+	if len(ScaledSuite(1)) != len(Suite) {
+		t.Fatal("suite length changed")
+	}
+}

@@ -1,0 +1,76 @@
+package ispd08
+
+import "fmt"
+
+// Suite lists the 15 synthetic instances named after the ISPD'08 benchmarks
+// the paper evaluates (Table 2). Sizes are scaled down so the complete
+// two-method comparison runs in minutes on one core; relative instance
+// ordering (small → large) follows the original suite's runtime ordering in
+// the paper.
+var Suite = []GenParams{
+	{Name: "adaptec1", W: 40, H: 40, Layers: 8, NumNets: 2200, Capacity: 10, Seed: 11},
+	{Name: "adaptec2", W: 42, H: 42, Layers: 8, NumNets: 2400, Capacity: 10, Seed: 12},
+	{Name: "adaptec3", W: 48, H: 48, Layers: 8, NumNets: 3200, Capacity: 10, Seed: 13},
+	{Name: "adaptec4", W: 48, H: 48, Layers: 8, NumNets: 3000, Capacity: 10, Seed: 14},
+	{Name: "adaptec5", W: 52, H: 52, Layers: 8, NumNets: 3800, Capacity: 10, Seed: 15},
+	{Name: "bigblue1", W: 40, H: 40, Layers: 8, NumNets: 2600, Capacity: 10, Seed: 16},
+	{Name: "bigblue2", W: 46, H: 46, Layers: 8, NumNets: 3400, Capacity: 10, Seed: 17},
+	{Name: "bigblue3", W: 52, H: 52, Layers: 8, NumNets: 4200, Capacity: 10, Seed: 18},
+	{Name: "bigblue4", W: 60, H: 60, Layers: 8, NumNets: 5200, Capacity: 10, Seed: 19},
+	{Name: "newblue1", W: 36, H: 36, Layers: 6, NumNets: 1800, Capacity: 10, Seed: 20},
+	{Name: "newblue2", W: 44, H: 44, Layers: 6, NumNets: 2600, Capacity: 10, Seed: 21},
+	{Name: "newblue4", W: 48, H: 48, Layers: 6, NumNets: 3200, Capacity: 10, Seed: 22},
+	{Name: "newblue5", W: 56, H: 56, Layers: 8, NumNets: 4600, Capacity: 10, Seed: 23},
+	{Name: "newblue6", W: 54, H: 54, Layers: 8, NumNets: 4400, Capacity: 10, Seed: 24},
+	{Name: "newblue7", W: 64, H: 64, Layers: 8, NumNets: 5600, Capacity: 10, Seed: 25},
+}
+
+// SmallSuite lists the six small instances the paper uses for the ILP vs
+// SDP comparison (Fig. 7). These are reduced variants of the named
+// benchmarks: the ILP cannot finish the full ones — in the paper or here.
+var SmallSuite = []GenParams{
+	{Name: "adaptec1", W: 24, H: 24, Layers: 8, NumNets: 800, Capacity: 8, Seed: 11},
+	{Name: "adaptec2", W: 24, H: 24, Layers: 8, NumNets: 900, Capacity: 8, Seed: 12},
+	{Name: "bigblue1", W: 26, H: 26, Layers: 8, NumNets: 1000, Capacity: 8, Seed: 16},
+	{Name: "newblue1", W: 22, H: 22, Layers: 6, NumNets: 700, Capacity: 8, Seed: 20},
+	{Name: "newblue2", W: 26, H: 26, Layers: 6, NumNets: 950, Capacity: 8, Seed: 21},
+	{Name: "newblue4", W: 28, H: 28, Layers: 6, NumNets: 1100, Capacity: 8, Seed: 22},
+}
+
+// ScaledSuite returns the full suite with grid dimensions and net counts
+// multiplied by factor (≥ 1): the container this reproduction was built on
+// has one core, but on a workstation the same relative comparisons can run
+// at a scale closer to the original benchmarks.
+func ScaledSuite(factor float64) []GenParams {
+	if factor < 1 {
+		factor = 1
+	}
+	out := make([]GenParams, len(Suite))
+	for i, p := range Suite {
+		p.W = int(float64(p.W) * factor)
+		p.H = int(float64(p.H) * factor)
+		p.NumNets = int(float64(p.NumNets) * factor * factor)
+		out[i] = p
+	}
+	return out
+}
+
+// ByName returns the full-suite params for a benchmark name.
+func ByName(name string) (GenParams, error) {
+	for _, p := range Suite {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return GenParams{}, fmt.Errorf("ispd08: unknown benchmark %q", name)
+}
+
+// SmallByName returns the small-suite params for a benchmark name.
+func SmallByName(name string) (GenParams, error) {
+	for _, p := range SmallSuite {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return GenParams{}, fmt.Errorf("ispd08: unknown small benchmark %q", name)
+}

@@ -1,0 +1,90 @@
+package legalize
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/pipeline"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+func prepared(t *testing.T, seed int64, cap int32) (*pipeline.State, []int) {
+	t.Helper()
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "lg", W: 18, H: 18, Layers: 8, NumNets: 300, Capacity: cap, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := timing.SelectCritical(st.Timings(), 0.03)
+	return st, released
+}
+
+func TestRepairReducesEdgeOverflow(t *testing.T) {
+	// Tight capacity forces overflow through the whole flow; after CPLA,
+	// Repair must not increase edge overflow and must leave usage
+	// consistent.
+	st, released := prepared(t, 3, 4)
+	if _, err := core.Optimize(st, released, core.Options{SDPIters: 100}); err != nil {
+		t.Fatal(err)
+	}
+	g := st.Design.Grid
+	before := g.CollectOverflow()
+	res := Repair(g, st.Engine, st.Trees, released)
+	after := g.CollectOverflow()
+	if after.EdgeExcess > before.EdgeExcess {
+		t.Fatalf("repair increased edge excess: %d → %d", before.EdgeExcess, after.EdgeExcess)
+	}
+	if len(res.Moves) > 0 && after.EdgeExcess == before.EdgeExcess {
+		t.Fatalf("moves made (%d) without reducing excess", len(res.Moves))
+	}
+	// Usage still reproducible from trees.
+	viaUse := g.TotalViaUse()
+	tree.ApplyAllUsage(g, st.Trees, -1)
+	if g.TotalViaUse() != 0 {
+		t.Fatal("usage inconsistent after repair")
+	}
+	tree.ApplyAllUsage(g, st.Trees, +1)
+	if g.TotalViaUse() != viaUse {
+		t.Fatal("usage not restored")
+	}
+	// Moves reference valid layers.
+	for _, m := range res.Moves {
+		s := st.Trees[m.TreeIdx].Segs[m.SegID]
+		if s.Layer != m.To {
+			t.Fatalf("move record inconsistent: %+v vs layer %d", m, s.Layer)
+		}
+		if st.Design.Stack.Dir(m.To) != s.Dir {
+			t.Fatalf("illegal direction after move: %+v", m)
+		}
+	}
+}
+
+func TestRepairNoOpWhenLegal(t *testing.T) {
+	// Plenty of capacity: nothing to repair.
+	st, released := prepared(t, 5, 20)
+	res := Repair(st.Design.Grid, st.Engine, st.Trees, released)
+	if len(res.Moves) != 0 {
+		t.Fatalf("unexpected moves on a legal layout: %v", res.Moves)
+	}
+}
+
+func TestRepairDeterministic(t *testing.T) {
+	run := func() int {
+		st, released := prepared(t, 7, 4)
+		if _, err := core.Optimize(st, released, core.Options{SDPIters: 80}); err != nil {
+			t.Fatal(err)
+		}
+		res := Repair(st.Design.Grid, st.Engine, st.Trees, released)
+		return len(res.Moves)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic repair: %d vs %d moves", a, b)
+	}
+}

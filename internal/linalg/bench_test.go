@@ -1,0 +1,79 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	return randomMatrix(rng, n, n).Symmetrize()
+}
+
+func BenchmarkEigenSymQL64(b *testing.B) {
+	a := benchMatrix(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenSymJacobi64(b *testing.B) {
+	a := benchMatrix(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSymJacobi(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProjectPSD64(b *testing.B) {
+	a := benchMatrix(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProjectPSD(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSPD(rng, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUSolve128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 128, 128)
+	for i := 0; i < 128; i++ {
+		a.Add(i, i, 128)
+	}
+	rhs := make([]float64, 128)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLinear(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x := benchMatrix(64)
+	y := benchMatrix(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}

@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of the symmetric matrix a:
+// a = V·diag(vals)·Vᵀ with orthonormal columns in V and eigenvalues in
+// ascending order. It uses Householder+QL (fast) and falls back to the
+// unconditionally convergent Jacobi method in the rare event QL fails.
+func EigenSym(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: EigenSym requires a square matrix")
+	}
+	vals, vecs, err = eigenSymQL(a)
+	if err == nil {
+		return vals, vecs, nil
+	}
+	return EigenSymJacobi(a)
+}
+
+// EigenSymJacobi computes the eigendecomposition with the cyclic Jacobi
+// method: slower than QL but unconditionally stable; kept as the fallback
+// and as an independent reference for tests.
+func EigenSymJacobi(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: EigenSym requires a square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	w := a.Clone().Symmetrize()
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Compute rotation.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e10 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				// Apply rotation: W ← Jᵀ·W·J on rows/cols p, q.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate eigenvectors: V ← V·J.
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort eigenpairs ascending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].val < pairs[j].val })
+
+	vals = make([]float64, n)
+	vecs = NewMatrix(n, n)
+	for col, p := range pairs {
+		vals[col] = p.val
+		for row := 0; row < n; row++ {
+			vecs.Set(row, col, v.At(row, p.idx))
+		}
+	}
+	return vals, vecs, nil
+}
+
+// ProjectPSD returns the nearest (Frobenius) positive semidefinite matrix to
+// the symmetric matrix a: eigenvalues are clamped at zero.
+func ProjectPSD(a *Matrix) (*Matrix, error) {
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	out := NewMatrix(n, n)
+	v := make([]float64, n)
+	for k := 0; k < n; k++ {
+		lam := vals[k]
+		if lam <= 0 {
+			continue
+		}
+		// out += lam · v_k v_kᵀ, with the column flattened for locality.
+		for i := 0; i < n; i++ {
+			v[i] = vecs.At(i, k)
+		}
+		for i := 0; i < n; i++ {
+			f := lam * v[i]
+			if f == 0 {
+				continue
+			}
+			oi := out.Row(i)
+			for j, vj := range v {
+				oi[j] += f * vj
+			}
+		}
+	}
+	return out.Symmetrize(), nil
+}
+
+// MinEigenvalue returns the smallest eigenvalue of the symmetric matrix a.
+func MinEigenvalue(a *Matrix) (float64, error) {
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(vals) == 0 {
+		return 0, nil
+	}
+	return vals[0], nil
+}

@@ -1,0 +1,190 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// eigenSymQL computes the eigendecomposition of a symmetric matrix by
+// Householder tridiagonalization followed by the implicit-shift QL
+// iteration (the classic tred2/tql2 pair). It is roughly an order of
+// magnitude faster than cyclic Jacobi at the sizes the SDP projection step
+// uses, which makes it the default backend of EigenSym.
+func eigenSymQL(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	n := a.Rows
+	if n == 0 {
+		return nil, NewMatrix(0, 0), nil
+	}
+	z := a.Clone().Symmetrize()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(z, d, e)
+	if err := tql2(z, d, e); err != nil {
+		return nil, nil, err
+	}
+	// Sort ascending, permuting eigenvector columns.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ { // insertion sort: d is usually nearly sorted
+		for j := i; j > 0 && d[idx[j]] < d[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals = make([]float64, n)
+	vecs = NewMatrix(n, n)
+	for col, k := range idx {
+		vals[col] = d[k]
+		for row := 0; row < n; row++ {
+			vecs.Set(row, col, z.At(row, k))
+		}
+	}
+	return vals, vecs, nil
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form with
+// diagonal d and subdiagonal e (e[0] unused), accumulating the orthogonal
+// transformation in z.
+func tred2(z *Matrix, d, e []float64) {
+	n := z.Rows
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				zi := z.Row(i)
+				for k := 0; k <= l; k++ {
+					zi[k] /= scale
+					h += zi[k] * zi[k]
+				}
+				f := zi[l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				zi[l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, zi[j]/h)
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * zi[k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * zi[k]
+					}
+					e[j] = g / h
+					f += e[j] * zi[j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = zi[j]
+					g = e[j] - hh*f
+					e[j] = g
+					zj := z.Row(j)
+					for k := 0; k <= j; k++ {
+						zj[k] -= f*e[k] + g*zi[k]
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		if d[i] != 0 {
+			for j := 0; j < i; j++ {
+				g := 0.0
+				for k := 0; k < i; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k < i; k++ {
+					z.Add(k, j, -g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1)
+		for j := 0; j < i; j++ {
+			z.Set(j, i, 0)
+			z.Set(i, j, 0)
+		}
+	}
+}
+
+// tql2 finds the eigenvalues (into d) and eigenvectors (columns of z,
+// multiplied onto the tred2 transform) of the tridiagonal matrix (d, e).
+func tql2(z *Matrix, d, e []float64) error {
+	n := z.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 64 {
+				return errors.New("linalg: QL iteration did not converge")
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			broke := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					broke = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f = z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if broke {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := NewMatrixFrom([][]float64{{4, 2}, {2, 3}})
+	f, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := f.L()
+	if !almostEqual(l.At(0, 0), 2, 1e-12) || !almostEqual(l.At(1, 0), 1, 1e-12) ||
+		!almostEqual(l.At(1, 1), math.Sqrt(2), 1e-12) || l.At(0, 1) != 0 {
+		t.Fatalf("unexpected L: %v", l.Data)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomSPD(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		f, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := f.Solve(b)
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err != ErrNotPositiveDefinite {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3.
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	f, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Det(), -2, 1e-12) {
+		t.Fatalf("Det = %g, want -2", f.Det())
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := LU(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: LU solve recovers random solutions of random well-conditioned
+// systems.
+func TestQuickLUSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)) // diagonal dominance → well-conditioned
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

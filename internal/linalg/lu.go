@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when an LU factorization meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LUFactor holds an LU factorization with partial pivoting: P·A = L·U.
+type LUFactor struct {
+	n    int
+	lu   *Matrix // packed L (unit diagonal, below) and U (on/above diagonal)
+	perm []int   // row permutation
+	sign int     // +1/-1 permutation parity (for determinants)
+}
+
+// LU computes the LU factorization of the square matrix a with partial
+// pivoting.
+func LU(a *Matrix) (*LUFactor, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: LU requires a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Pivot: largest |entry| in column k at or below row k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max = v
+				p = i
+			}
+		}
+		if max < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+			sign = -sign
+		}
+		piv := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / piv
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= f * rk[j]
+			}
+		}
+	}
+	return &LUFactor{n: n, lu: lu, perm: perm, sign: sign}, nil
+}
+
+// Solve solves A·x = b, returning x.
+func (f *LUFactor) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("linalg: LU Solve dimension mismatch")
+	}
+	x := make([]float64, f.n)
+	for i := 0; i < f.n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < f.n; i++ {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= ri[k] * x[k]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := f.n - 1; i >= 0; i-- {
+		ri := f.lu.Row(i)
+		s := x[i]
+		for k := i + 1; k < f.n; k++ {
+			s -= ri[k] * x[k]
+		}
+		x[i] = s / ri[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LUFactor) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear is a convenience wrapper: solve a·x = b in one call.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

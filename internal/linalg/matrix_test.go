@@ -1,0 +1,165 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func matricesClose(t *testing.T, a, b *Matrix, tol float64) {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	for i := range a.Data {
+		if !almostEqual(a.Data[i], b.Data[i], tol) {
+			t.Fatalf("entry %d differs: %g vs %g", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// randomSPD builds a random symmetric positive definite matrix A = BᵀB + n·I.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := randomMatrix(rng, n, n)
+	a := b.T().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}
+
+func TestMatrixBasicOps(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g, want 3", m.At(1, 0))
+	}
+	mt := m.T()
+	if mt.At(0, 1) != 3 {
+		t.Fatalf("T At(0,1) = %g, want 3", mt.At(0, 1))
+	}
+	if tr := m.Trace(); tr != 5 {
+		t.Fatalf("Trace = %g, want 5", tr)
+	}
+	prod := m.Mul(Identity(2))
+	matricesClose(t, prod, m, 0)
+	v := m.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v, want [3 7]", v)
+	}
+}
+
+func TestMatrixMulAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 5)
+	b := randomMatrix(rng, 5, 3)
+	c := randomMatrix(rng, 3, 6)
+	left := a.Mul(b).Mul(c)
+	right := a.Mul(b.Mul(c))
+	matricesClose(t, left, right, 1e-12)
+}
+
+func TestMatrixAddSubScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 3, 3)
+	b := randomMatrix(rng, 3, 3)
+	sum := a.Clone().AddMatrix(b)
+	diff := sum.Clone().SubMatrix(b)
+	matricesClose(t, diff, a, 1e-12)
+	twice := a.Clone().Scale(2)
+	alsoTwice := a.Clone().AddMatrix(a)
+	matricesClose(t, twice, alsoTwice, 1e-12)
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 4}, {2, 3}})
+	m.Symmetrize()
+	if m.At(0, 1) != 3 || m.At(1, 0) != 3 {
+		t.Fatalf("Symmetrize failed: %v", m.Data)
+	}
+}
+
+func TestDotAndNorms(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	if got := a.Dot(b); got != 5+12+21+32 {
+		t.Fatalf("Dot = %g, want 70", got)
+	}
+	if got := a.FrobeniusNorm(); !almostEqual(got, math.Sqrt(30), 1e-12) {
+		t.Fatalf("FrobeniusNorm = %g, want sqrt(30)", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %g, want 4", got)
+	}
+	if got := Dot([]float64{1, 2}, []float64{3, 4}); got != 11 {
+		t.Fatalf("vector Dot = %g, want 11", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("AXPY = %v, want [3 5]", y)
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	a.Mul(b)
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random shapes.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		a := randomMatrix(rng, r, k)
+		b := randomMatrix(rng, k, c)
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		for i := range lhs.Data {
+			if !almostEqual(lhs.Data[i], rhs.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trace(A·B) == trace(B·A) for square random matrices.
+func TestQuickTraceCyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n)
+		b := randomMatrix(rng, n, n)
+		return almostEqual(a.Mul(b).Trace(), b.Mul(a).Trace(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

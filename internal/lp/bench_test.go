@@ -1,0 +1,44 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchLP builds a dense random feasible LP with n variables and m ≤ rows.
+func benchLP(n, m int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(n)
+	for i := 0; i < n; i++ {
+		p.SetObjective(i, rng.NormFloat64())
+		p.SetUpper(i, 1)
+	}
+	for k := 0; k < m; k++ {
+		row := make([]Entry, n)
+		for i := 0; i < n; i++ {
+			row[i] = Entry{Var: i, Coef: rng.Float64()}
+		}
+		p.AddConstraint(row, LE, float64(n)/3)
+	}
+	return p
+}
+
+func BenchmarkSimplex50x20(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchLP(50, 20, 1)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("%v %v", sol.Status, err)
+		}
+	}
+}
+
+func BenchmarkSimplex200x80(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchLP(200, 80, 2)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("%v %v", sol.Status, err)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs of the form
+//
+//	minimize    c·x
+//	subject to  aᵢ·x  {≤,=,≥}  bᵢ        i = 1..m
+//	            0 ≤ x
+//
+// with optional per-variable upper bounds (installed internally as extra ≤
+// rows). It replaces the role GUROBI's LP relaxation plays inside the
+// paper's ILP baseline: problems are partition-sized (a few hundred
+// variables), so a dense tableau is simple and fast enough.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint direction.
+type Sense int
+
+const (
+	// LE is a ≤ constraint.
+	LE Sense = iota
+	// EQ is an = constraint.
+	EQ
+	// GE is a ≥ constraint.
+	GE
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Entry is one nonzero coefficient of a constraint row.
+type Entry struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a single linear constraint over the problem variables.
+type Constraint struct {
+	Entries []Entry
+	Sense   Sense
+	RHS     float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint system has no feasible point.
+	Infeasible
+	// Unbounded means the objective is unbounded below.
+	Unbounded
+	// IterLimit means the iteration limit was exceeded.
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "?"
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	numVars     int
+	objective   []float64
+	constraints []Constraint
+	upper       []float64
+}
+
+// NewProblem creates a problem with numVars variables, all with zero
+// objective coefficient and infinite upper bound.
+func NewProblem(numVars int) *Problem {
+	up := make([]float64, numVars)
+	for i := range up {
+		up[i] = math.Inf(1)
+	}
+	return &Problem{
+		numVars:   numVars,
+		objective: make([]float64, numVars),
+		upper:     up,
+	}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		numVars:     p.numVars,
+		objective:   append([]float64(nil), p.objective...),
+		upper:       append([]float64(nil), p.upper...),
+		constraints: make([]Constraint, len(p.constraints)),
+	}
+	for i, con := range p.constraints {
+		c.constraints[i] = Constraint{
+			Entries: append([]Entry(nil), con.Entries...),
+			Sense:   con.Sense,
+			RHS:     con.RHS,
+		}
+	}
+	return c
+}
+
+// NumConstraints returns the number of explicit constraints (upper bounds
+// not included).
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// SetObjective sets the coefficient of variable v in the minimized
+// objective.
+func (p *Problem) SetObjective(v int, coef float64) {
+	p.objective[v] = coef
+}
+
+// AddObjective adds coef to the objective coefficient of variable v.
+func (p *Problem) AddObjective(v int, coef float64) {
+	p.objective[v] += coef
+}
+
+// SetUpper sets an upper bound on variable v.
+func (p *Problem) SetUpper(v int, bound float64) {
+	p.upper[v] = bound
+}
+
+// AddConstraint appends a constraint. Entries referencing the same variable
+// more than once are summed.
+func (p *Problem) AddConstraint(entries []Entry, sense Sense, rhs float64) {
+	for _, e := range entries {
+		if e.Var < 0 || e.Var >= p.numVars {
+			panic(fmt.Sprintf("lp: constraint references variable %d of %d", e.Var, p.numVars))
+		}
+	}
+	cp := make([]Entry, len(entries))
+	copy(cp, entries)
+	p.constraints = append(p.constraints, Constraint{Entries: cp, Sense: sense, RHS: rhs})
+}
+
+// Solution is the result of a successful or failed solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	Iters     int
+}
+
+// ErrNoSolution wraps non-optimal terminations for callers that only care
+// about success.
+var ErrNoSolution = errors.New("lp: no optimal solution")
+
+const (
+	eps        = 1e-9
+	blandAfter = 2000
+	maxIters   = 200000
+)
+
+// Solve runs two-phase primal simplex and returns the solution. The returned
+// error is non-nil only for malformed input; infeasible/unbounded outcomes
+// are reported via Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	status, iters1 := t.phase1()
+	if status != Optimal {
+		return &Solution{Status: status, Iters: iters1}, nil
+	}
+	if t.objVal > 1e-6 {
+		return &Solution{Status: Infeasible, Iters: iters1}, nil
+	}
+	t.prepPhase2(p.objective)
+	status, iters2 := t.iterate()
+	sol := &Solution{Status: status, Iters: iters1 + iters2}
+	if status == Optimal {
+		sol.X = t.extract(p.numVars)
+		sol.Objective = -t.objVal // tableau tracks negated objective
+	}
+	return sol, nil
+}
+
+// tableau is a dense simplex tableau. Columns: structural vars, slack vars,
+// artificial vars, then RHS. The cost row holds reduced costs; objVal is the
+// negated current objective value.
+type tableau struct {
+	m, n      int // rows, structural+slack+artificial columns
+	nStruct   int
+	nArt      int
+	rows      [][]float64 // m rows, each n+1 wide (last = RHS)
+	cost      []float64   // n wide reduced costs
+	objVal    float64
+	basis     []int  // basic variable per row
+	artStart  int    // first artificial column
+	forbidden []bool // columns barred from entering (artificials in phase 2)
+}
+
+func newTableau(p *Problem) *tableau {
+	// Materialize upper-bound rows as ≤ constraints.
+	cons := make([]Constraint, 0, len(p.constraints)+p.numVars)
+	cons = append(cons, p.constraints...)
+	for v, ub := range p.upper {
+		if !math.IsInf(ub, 1) {
+			cons = append(cons, Constraint{Entries: []Entry{{Var: v, Coef: 1}}, Sense: LE, RHS: ub})
+		}
+	}
+	m := len(cons)
+	nStruct := p.numVars
+
+	// Count slack and artificial columns.
+	nSlack := 0
+	nArt := 0
+	for _, c := range cons {
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := nStruct + nSlack + nArt
+	t := &tableau{
+		m: m, n: n, nStruct: nStruct, nArt: nArt,
+		rows:      make([][]float64, m),
+		cost:      make([]float64, n),
+		basis:     make([]int, m),
+		artStart:  nStruct + nSlack,
+		forbidden: make([]bool, n),
+	}
+
+	slackCol := nStruct
+	artCol := t.artStart
+	for i, c := range cons {
+		row := make([]float64, n+1)
+		sign := 1.0
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			sense = flip(sense)
+		}
+		for _, e := range c.Entries {
+			row[e.Var] += sign * e.Coef
+		}
+		row[n] = rhs
+		switch sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+	}
+	return t
+}
+
+func flip(s Sense) Sense {
+	switch s {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// phase1 minimizes the sum of artificial variables.
+func (t *tableau) phase1() (Status, int) {
+	if t.nArt == 0 {
+		// Slack basis is already feasible.
+		t.objVal = 0
+		return Optimal, 0
+	}
+	for j := t.artStart; j < t.n; j++ {
+		t.cost[j] = 1
+	}
+	// Reduce cost row against the artificial basis rows.
+	t.objVal = 0
+	for i, b := range t.basis {
+		if b >= t.artStart {
+			row := t.rows[i]
+			for j := 0; j < t.n; j++ {
+				t.cost[j] -= row[j]
+			}
+			t.objVal -= row[t.n]
+		}
+	}
+	status, iters := t.iterate()
+	if status != Optimal {
+		return status, iters
+	}
+	// t.objVal holds -(phase-1 objective); store positive value for caller.
+	t.objVal = -t.objVal
+	t.driveOutArtificials()
+	return Optimal, iters
+}
+
+// driveOutArtificials pivots basic artificial variables out where possible.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		row := t.rows[i]
+		pivotCol := -1
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(row[j]) > eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+		}
+		// Otherwise the row is redundant (all structural coefficients ~0);
+		// the artificial stays basic at value ~0, which is harmless as its
+		// column is forbidden in phase 2.
+	}
+}
+
+// prepPhase2 installs the real objective and recomputes reduced costs.
+func (t *tableau) prepPhase2(objective []float64) {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	copy(t.cost, objective)
+	for j := t.artStart; j < t.n; j++ {
+		t.forbidden[j] = true
+	}
+	t.objVal = 0
+	for i, b := range t.basis {
+		cb := 0.0
+		if b < len(objective) {
+			cb = objective[b]
+		}
+		if cb == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j < t.n; j++ {
+			t.cost[j] -= cb * row[j]
+		}
+		t.objVal -= cb * row[t.n]
+	}
+}
+
+// iterate runs primal simplex pivots until optimal/unbounded/limit.
+func (t *tableau) iterate() (Status, int) {
+	for iter := 0; iter < maxIters; iter++ {
+		bland := iter > blandAfter
+		col := t.chooseEntering(bland)
+		if col < 0 {
+			return Optimal, iter
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			return Unbounded, iter
+		}
+		t.pivot(row, col)
+	}
+	return IterLimit, maxIters
+}
+
+func (t *tableau) chooseEntering(bland bool) int {
+	if bland {
+		for j := 0; j < t.n; j++ {
+			if !t.forbidden[j] && t.cost[j] < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best := -1
+	bestVal := -eps
+	for j := 0; j < t.n; j++ {
+		if !t.forbidden[j] && t.cost[j] < bestVal {
+			bestVal = t.cost[j]
+			best = j
+		}
+	}
+	return best
+}
+
+func (t *tableau) chooseLeaving(col int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][col]
+		if a <= eps {
+			continue
+		}
+		ratio := t.rows[i][t.n] / a
+		if ratio < bestRatio-eps || (ratio < bestRatio+eps && (best < 0 || t.basis[i] < t.basis[best])) {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	return best
+}
+
+func (t *tableau) pivot(row, col int) {
+	r := t.rows[row]
+	piv := r[col]
+	inv := 1 / piv
+	for j := range r {
+		r[j] *= inv
+	}
+	r[col] = 1 // kill rounding noise
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.rows[i]
+		for j := range ri {
+			ri[j] -= f * r[j]
+		}
+		ri[col] = 0
+	}
+	f := t.cost[col]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.cost[j] -= f * r[j]
+		}
+		t.cost[col] = 0
+		t.objVal -= f * r[t.n]
+	}
+	t.basis[row] = col
+}
+
+func (t *tableau) extract(numVars int) []float64 {
+	x := make([]float64, numVars)
+	for i, b := range t.basis {
+		if b < numVars {
+			x[b] = t.rows[i][t.n]
+		}
+	}
+	// Clamp tiny negative noise.
+	for i, v := range x {
+		if v < 0 && v > -1e-7 {
+			x[i] = 0
+		}
+	}
+	return x
+}

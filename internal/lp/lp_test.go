@@ -1,0 +1,296 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max 3x + 2y s.t. x+y ≤ 4, x ≤ 2, y ≤ 3 → x=2, y=2, obj=10.
+	p := NewProblem(2)
+	p.SetObjective(0, -3)
+	p.SetObjective(1, -2)
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 4)
+	p.SetUpper(0, 2)
+	p.SetUpper(1, 3)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0], 2, 1e-8) || !approx(sol.X[1], 2, 1e-8) {
+		t.Fatalf("x = %v, want [2 2]", sol.X)
+	}
+	if !approx(sol.Objective, -10, 1e-8) {
+		t.Fatalf("obj = %g, want -10", sol.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 3, x ≤ 1 → x=1, y=2, obj=5.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 2)
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, EQ, 3)
+	p.SetUpper(0, 1)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0], 1, 1e-8) || !approx(sol.X[1], 2, 1e-8) {
+		t.Fatalf("x = %v, want [1 2]", sol.X)
+	}
+	if !approx(sol.Objective, 5, 1e-8) {
+		t.Fatalf("obj = %g, want 5", sol.Objective)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 4, x - y ≥ -2 → corner x=1, y=3: obj 11;
+	// but x=4,y=0 gives 8 and satisfies x-y=4 ≥ -2. So optimum is (4,0).
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, GE, 4)
+	p.AddConstraint([]Entry{{0, 1}, {1, -1}}, GE, -2)
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 8, 1e-8) {
+		t.Fatalf("obj = %g, want 8 (x=%v)", sol.Objective, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Entry{{0, 1}}, GE, 5)
+	p.AddConstraint([]Entry{{0, 1}}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1) // maximize x with no bound
+	p.AddConstraint([]Entry{{0, 1}}, GE, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// min x s.t. -x ≤ -2  (i.e. x ≥ 2) → x=2.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Entry{{0, -1}}, LE, -2)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0], 2, 1e-8) {
+		t.Fatalf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestDegenerateNoCycle(t *testing.T) {
+	// The classic Beale cycling example; Bland fallback must terminate.
+	p := NewProblem(4)
+	p.SetObjective(0, -0.75)
+	p.SetObjective(1, 150)
+	p.SetObjective(2, -0.02)
+	p.SetObjective(3, 6)
+	p.AddConstraint([]Entry{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Entry{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Entry{{2, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !approx(sol.Objective, -0.05, 1e-6) {
+		t.Fatalf("obj = %g, want -0.05", sol.Objective)
+	}
+}
+
+func TestAssignmentLPIsIntegral(t *testing.T) {
+	// 3x3 assignment problem: LP relaxation of an assignment polytope has
+	// integral vertices. Cost matrix rows: worker i→task j.
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	p := NewProblem(9)
+	idx := func(i, j int) int { return i*3 + j }
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			p.SetObjective(idx(i, j), cost[i][j])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		row := make([]Entry, 3)
+		col := make([]Entry, 3)
+		for j := 0; j < 3; j++ {
+			row[j] = Entry{idx(i, j), 1}
+			col[j] = Entry{idx(j, i), 1}
+		}
+		p.AddConstraint(row, EQ, 1)
+		p.AddConstraint(col, EQ, 1)
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 5, 1e-8) { // 1 + 2 + 2
+		t.Fatalf("obj = %g, want 5", sol.Objective)
+	}
+	for _, v := range sol.X {
+		if !approx(v, 0, 1e-7) && !approx(v, 1, 1e-7) {
+			t.Fatalf("fractional vertex: %v", sol.X)
+		}
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// Duplicated equality rows must not break phase 1 / drive-out.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, EQ, 2)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0]+sol.X[1], 2, 1e-8) {
+		t.Fatalf("x = %v, want sum 2", sol.X)
+	}
+	if !approx(sol.Objective, 0, 1e-8) {
+		t.Fatalf("obj = %g, want 0 (x0 should be 0)", sol.Objective)
+	}
+}
+
+func TestDuplicateEntriesSummed(t *testing.T) {
+	// Entries naming the same variable twice must sum: 2x ≤ 4 → x ≤ 2.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Entry{{0, 1}, {0, 1}}, LE, 4)
+	sol := solveOK(t, p)
+	if !approx(sol.X[0], 2, 1e-8) {
+		t.Fatalf("x = %g, want 2", sol.X[0])
+	}
+}
+
+// Property: for random feasible bounded LPs (box + one coupling row), the
+// simplex optimum is never worse than any random feasible point.
+func TestQuickSimplexDominatesRandomFeasiblePoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+			p.SetObjective(i, c[i])
+			p.SetUpper(i, 1)
+		}
+		// Coupling: sum x_i ≤ n/2 (always feasible at 0).
+		row := make([]Entry, n)
+		for i := range row {
+			row[i] = Entry{i, 1}
+		}
+		budget := float64(n) / 2
+		p.AddConstraint(row, LE, budget)
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		// Sample random feasible points and compare.
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			sum := 0.0
+			for i := range x {
+				x[i] = rng.Float64()
+				sum += x[i]
+			}
+			if sum > budget {
+				scale := budget / sum
+				for i := range x {
+					x[i] *= scale
+				}
+			}
+			val := 0.0
+			for i := range x {
+				val += c[i] * x[i]
+			}
+			if val < sol.Objective-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: solution feasibility — the returned x satisfies every
+// constraint within tolerance.
+func TestQuickSolutionFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(4)
+		p := NewProblem(n)
+		for i := 0; i < n; i++ {
+			p.SetObjective(i, rng.NormFloat64())
+			p.SetUpper(i, 2)
+		}
+		type cons struct {
+			coef []float64
+			rhs  float64
+		}
+		all := make([]cons, 0, m)
+		for k := 0; k < m; k++ {
+			row := make([]Entry, n)
+			coef := make([]float64, n)
+			for i := 0; i < n; i++ {
+				coef[i] = math.Abs(rng.NormFloat64())
+				row[i] = Entry{i, coef[i]}
+			}
+			rhs := 1 + rng.Float64()*3
+			p.AddConstraint(row, LE, rhs)
+			all = append(all, cons{coef, rhs})
+		}
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for _, c := range all {
+			lhs := 0.0
+			for i, v := range sol.X {
+				lhs += c.coef[i] * v
+			}
+			if lhs > c.rhs+1e-6 {
+				return false
+			}
+		}
+		for _, v := range sol.X {
+			if v < -1e-7 || v > 2+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

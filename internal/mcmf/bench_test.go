@@ -1,0 +1,34 @@
+package mcmf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAssignment50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 100
+		}
+	}
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		g := New(2*n + 2)
+		src, sink := 0, 2*n+1
+		for i := 0; i < n; i++ {
+			g.AddEdge(src, 1+i, 1, 0)
+			g.AddEdge(1+n+i, sink, 1, 0)
+			for j := 0; j < n; j++ {
+				g.AddEdge(1+i, 1+n+j, 1, cost[i][j])
+			}
+		}
+		flow, _, err := g.MinCostFlow(src, sink, -1)
+		if err != nil || flow != n {
+			b.Fatalf("flow=%d err=%v", flow, err)
+		}
+	}
+}

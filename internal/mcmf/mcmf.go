@@ -1,0 +1,203 @@
+// Package mcmf implements min-cost max-flow by successive shortest paths
+// with Johnson potentials. This is the solver family the TILA paper builds
+// on ("min-cost flow problem" — the CPLA paper contrasts its SDP against
+// it), used here for the flow-based post-mapping alternative and available
+// as a general substrate.
+//
+// Capacities are integers, costs are float64 and may be negative as long as
+// the graph has no negative-cost cycle (an initial Bellman-Ford pass
+// establishes valid potentials).
+package mcmf
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+type edge struct {
+	to   int
+	cap  int
+	cost float64
+	flow int
+}
+
+// Graph is a flow network under construction.
+type Graph struct {
+	n     int
+	edges []edge // forward/backward pairs at 2k, 2k+1
+	adj   [][]int
+}
+
+// New creates a graph with n nodes (0..n-1).
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge with the given capacity and per-unit cost,
+// returning its id for later Flow queries.
+func (g *Graph) AddEdge(from, to, capacity int, cost float64) int {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic("mcmf: node out of range")
+	}
+	if capacity < 0 {
+		panic("mcmf: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: from, cap: 0, cost: -cost})
+	g.adj[from] = append(g.adj[from], id)
+	g.adj[to] = append(g.adj[to], id+1)
+	return id
+}
+
+// Flow returns the current flow on the edge with the given id.
+func (g *Graph) Flow(id int) int { return g.edges[id].flow }
+
+// ErrNegativeCycle is returned when the initial potential computation
+// detects a negative-cost cycle.
+var ErrNegativeCycle = errors.New("mcmf: negative-cost cycle")
+
+// MinCostFlow pushes up to maxFlow units from source to sink (maxFlow < 0
+// means "as much as possible") and returns the achieved flow and its total
+// cost.
+func (g *Graph) MinCostFlow(source, sink, maxFlow int) (int, float64, error) {
+	if source == sink {
+		return 0, 0, errors.New("mcmf: source equals sink")
+	}
+	pot := make([]float64, g.n)
+	if err := g.bellmanFord(source, pot); err != nil {
+		return 0, 0, err
+	}
+
+	totalFlow := 0
+	totalCost := 0.0
+	dist := make([]float64, g.n)
+	prevEdge := make([]int, g.n)
+
+	for maxFlow < 0 || totalFlow < maxFlow {
+		if !g.dijkstra(source, sink, pot, dist, prevEdge) {
+			break
+		}
+		// Update potentials.
+		for v := 0; v < g.n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				pot[v] += dist[v]
+			}
+		}
+		// Bottleneck along the augmenting path.
+		push := math.MaxInt32
+		if maxFlow >= 0 && maxFlow-totalFlow < push {
+			push = maxFlow - totalFlow
+		}
+		for v := sink; v != source; {
+			e := &g.edges[prevEdge[v]]
+			if r := e.cap - e.flow; r < push {
+				push = r
+			}
+			v = g.edges[prevEdge[v]^1].to
+		}
+		// Augment.
+		for v := sink; v != source; {
+			eID := prevEdge[v]
+			g.edges[eID].flow += push
+			g.edges[eID^1].flow -= push
+			totalCost += float64(push) * g.edges[eID].cost
+			v = g.edges[eID^1].to
+		}
+		totalFlow += push
+	}
+	return totalFlow, totalCost, nil
+}
+
+// bellmanFord initializes potentials from source; unreachable nodes keep
+// potential 0 (they can never join an augmenting path anyway).
+func (g *Graph) bellmanFord(source int, pot []float64) error {
+	const inf = math.MaxFloat64
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[source] = 0
+	for iter := 0; iter < g.n; iter++ {
+		changed := false
+		for from := 0; from < g.n; from++ {
+			if dist[from] == inf {
+				continue
+			}
+			for _, eID := range g.adj[from] {
+				e := &g.edges[eID]
+				if e.cap-e.flow <= 0 {
+					continue
+				}
+				if nd := dist[from] + e.cost; nd < dist[e.to]-1e-15 {
+					dist[e.to] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			for i := range pot {
+				if dist[i] != inf {
+					pot[i] = dist[i]
+				}
+			}
+			return nil
+		}
+	}
+	return ErrNegativeCycle
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// dijkstra finds a shortest augmenting path under reduced costs; returns
+// false when the sink is unreachable.
+func (g *Graph) dijkstra(source, sink int, pot, dist []float64, prevEdge []int) bool {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[source] = 0
+	q := &pq{{node: source}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if cur.dist > dist[cur.node] {
+			continue
+		}
+		for _, eID := range g.adj[cur.node] {
+			e := &g.edges[eID]
+			if e.cap-e.flow <= 0 {
+				continue
+			}
+			rc := e.cost + pot[cur.node] - pot[e.to]
+			if rc < 0 {
+				rc = 0 // numerical guard; reduced costs are ≥ 0 in theory
+			}
+			if nd := cur.dist + rc; nd < dist[e.to]-1e-15 {
+				dist[e.to] = nd
+				prevEdge[e.to] = eID
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return !math.IsInf(dist[sink], 1)
+}

@@ -1,0 +1,218 @@
+package mcmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5, 1)
+	g.AddEdge(1, 2, 3, 2)
+	flow, cost, err := g.MinCostFlow(0, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 3 || cost != 9 {
+		t.Fatalf("flow=%d cost=%g, want 3/9", flow, cost)
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	// Two parallel paths; cheap one saturates first.
+	g := New(4)
+	cheapA := g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(1, 3, 2, 1)
+	expB := g.AddEdge(0, 2, 2, 5)
+	g.AddEdge(2, 3, 2, 5)
+	flow, cost, err := g.MinCostFlow(0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 3 {
+		t.Fatalf("flow = %d", flow)
+	}
+	// 2 units at cost 2 each + 1 unit at cost 10 = 14.
+	if cost != 14 {
+		t.Fatalf("cost = %g, want 14", cost)
+	}
+	if g.Flow(cheapA) != 2 || g.Flow(expB) != 1 {
+		t.Fatalf("flows: cheap=%d expensive=%d", g.Flow(cheapA), g.Flow(expB))
+	}
+}
+
+func TestMaxFlowLimit(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 10, 1)
+	flow, cost, err := g.MinCostFlow(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 4 || cost != 4 {
+		t.Fatalf("flow=%d cost=%g", flow, cost)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1, 1)
+	flow, cost, err := g.MinCostFlow(0, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow=%d cost=%g, want 0/0", flow, cost)
+	}
+}
+
+func TestNegativeCostsViaPotentials(t *testing.T) {
+	// Negative edge costs (no negative cycles) must be handled.
+	g := New(4)
+	g.AddEdge(0, 1, 1, -5)
+	g.AddEdge(1, 3, 1, 2)
+	g.AddEdge(0, 2, 1, 1)
+	g.AddEdge(2, 3, 1, 1)
+	flow, cost, err := g.MinCostFlow(0, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 2 || cost != -1 {
+		t.Fatalf("flow=%d cost=%g, want 2/-1", flow, cost)
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := New(2)
+	if _, _, err := g.MinCostFlow(1, 1, -1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// assignmentViaMCMF solves an n×n assignment problem and returns the cost.
+func assignmentViaMCMF(t *testing.T, cost [][]float64) float64 {
+	t.Helper()
+	n := len(cost)
+	// Nodes: 0 source, 1..n workers, n+1..2n tasks, 2n+1 sink.
+	g := New(2*n + 2)
+	src, sink := 0, 2*n+1
+	for i := 0; i < n; i++ {
+		g.AddEdge(src, 1+i, 1, 0)
+		g.AddEdge(1+n+i, sink, 1, 0)
+		for j := 0; j < n; j++ {
+			g.AddEdge(1+i, 1+n+j, 1, cost[i][j])
+		}
+	}
+	flow, c, err := g.MinCostFlow(src, sink, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != n {
+		t.Fatalf("assignment flow = %d, want %d", flow, n)
+	}
+	return c
+}
+
+func TestAssignmentKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	if got := assignmentViaMCMF(t, cost); got != 5 {
+		t.Fatalf("assignment cost = %g, want 5", got)
+	}
+}
+
+// exhaustiveAssignment brute-forces the optimal assignment cost.
+func exhaustiveAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			c := 0.0
+			for i, j := range perm {
+				c += cost[i][j]
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: MCMF solves random assignment problems optimally (vs brute
+// force), including negative costs.
+func TestQuickAssignmentOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.NormFloat64()*10) / 2
+			}
+		}
+		got := assignmentViaMCMF(t, cost)
+		want := exhaustiveAssignment(cost)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flow conservation holds at every interior node.
+func TestQuickFlowConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		g := New(n)
+		type rec struct{ from, to, id int }
+		var recs []rec
+		for k := 0; k < 3*n; k++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if from == to {
+				continue
+			}
+			id := g.AddEdge(from, to, 1+rng.Intn(4), rng.Float64()*5)
+			recs = append(recs, rec{from, to, id})
+		}
+		if _, _, err := g.MinCostFlow(0, n-1, -1); err != nil {
+			return false
+		}
+		net := make([]int, n)
+		for _, r := range recs {
+			f := g.Flow(r.id)
+			if f < 0 {
+				return false
+			}
+			net[r.from] -= f
+			net[r.to] += f
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				return false
+			}
+		}
+		return net[0] <= 0 && net[n-1] >= 0 && net[0] == -net[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

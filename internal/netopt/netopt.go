@@ -1,0 +1,199 @@
+// Package netopt computes the exact single-net optimum of the critical-path
+// layer assignment problem, ignoring capacity constraints: the minimum
+// achievable Tcp over all per-segment layer choices, via a van
+// Ginneken-style bottom-up dynamic program over Pareto frontiers of
+// (downstream capacitance, worst remaining delay) pairs.
+//
+// The optimum is a per-net lower bound certificate: no capacity-respecting
+// assigner (TILA, CPLA, anything) can beat it, and the gap to it measures
+// how much congestion — rather than algorithmic weakness — costs a given
+// net. The evaluation uses it to bound the remaining headroom of the
+// paper's method.
+package netopt
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// state is one Pareto point of a subtree: choosing the recorded layers
+// below yields downstream capacitance cd (excluding the segment's own
+// wire) and worst-case delay t from the segment's top to any sink below.
+type state struct {
+	cd float64 // Cd of the segment (capacitance hanging below its far end)
+	t  float64 // worst delay from the segment's driving end to any sink
+	// layer is the segment's own layer for this point (for extraction).
+	layer int
+	// pick records the chosen state index per child segment (extraction).
+	pick []int
+}
+
+// Result is the outcome of Optimize.
+type Result struct {
+	// Tcp is the minimal achievable critical-path delay.
+	Tcp float64
+	// Layers is one optimal per-segment assignment achieving Tcp.
+	Layers []int
+}
+
+// Optimize computes the capacity-free optimum of the net's critical-path
+// delay under the engine's exact Elmore model (Eqns (2) and (3), with the
+// engine's min-downstream via rule, which reduces to the child's Cd).
+func Optimize(eng *timing.Engine, t *tree.Tree) *Result {
+	if len(t.Segs) == 0 {
+		return &Result{Tcp: 0, Layers: nil}
+	}
+	// Per segment: Pareto states, built children-first.
+	states := make([][]state, len(t.Segs))
+	order := t.BFSOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := &t.Nodes[order[i]]
+		for _, sid := range n.DownSegs {
+			states[sid] = buildStates(eng, t, t.Segs[sid], states)
+		}
+	}
+
+	// Root segments are independent: each minimizes its own worst path
+	// including the source-pin via; the net's Tcp is the max over them.
+	root := &t.Nodes[t.Root]
+	res := &Result{Layers: make([]int, len(t.Segs))}
+	for i := range res.Layers {
+		res.Layers[i] = -1
+	}
+	for _, sid := range root.DownSegs {
+		s := t.Segs[sid]
+		bestVal := math.Inf(1)
+		bestIdx := -1
+		for k, st := range states[sid] {
+			v := st.t
+			if root.PinLayer >= 0 {
+				drive := eng.WireCapOn(s, st.layer) + st.cd
+				v += eng.ViaDelay(root.PinLayer, st.layer, drive)
+			}
+			if v < bestVal {
+				bestVal = v
+				bestIdx = k
+			}
+		}
+		if bestVal > res.Tcp {
+			res.Tcp = bestVal
+		}
+		extract(t, sid, bestIdx, states, res.Layers)
+	}
+	// Segments never extracted (unreachable) keep their current layer.
+	for i, l := range res.Layers {
+		if l < 0 {
+			res.Layers[i] = t.Segs[i].Layer
+		}
+	}
+	return res
+}
+
+// buildStates enumerates the segment's layers, folds in the children's
+// Pareto sets and prunes dominated points.
+func buildStates(eng *timing.Engine, t *tree.Tree, s *tree.Segment, states [][]state) []state {
+	end := &t.Nodes[s.ToNode]
+	sinkCap := float64(len(end.SinkPins)) * eng.Params.SinkCap
+	var out []state
+
+	for _, l := range eng.Stack.LayersWithDir(s.Dir) {
+		// Fold children one at a time: partial points of (cap below
+		// ToNode, worst delay from ToNode).
+		parts := []partial{{c: sinkCap}}
+		if end.PinLayer >= 0 && len(end.SinkPins) > 0 {
+			parts[0].t = eng.ViaDelay(l, end.PinLayer, eng.Params.SinkCap)
+		}
+		for _, cid := range s.Children {
+			c := t.Segs[cid]
+			var next []partial
+			for _, p := range parts {
+				for k, cs := range states[cid] {
+					nc := p.c + eng.WireCapOn(c, cs.layer) + cs.cd
+					nt := math.Max(p.t, eng.ViaDelay(l, cs.layer, cs.cd)+cs.t)
+					next = append(next, partial{
+						c: nc, t: nt, pick: append(append([]int(nil), p.pick...), k),
+					})
+				}
+			}
+			next = prunePartials(next)
+			parts = next
+		}
+		for _, p := range parts {
+			st := state{
+				cd:    p.c,
+				layer: l,
+				pick:  p.pick,
+			}
+			st.t = eng.SegDelay(s, l, p.c) + p.t
+			out = append(out, st)
+		}
+	}
+	return pruneStates(out)
+}
+
+// partial is an intermediate Pareto point while folding children:
+// accumulated capacitance below the node and worst delay from the node.
+type partial struct {
+	c, t float64
+	pick []int
+}
+
+// prunePartials removes dominated (c, t) points.
+func prunePartials(ps []partial) []partial {
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].c != ps[b].c {
+			return ps[a].c < ps[b].c
+		}
+		return ps[a].t < ps[b].t
+	})
+	var out []partial
+	bestT := math.Inf(1)
+	for _, p := range ps {
+		if p.t < bestT-1e-15 {
+			out = append(out, p)
+			bestT = p.t
+		}
+	}
+	return out
+}
+
+// pruneStates removes dominated points *within each layer group*: the
+// parent's via cost and the child's wire capacitance both depend on the
+// child's layer, so a point may only dominate another on the same layer.
+func pruneStates(ss []state) []state {
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].layer != ss[b].layer {
+			return ss[a].layer < ss[b].layer
+		}
+		if ss[a].cd != ss[b].cd {
+			return ss[a].cd < ss[b].cd
+		}
+		return ss[a].t < ss[b].t
+	})
+	var out []state
+	bestT := math.Inf(1)
+	curLayer := -1
+	for _, s := range ss {
+		if s.layer != curLayer {
+			curLayer = s.layer
+			bestT = math.Inf(1)
+		}
+		if s.t < bestT-1e-15 {
+			out = append(out, s)
+			bestT = s.t
+		}
+	}
+	return out
+}
+
+// extract walks the chosen state tree recording layers.
+func extract(t *tree.Tree, sid, stateIdx int, states [][]state, layers []int) {
+	st := states[sid][stateIdx]
+	layers[sid] = st.layer
+	for k, cid := range t.Segs[sid].Children {
+		extract(t, cid, st.pick[k], states, layers)
+	}
+}

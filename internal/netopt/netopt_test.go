@@ -1,0 +1,144 @@
+package netopt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/pipeline"
+	"repro/internal/tila"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// exhaustiveMin enumerates every layer combination of the tree and returns
+// the minimal Tcp under the engine.
+func exhaustiveMin(eng *timing.Engine, t *tree.Tree) float64 {
+	choices := make([][]int, len(t.Segs))
+	for i, s := range t.Segs {
+		choices[i] = eng.Stack.LayersWithDir(s.Dir)
+	}
+	saved := t.SnapshotLayers()
+	defer t.RestoreLayers(saved)
+
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(t.Segs) {
+			if tcp := eng.Analyze(t).Tcp; tcp < best {
+				best = tcp
+			}
+			return
+		}
+		for _, l := range choices[k] {
+			t.Segs[k].Layer = l
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func preparedTrees(t *testing.T, seed int64, nets int) (*pipeline.State, []int) {
+	t.Helper()
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "no", W: 16, H: 16, Layers: 8, NumNets: nets, Capacity: 10, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := timing.SelectCritical(st.Timings(), 0.05)
+	return st, released
+}
+
+func TestOptimizeMatchesExhaustive(t *testing.T) {
+	st, _ := preparedTrees(t, 61, 120)
+	checked := 0
+	for _, tr := range st.Trees {
+		if tr == nil || len(tr.Segs) == 0 || len(tr.Segs) > 7 {
+			continue // keep enumeration tractable: ≤ 4^7 combos
+		}
+		want := exhaustiveMin(st.Engine, tr)
+		got := Optimize(st.Engine, tr)
+		if math.Abs(got.Tcp-want) > 1e-6*(1+want) {
+			t.Fatalf("net %q: DP %g vs exhaustive %g", tr.Net.Name, got.Tcp, want)
+		}
+		// The extracted assignment must realize the claimed Tcp.
+		saved := tr.SnapshotLayers()
+		tr.RestoreLayers(got.Layers)
+		realized := st.Engine.Analyze(tr).Tcp
+		tr.RestoreLayers(saved)
+		if math.Abs(realized-got.Tcp) > 1e-6*(1+got.Tcp) {
+			t.Fatalf("net %q: extraction realizes %g, claimed %g", tr.Net.Name, realized, got.Tcp)
+		}
+		checked++
+		if checked >= 25 {
+			break
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d nets small enough to verify", checked)
+	}
+}
+
+func TestOptimumIsLowerBoundForOptimizers(t *testing.T) {
+	st, released := preparedTrees(t, 62, 250)
+	bounds := map[int]float64{}
+	for _, ni := range released {
+		if tr := st.Trees[ni]; tr != nil && len(tr.Segs) > 0 {
+			bounds[ni] = Optimize(st.Engine, tr).Tcp
+		}
+	}
+	if _, err := core.Optimize(st, released, core.Options{SDPIters: 100}); err != nil {
+		t.Fatal(err)
+	}
+	tila.Optimize(st, released, tila.Options{})
+	timings := st.Timings()
+	for ni, lb := range bounds {
+		if timings[ni].Tcp < lb-1e-6*(1+lb) {
+			t.Fatalf("net %d beat its capacity-free lower bound: %g < %g", ni, timings[ni].Tcp, lb)
+		}
+	}
+}
+
+func TestDegenerateTree(t *testing.T) {
+	st, _ := preparedTrees(t, 63, 60)
+	for _, tr := range st.Trees {
+		if tr != nil && len(tr.Segs) == 0 {
+			res := Optimize(st.Engine, tr)
+			if res.Tcp != 0 || len(res.Layers) != 0 {
+				t.Fatalf("degenerate optimum: %+v", res)
+			}
+			return
+		}
+	}
+	t.Skip("no degenerate tree in this seed")
+}
+
+func BenchmarkOptimizePerNet(b *testing.B) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "nb", W: 20, H: 20, Layers: 8, NumNets: 200, Capacity: 10, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var biggest *tree.Tree
+	for _, tr := range st.Trees {
+		if tr != nil && (biggest == nil || len(tr.Segs) > len(biggest.Segs)) {
+			biggest = tr
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimize(st.Engine, biggest)
+	}
+}

@@ -1,0 +1,149 @@
+// Package partition implements the paper's §3.2: the routing grid is first
+// divided into K×K uniform regions, then each region is self-adaptively
+// refined by quadruple (quadtree) splitting until every leaf holds at most
+// MaxSegs critical segments — balancing per-partition problem sizes against
+// the strongly non-uniform congestion of real designs (Fig. 3(b)). A
+// minimum-size guard stops refinement at single-tile regions to avoid the
+// deadlock the paper warns about.
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Item is one critical segment to place into a partition, identified by
+// opaque indices and located by its midpoint tile.
+type Item struct {
+	Tree, Seg int
+	Pos       geom.Point
+}
+
+// Leaf is one leaf partition: a region and the items inside it.
+type Leaf struct {
+	Rect  geom.Rect
+	Items []Item
+	Depth int // quadtree depth below the uniform K×K level
+}
+
+// Options tunes partitioning.
+type Options struct {
+	// K is the uniform division per axis (0 → default 5).
+	K int
+	// MaxSegs is the per-leaf critical segment budget (0 → default 10,
+	// the paper's tuned value from Fig. 8).
+	MaxSegs int
+	// Adaptive enables quadtree refinement; when false only the uniform
+	// K×K division is used (the ablation baseline).
+	Adaptive bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 5
+	}
+	if o.MaxSegs == 0 {
+		o.MaxSegs = 10
+	}
+	return o
+}
+
+// Split partitions the w×h grid. Empty leaves are dropped. The result is
+// deterministic: leaves are ordered by position.
+func Split(w, h int, items []Item, opt Options) []*Leaf {
+	opt = opt.withDefaults()
+	var leaves []*Leaf
+
+	// Uniform K×K division.
+	for ky := 0; ky < opt.K; ky++ {
+		for kx := 0; kx < opt.K; kx++ {
+			r := geom.Rect{
+				MinX: kx * w / opt.K,
+				MinY: ky * h / opt.K,
+				MaxX: (kx+1)*w/opt.K - 1,
+				MaxY: (ky+1)*h/opt.K - 1,
+			}
+			if r.MaxX < r.MinX || r.MaxY < r.MinY {
+				continue // K exceeds grid dimension
+			}
+			var inside []Item
+			for _, it := range items {
+				if r.Contains(it.Pos) {
+					inside = append(inside, it)
+				}
+			}
+			if len(inside) == 0 {
+				continue
+			}
+			if opt.Adaptive {
+				leaves = append(leaves, refine(r, inside, opt.MaxSegs, 0)...)
+			} else {
+				leaves = append(leaves, &Leaf{Rect: r, Items: inside})
+			}
+		}
+	}
+	sort.Slice(leaves, func(a, b int) bool {
+		la, lb := leaves[a].Rect, leaves[b].Rect
+		if la.MinY != lb.MinY {
+			return la.MinY < lb.MinY
+		}
+		return la.MinX < lb.MinX
+	})
+	return leaves
+}
+
+// refine recursively quadruple-splits a region until it satisfies the
+// budget or cannot shrink further (single tile in either axis — the
+// deadlock guard of the paper).
+func refine(r geom.Rect, items []Item, maxSegs, depth int) []*Leaf {
+	if len(items) <= maxSegs || r.Width() <= 1 || r.Height() <= 1 {
+		return []*Leaf{{Rect: r, Items: items, Depth: depth}}
+	}
+	midX := (r.MinX + r.MaxX) / 2
+	midY := (r.MinY + r.MaxY) / 2
+	quads := [4]geom.Rect{
+		{MinX: r.MinX, MinY: r.MinY, MaxX: midX, MaxY: midY},
+		{MinX: midX + 1, MinY: r.MinY, MaxX: r.MaxX, MaxY: midY},
+		{MinX: r.MinX, MinY: midY + 1, MaxX: midX, MaxY: r.MaxY},
+		{MinX: midX + 1, MinY: midY + 1, MaxX: r.MaxX, MaxY: r.MaxY},
+	}
+	var out []*Leaf
+	for _, q := range quads {
+		var inside []Item
+		for _, it := range items {
+			if q.Contains(it.Pos) {
+				inside = append(inside, it)
+			}
+		}
+		if len(inside) == 0 {
+			continue
+		}
+		out = append(out, refine(q, inside, maxSegs, depth+1)...)
+	}
+	return out
+}
+
+// Stats summarizes a partitioning for reporting.
+type Stats struct {
+	Leaves   int
+	MaxItems int
+	MaxDepth int
+	Items    int
+}
+
+// Summarize computes Stats over the leaves.
+func Summarize(leaves []*Leaf) Stats {
+	var s Stats
+	s.Leaves = len(leaves)
+	for _, l := range leaves {
+		s.Items += len(l.Items)
+		if len(l.Items) > s.MaxItems {
+			s.MaxItems = len(l.Items)
+		}
+		if l.Depth > s.MaxDepth {
+			s.MaxDepth = l.Depth
+		}
+	}
+	return s
+}

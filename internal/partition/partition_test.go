@@ -1,0 +1,144 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func items(pts ...geom.Point) []Item {
+	out := make([]Item, len(pts))
+	for i, p := range pts {
+		out[i] = Item{Tree: 0, Seg: i, Pos: p}
+	}
+	return out
+}
+
+func TestUniformSplitDropsEmpty(t *testing.T) {
+	its := items(geom.Point{X: 1, Y: 1}, geom.Point{X: 18, Y: 18})
+	leaves := Split(20, 20, its, Options{K: 2, MaxSegs: 10})
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %d, want 2 (two occupied quadrants)", len(leaves))
+	}
+	for _, l := range leaves {
+		if len(l.Items) != 1 {
+			t.Fatalf("leaf items = %d", len(l.Items))
+		}
+	}
+}
+
+func TestAdaptiveRefinement(t *testing.T) {
+	// 20 items clustered in one corner with MaxSegs 5 must refine.
+	var pts []geom.Point
+	for i := 0; i < 20; i++ {
+		pts = append(pts, geom.Point{X: i % 5, Y: i / 5})
+	}
+	leaves := Split(40, 40, items(pts...), Options{K: 2, MaxSegs: 5, Adaptive: true})
+	st := Summarize(leaves)
+	if st.Items != 20 {
+		t.Fatalf("items lost: %d", st.Items)
+	}
+	if st.MaxItems > 5+3 { // single-tile guard may keep a few over budget
+		t.Fatalf("max leaf items = %d, want near 5", st.MaxItems)
+	}
+	if st.MaxDepth == 0 {
+		t.Fatal("no refinement happened")
+	}
+}
+
+func TestNonAdaptiveKeepsUniform(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 30; i++ {
+		pts = append(pts, geom.Point{X: i % 5, Y: i / 5})
+	}
+	leaves := Split(40, 40, items(pts...), Options{K: 2, MaxSegs: 5, Adaptive: false})
+	st := Summarize(leaves)
+	if st.MaxDepth != 0 {
+		t.Fatal("non-adaptive split refined")
+	}
+	if st.MaxItems != 30 {
+		t.Fatalf("max items = %d, want 30 in one uniform cell", st.MaxItems)
+	}
+}
+
+func TestSingleTileDeadlockGuard(t *testing.T) {
+	// 20 items on the same tile can never satisfy MaxSegs 5; refinement
+	// must stop at a small region instead of recursing forever.
+	pts := make([]geom.Point, 20)
+	for i := range pts {
+		pts[i] = geom.Point{X: 3, Y: 3}
+	}
+	leaves := Split(16, 16, items(pts...), Options{K: 2, MaxSegs: 5, Adaptive: true})
+	st := Summarize(leaves)
+	if st.Items != 20 || st.Leaves != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestKLargerThanGrid(t *testing.T) {
+	its := items(geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 3})
+	leaves := Split(4, 4, its, Options{K: 8, MaxSegs: 10})
+	st := Summarize(leaves)
+	if st.Items != 2 {
+		t.Fatalf("items preserved = %d, want 2", st.Items)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []geom.Point
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Point{X: rng.Intn(32), Y: rng.Intn(32)})
+	}
+	a := Split(32, 32, items(pts...), Options{K: 4, MaxSegs: 5, Adaptive: true})
+	b := Split(32, 32, items(pts...), Options{K: 4, MaxSegs: 5, Adaptive: true})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic leaf count")
+	}
+	for i := range a {
+		if a[i].Rect != b[i].Rect || len(a[i].Items) != len(b[i].Items) {
+			t.Fatalf("leaf %d differs", i)
+		}
+	}
+}
+
+// Property: every item lands in exactly one leaf, and every leaf's items
+// lie inside its rect.
+func TestQuickPartitionCoversExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 16 + rng.Intn(48)
+		h := 16 + rng.Intn(48)
+		n := 1 + rng.Intn(100)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Tree: i, Seg: i, Pos: geom.Point{X: rng.Intn(w), Y: rng.Intn(h)}}
+		}
+		leaves := Split(w, h, its, Options{
+			K: 1 + rng.Intn(6), MaxSegs: 1 + rng.Intn(20), Adaptive: rng.Intn(2) == 0,
+		})
+		count := map[[2]int]int{}
+		for _, l := range leaves {
+			for _, it := range l.Items {
+				if !l.Rect.Contains(it.Pos) {
+					return false
+				}
+				count[[2]int{it.Tree, it.Seg}]++
+			}
+		}
+		if len(count) != n {
+			return false
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

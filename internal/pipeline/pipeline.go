@@ -1,0 +1,58 @@
+// Package pipeline wires the substrate stages together: route the design,
+// build routing trees, run the initial layer assignment, commit usage and
+// stand up a timing engine. Both optimizers (TILA and CPLA) and all
+// experiments start from the State this package produces.
+package pipeline
+
+import (
+	"repro/internal/assign"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// State is the prepared routing state of a design.
+type State struct {
+	Design *netlist.Design
+	Routes *route.Result
+	Trees  []*tree.Tree // indexed like Design.Nets; nil for degenerate nets
+	Engine *timing.Engine
+}
+
+// Options bundles the stage options.
+type Options struct {
+	Route  route.Options
+	Assign assign.Options
+	Timing timing.Params
+}
+
+// DefaultOptions returns the options used throughout the evaluation.
+func DefaultOptions() Options {
+	return Options{Timing: timing.DefaultParams()}
+}
+
+// Prepare routes the design, builds trees, runs initial layer assignment
+// (committing usage to the design's grid) and returns the combined state.
+func Prepare(d *netlist.Design, opt Options) (*State, error) {
+	res, err := route.RouteAll(d, opt.Route)
+	if err != nil {
+		return nil, err
+	}
+	trees, err := tree.BuildAll(res, d)
+	if err != nil {
+		return nil, err
+	}
+	assign.AssignAll(d.Grid, trees, opt.Assign)
+	return &State{
+		Design: d,
+		Routes: res,
+		Trees:  trees,
+		Engine: timing.NewEngine(d.Stack, opt.Timing),
+	}, nil
+}
+
+// Timings analyzes every tree with the state's engine.
+func (s *State) Timings() []*timing.NetTiming {
+	return s.Engine.AnalyzeAll(s.Trees)
+}

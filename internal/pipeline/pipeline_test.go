@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/ispd08"
+	"repro/internal/tree"
+)
+
+func TestPrepareEndToEnd(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "p", W: 18, H: 18, Layers: 8, NumNets: 200, Capacity: 8, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Prepare(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Design != d || st.Engine == nil || st.Routes == nil {
+		t.Fatal("state incomplete")
+	}
+	if len(st.Trees) != len(d.Nets) {
+		t.Fatalf("trees = %d, want %d", len(st.Trees), len(d.Nets))
+	}
+	// Usage committed: removing every tree's usage zeroes the grid.
+	if d.Grid.TotalViaUse() == 0 {
+		t.Fatal("no via usage committed")
+	}
+	tree.ApplyAllUsage(d.Grid, st.Trees, -1)
+	if d.Grid.TotalViaUse() != 0 {
+		t.Fatal("usage inconsistent with trees")
+	}
+	tree.ApplyAllUsage(d.Grid, st.Trees, +1)
+
+	timings := st.Timings()
+	analyzed := 0
+	for _, nt := range timings {
+		if nt != nil {
+			analyzed++
+			if nt.Tcp < 0 {
+				t.Fatal("negative Tcp")
+			}
+		}
+	}
+	if analyzed < 150 {
+		t.Fatalf("analyzed = %d of 200", analyzed)
+	}
+}
+
+func TestPrepareDeterministic(t *testing.T) {
+	run := func() float64 {
+		d, err := ispd08.Generate(ispd08.GenParams{
+			Name: "p", W: 16, H: 16, Layers: 6, NumNets: 100, Capacity: 8, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Prepare(d, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, nt := range st.Timings() {
+			if nt != nil {
+				sum += nt.Tcp
+			}
+		}
+		return sum
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic preparation: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,42 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/ispd08"
+)
+
+func benchDesign(b *testing.B, nets int) func() *Result {
+	b.Helper()
+	return func() *Result {
+		d, err := ispd08.Generate(ispd08.GenParams{
+			Name: "rb", W: 32, H: 32, Layers: 8, NumNets: nets, Capacity: 10, Seed: 17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RouteAll(d, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+}
+
+func BenchmarkRouteAll500(b *testing.B) {
+	run := benchDesign(b, 500)
+	b.ResetTimer()
+	var wl int
+	for i := 0; i < b.N; i++ {
+		wl = run().WireLength
+	}
+	b.ReportMetric(float64(wl), "wirelength")
+}
+
+func BenchmarkRouteAll2000(b *testing.B) {
+	run := benchDesign(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}

@@ -1,0 +1,170 @@
+package route
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+)
+
+// patternToTree tries the classic pattern shapes — two L routes and a set
+// of Z routes — from start to the nearest tree tile, and returns the
+// cheapest one if its congestion cost is close to the uncongested ideal
+// (cost ≈ 1 per edge). A nil return means every pattern runs through
+// congestion and the caller should fall back to maze search.
+func (r *router) patternToTree(start geom.Point, tree map[geom.Point]bool) []grid.Edge {
+	// Nearest tree tile; ties resolve by coordinate so routing is
+	// deterministic regardless of map iteration order.
+	var target geom.Point
+	best := 1 << 30
+	for q := range tree {
+		d := geom.ManhattanDist(start, q)
+		if d < best || (d == best && (q.Y < target.Y || (q.Y == target.Y && q.X < target.X))) {
+			best = d
+			target = q
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+
+	bestCost := math.Inf(1)
+	var bestPath []grid.Edge
+	try := func(path []grid.Edge, ok bool) {
+		if !ok {
+			return
+		}
+		cost := 0.0
+		for _, e := range path {
+			cost += r.edgeCost(e)
+		}
+		if cost < bestCost {
+			bestCost = cost
+			bestPath = path
+		}
+	}
+
+	// Two L shapes.
+	try(r.lPath(start, target, true))
+	try(r.lPath(start, target, false))
+	// Z shapes: sample up to three intermediate bend positions per axis.
+	dx := target.X - start.X
+	dy := target.Y - start.Y
+	if dx != 0 && dy != 0 {
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			mx := start.X + int(math.Round(float64(dx)*frac))
+			if mx != start.X && mx != target.X {
+				try(r.zPathHVH(start, target, mx))
+			}
+			my := start.Y + int(math.Round(float64(dy)*frac))
+			if my != start.Y && my != target.Y {
+				try(r.zPathVHV(start, target, my))
+			}
+		}
+	}
+
+	if bestPath == nil {
+		return nil
+	}
+	// Accept only near-ideal patterns: each edge costs 1 when free, so a
+	// budget of 1.6 per edge tolerates mild congestion but sends truly
+	// contended connections to the maze router.
+	if bestCost > 1.6*float64(len(bestPath)) {
+		return nil
+	}
+	// Trim at the first tree contact: a pattern may graze the tree before
+	// its nominal target, and keeping the remainder would create a cycle.
+	trimmed := bestPath[:0]
+	cur := start
+	for _, e := range bestPath {
+		next := e.Other()
+		if (geom.Point{X: e.X, Y: e.Y}) != cur {
+			next = geom.Point{X: e.X, Y: e.Y}
+		}
+		trimmed = append(trimmed, e)
+		if tree[next] {
+			break
+		}
+		cur = next
+	}
+	return trimmed
+}
+
+// lPath builds the L route bending once: horizontal-first or
+// vertical-first.
+func (r *router) lPath(a, b geom.Point, horizFirst bool) ([]grid.Edge, bool) {
+	var mid geom.Point
+	if horizFirst {
+		mid = geom.Point{X: b.X, Y: a.Y}
+	} else {
+		mid = geom.Point{X: a.X, Y: b.Y}
+	}
+	p1, ok := straight(a, mid)
+	if !ok {
+		return nil, false
+	}
+	p2, ok := straight(mid, b)
+	if !ok {
+		return nil, false
+	}
+	return append(p1, p2...), true
+}
+
+// zPathHVH routes horizontally to x=mx, vertically, then horizontally.
+func (r *router) zPathHVH(a, b geom.Point, mx int) ([]grid.Edge, bool) {
+	m1 := geom.Point{X: mx, Y: a.Y}
+	m2 := geom.Point{X: mx, Y: b.Y}
+	p1, ok1 := straight(a, m1)
+	p2, ok2 := straight(m1, m2)
+	p3, ok3 := straight(m2, b)
+	if !ok1 || !ok2 || !ok3 {
+		return nil, false
+	}
+	return append(append(p1, p2...), p3...), true
+}
+
+// zPathVHV routes vertically to y=my, horizontally, then vertically.
+func (r *router) zPathVHV(a, b geom.Point, my int) ([]grid.Edge, bool) {
+	m1 := geom.Point{X: a.X, Y: my}
+	m2 := geom.Point{X: b.X, Y: my}
+	p1, ok1 := straight(a, m1)
+	p2, ok2 := straight(m1, m2)
+	p3, ok3 := straight(m2, b)
+	if !ok1 || !ok2 || !ok3 {
+		return nil, false
+	}
+	return append(append(p1, p2...), p3...), true
+}
+
+// straight returns the edges of the axis-aligned run from a to b (which
+// must share a row or column; equal points yield an empty path).
+func straight(a, b geom.Point) ([]grid.Edge, bool) {
+	if a == b {
+		return nil, true
+	}
+	if a.X != b.X && a.Y != b.Y {
+		return nil, false
+	}
+	var out []grid.Edge
+	step := geom.Point{X: sign(b.X - a.X), Y: sign(b.Y - a.Y)}
+	for cur := a; cur != b; {
+		next := geom.Point{X: cur.X + step.X, Y: cur.Y + step.Y}
+		e, err := grid.EdgeBetween(cur, next)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, e)
+		cur = next
+	}
+	return out, true
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,458 @@
+// Package route implements the initial 2-D global router that produces the
+// routed trees CPLA re-assigns. It plays the role NCTU-GR plays for the
+// paper: nets are decomposed by nearest-neighbor tree growth, connections
+// are routed by congestion-aware pattern routing with a maze-routing
+// fallback, and a negotiation-based rip-up-and-reroute loop with history
+// costs spreads demand away from overflowed edges.
+//
+// The router works against the 2-D projected capacity of the grid (the sum
+// of per-layer capacities); layer assignment distributes the resulting wires
+// among layers afterwards.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+	"repro/internal/steiner"
+)
+
+// Route is the 2-D routing of one net: a set of edges forming a tree over
+// the net's pin tiles.
+type Route struct {
+	Net   *netlist.Net
+	Edges []grid.Edge
+}
+
+// Options tunes the router.
+type Options struct {
+	// Rounds is the number of rip-up-and-reroute rounds after the initial
+	// pass (0 → default 3).
+	Rounds int
+	// HistoryWeight scales the accumulated history cost (0 → default 1.5).
+	HistoryWeight float64
+	// SearchMargin expands the maze-search window beyond the connection
+	// bounding box (0 → default 6 tiles).
+	SearchMargin int
+	// Steiner guides multi-pin nets with a rectilinear Steiner topology:
+	// Steiner points join the growth targets and unused stubs are pruned
+	// afterwards. Off by default (nearest-pin growth).
+	Steiner bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds == 0 {
+		o.Rounds = 3
+	}
+	if o.HistoryWeight == 0 {
+		o.HistoryWeight = 1.5
+	}
+	if o.SearchMargin == 0 {
+		o.SearchMargin = 6
+	}
+	return o
+}
+
+// Result is the output of RouteAll.
+type Result struct {
+	Routes []*Route // indexed like design.Nets; nil for degenerate nets
+	// Overflow2D is the number of 2-D edges whose projected usage exceeds
+	// projected capacity after the final round.
+	Overflow2D int
+	// WireLength is the total number of routed edge units.
+	WireLength int
+	// PatternRoutes and MazeRoutes count how each 2-pin connection was
+	// realized (pattern fast path vs maze search), over all passes.
+	PatternRoutes int
+	MazeRoutes    int
+}
+
+// router carries the 2-D working state.
+type router struct {
+	d        *netlist.Design
+	g        *grid.Grid
+	opt      Options
+	use      map[grid.Edge]int32
+	cap2     map[grid.Edge]int32
+	hist     map[grid.Edge]float64
+	route    []*Route
+	patterns int
+	mazes    int
+}
+
+// RouteAll routes every multi-pin net of the design and returns the 2-D
+// routes. The design's grid usage is not modified; layer assignment applies
+// usage later.
+func RouteAll(d *netlist.Design, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &router{
+		d: d, g: d.Grid, opt: opt,
+		use:   make(map[grid.Edge]int32),
+		cap2:  make(map[grid.Edge]int32),
+		hist:  make(map[grid.Edge]float64),
+		route: make([]*Route, len(d.Nets)),
+	}
+	d.Grid.Edges2D(func(e grid.Edge) {
+		r.cap2[e] = d.Grid.EdgeCap2D(e)
+	})
+
+	// Initial pass: nets in ascending HPWL order; short nets lock in cheap
+	// resources first, long nets see the congestion they must avoid.
+	order := make([]int, 0, len(d.Nets))
+	for i, n := range d.Nets {
+		if isDegenerate(n) {
+			continue
+		}
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := d.Nets[order[a]].HPWL(), d.Nets[order[b]].HPWL()
+		if ha != hb {
+			return ha < hb
+		}
+		return order[a] < order[b]
+	})
+	for _, ni := range order {
+		rt, err := r.routeNet(d.Nets[ni])
+		if err != nil {
+			return nil, err
+		}
+		r.commit(rt, +1)
+		r.route[ni] = rt
+	}
+
+	// Negotiation rounds: rip up nets crossing overflowed edges, add
+	// history, reroute.
+	for round := 0; round < opt.Rounds; round++ {
+		over := r.overflowedEdges()
+		if len(over) == 0 {
+			break
+		}
+		for e := range over {
+			r.hist[e] += r.opt.HistoryWeight
+		}
+		victims := r.netsUsing(over)
+		for _, ni := range victims {
+			r.commit(r.route[ni], -1)
+			rt, err := r.routeNet(d.Nets[ni])
+			if err != nil {
+				return nil, err
+			}
+			r.commit(rt, +1)
+			r.route[ni] = rt
+		}
+	}
+
+	res := &Result{Routes: r.route, PatternRoutes: r.patterns, MazeRoutes: r.mazes}
+	for e, u := range r.use {
+		if u > r.cap2[e] {
+			res.Overflow2D++
+		}
+		res.WireLength += int(u)
+	}
+	return res, nil
+}
+
+func isDegenerate(n *netlist.Net) bool {
+	first := n.Pins[0].Pos
+	for _, p := range n.Pins[1:] {
+		if p.Pos != first {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *router) commit(rt *Route, delta int32) {
+	for _, e := range rt.Edges {
+		r.use[e] += delta
+	}
+}
+
+func (r *router) overflowedEdges() map[grid.Edge]bool {
+	out := make(map[grid.Edge]bool)
+	for e, u := range r.use {
+		if u > r.cap2[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func (r *router) netsUsing(edges map[grid.Edge]bool) []int {
+	var out []int
+	for ni, rt := range r.route {
+		if rt == nil {
+			continue
+		}
+		for _, e := range rt.Edges {
+			if edges[e] {
+				out = append(out, ni)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// edgeCost is the negotiated congestion cost of adding one more wire to e.
+func (r *router) edgeCost(e grid.Edge) float64 {
+	u := float64(r.use[e])
+	c := float64(r.cap2[e])
+	cost := 1.0 + r.hist[e]
+	if c <= 0 {
+		return cost + 64
+	}
+	switch {
+	case u >= c:
+		cost += 8 * (u - c + 1)
+	case u >= 0.75*c:
+		cost += 2 * (u / c)
+	}
+	return cost
+}
+
+// routeNet grows a tree over the net's distinct pin tiles: nearest unrouted
+// pin connects to the current tree via pattern or maze search. With the
+// Steiner option, the growth targets additionally include the Steiner
+// points of the net's RSMT topology, and stubs that serve no pin are
+// pruned afterwards.
+func (r *router) routeNet(n *netlist.Net) (*Route, error) {
+	pins := distinctTiles(n)
+	targets := pins
+	if r.opt.Steiner && len(pins) > 3 {
+		topo := steiner.Build(pins)
+		for _, p := range topo.Points[topo.Terminals:] {
+			if r.g.InBounds(p) {
+				targets = append(targets, p)
+			}
+		}
+	}
+	inTree := map[geom.Point]bool{targets[0]: true}
+	var edges []grid.Edge
+	remaining := append([]geom.Point(nil), targets[1:]...)
+
+	for len(remaining) > 0 {
+		// Pick the remaining pin closest to the tree.
+		bestIdx, bestDist := -1, 1<<30
+		for i, p := range remaining {
+			d := distToSet(p, inTree)
+			if d < bestDist {
+				bestDist = d
+				bestIdx = i
+			}
+		}
+		pin := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if inTree[pin] {
+			continue
+		}
+		// Fast path: pattern-route (L/Z) to the nearest tree tile; fall
+		// back to maze search when every pattern runs through congestion.
+		path := r.patternToTree(pin, inTree)
+		if path != nil {
+			r.patterns++
+		} else {
+			var err error
+			path, err = r.mazeToTree(pin, inTree)
+			if err != nil {
+				return nil, fmt.Errorf("route: net %q: %w", n.Name, err)
+			}
+			r.mazes++
+		}
+		for _, e := range path {
+			edges = append(edges, e)
+			inTree[e.Other()] = true
+			inTree[geom.Point{X: e.X, Y: e.Y}] = true
+		}
+	}
+	edges = dedupeEdges(edges)
+	if r.opt.Steiner {
+		edges = pruneNonPinLeaves(edges, pins)
+	}
+	return &Route{Net: n, Edges: edges}, nil
+}
+
+// pruneNonPinLeaves repeatedly removes degree-1 tiles that carry no pin,
+// dropping the stubs left behind by unused Steiner targets.
+func pruneNonPinLeaves(edges []grid.Edge, pins []geom.Point) []grid.Edge {
+	pinSet := make(map[geom.Point]bool, len(pins))
+	for _, p := range pins {
+		pinSet[p] = true
+	}
+	for {
+		deg := map[geom.Point]int{}
+		for _, e := range edges {
+			deg[geom.Point{X: e.X, Y: e.Y}]++
+			deg[e.Other()]++
+		}
+		removed := false
+		kept := edges[:0]
+		for _, e := range edges {
+			a := geom.Point{X: e.X, Y: e.Y}
+			b := e.Other()
+			if (deg[a] == 1 && !pinSet[a]) || (deg[b] == 1 && !pinSet[b]) {
+				removed = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		edges = kept
+		if !removed {
+			return edges
+		}
+	}
+}
+
+func distinctTiles(n *netlist.Net) []geom.Point {
+	seen := make(map[geom.Point]bool, len(n.Pins))
+	out := make([]geom.Point, 0, len(n.Pins))
+	for _, p := range n.Pins {
+		if !seen[p.Pos] {
+			seen[p.Pos] = true
+			out = append(out, p.Pos)
+		}
+	}
+	return out
+}
+
+func distToSet(p geom.Point, set map[geom.Point]bool) int {
+	best := 1 << 30
+	for q := range set {
+		if d := geom.ManhattanDist(p, q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	tile geom.Point
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// mazeToTree runs A* from start until it reaches any tile of the tree,
+// restricted to a window around the start and tree to bound work. The
+// heuristic is the Manhattan distance to the tree's bounding box, which is
+// admissible because every edge costs at least 1 and every tree tile lies
+// inside the box.
+func (r *router) mazeToTree(start geom.Point, tree map[geom.Point]bool) ([]grid.Edge, error) {
+	bbox := boundingBoxOfSet(tree)
+	win := bbox.Expand(start)
+	m := r.opt.SearchMargin
+	win.MinX -= m
+	win.MinY -= m
+	win.MaxX += m
+	win.MaxY += m
+
+	h := func(p geom.Point) float64 {
+		dx, dy := 0, 0
+		if p.X < bbox.MinX {
+			dx = bbox.MinX - p.X
+		} else if p.X > bbox.MaxX {
+			dx = p.X - bbox.MaxX
+		}
+		if p.Y < bbox.MinY {
+			dy = bbox.MinY - p.Y
+		} else if p.Y > bbox.MaxY {
+			dy = p.Y - bbox.MaxY
+		}
+		return float64(dx + dy)
+	}
+
+	dist := map[geom.Point]float64{start: 0}
+	prev := map[geom.Point]geom.Point{}
+	q := &pq{{tile: start, cost: h(start)}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		g := dist[cur.tile]
+		if cur.cost > g+h(cur.tile) {
+			continue // stale entry
+		}
+		if tree[cur.tile] {
+			return r.tracePath(cur.tile, start, prev), nil
+		}
+		for _, nb := range neighbors(cur.tile) {
+			if !r.g.InBounds(nb) || !win.Contains(nb) {
+				continue
+			}
+			e, err := grid.EdgeBetween(cur.tile, nb)
+			if err != nil {
+				return nil, err
+			}
+			ng := g + r.edgeCost(e)
+			if old, ok := dist[nb]; !ok || ng < old {
+				dist[nb] = ng
+				prev[nb] = cur.tile
+				heap.Push(q, pqItem{tile: nb, cost: ng + h(nb)})
+			}
+		}
+	}
+	return nil, fmt.Errorf("no path from %v to tree", start)
+}
+
+// boundingBoxOfSet returns the bounding rectangle of the set's tiles.
+func boundingBoxOfSet(set map[geom.Point]bool) geom.Rect {
+	first := true
+	var bb geom.Rect
+	for p := range set {
+		if first {
+			bb = geom.NewRect(p, p)
+			first = false
+			continue
+		}
+		bb = bb.Expand(p)
+	}
+	return bb
+}
+
+func (r *router) tracePath(hit, start geom.Point, prev map[geom.Point]geom.Point) []grid.Edge {
+	var edges []grid.Edge
+	cur := hit
+	for cur != start {
+		p := prev[cur]
+		e, _ := grid.EdgeBetween(p, cur)
+		edges = append(edges, e)
+		cur = p
+	}
+	return edges
+}
+
+func neighbors(p geom.Point) [4]geom.Point {
+	return [4]geom.Point{
+		{X: p.X + 1, Y: p.Y},
+		{X: p.X - 1, Y: p.Y},
+		{X: p.X, Y: p.Y + 1},
+		{X: p.X, Y: p.Y - 1},
+	}
+}
+
+func dedupeEdges(edges []grid.Edge) []grid.Edge {
+	seen := make(map[grid.Edge]bool, len(edges))
+	out := edges[:0]
+	for _, e := range edges {
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

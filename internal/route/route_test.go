@@ -1,0 +1,363 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ispd08"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+func smallDesign(nets []*netlist.Net) *netlist.Design {
+	stack := tech.Default6()
+	g := grid.New(12, 12, stack)
+	g.SetUniformCapacity([]int32{8, 8, 8, 8, 8, 8})
+	return &netlist.Design{Name: "t", Grid: g, Stack: stack, Nets: nets}
+}
+
+func mkNet(id int, tiles ...geom.Point) *netlist.Net {
+	n := &netlist.Net{ID: id, Name: "n"}
+	for _, t := range tiles {
+		n.Pins = append(n.Pins, netlist.Pin{Pos: t})
+	}
+	return n
+}
+
+// checkTreeConnectsPins verifies the returned edges form a connected
+// subgraph containing every pin tile, with exactly nodes-1 edges (a tree).
+func checkTreeConnectsPins(t *testing.T, rt *Route) {
+	t.Helper()
+	adj := map[geom.Point][]geom.Point{}
+	tiles := map[geom.Point]bool{}
+	for _, e := range rt.Edges {
+		a := geom.Point{X: e.X, Y: e.Y}
+		b := e.Other()
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+		tiles[a] = true
+		tiles[b] = true
+	}
+	if len(rt.Edges) != len(tiles)-1 {
+		t.Fatalf("net %s: %d edges over %d tiles — not a tree", rt.Net.Name, len(rt.Edges), len(tiles))
+	}
+	// BFS from the first pin.
+	start := rt.Net.Pins[0].Pos
+	seen := map[geom.Point]bool{start: true}
+	queue := []geom.Point{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, p := range rt.Net.Pins {
+		if !seen[p.Pos] {
+			t.Fatalf("net %s: pin %v disconnected", rt.Net.Name, p.Pos)
+		}
+	}
+}
+
+func TestRouteTwoPinStraight(t *testing.T) {
+	d := smallDesign([]*netlist.Net{mkNet(0, geom.Point{X: 1, Y: 1}, geom.Point{X: 6, Y: 1})})
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.Routes[0]
+	if len(rt.Edges) != 5 {
+		t.Fatalf("edges = %d, want 5 (straight shot)", len(rt.Edges))
+	}
+	checkTreeConnectsPins(t, rt)
+}
+
+func TestRouteLShape(t *testing.T) {
+	d := smallDesign([]*netlist.Net{mkNet(0, geom.Point{X: 1, Y: 1}, geom.Point{X: 5, Y: 7})})
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := res.Routes[0]
+	if len(rt.Edges) != 10 { // Manhattan distance
+		t.Fatalf("edges = %d, want 10", len(rt.Edges))
+	}
+	checkTreeConnectsPins(t, rt)
+}
+
+func TestRouteMultiPin(t *testing.T) {
+	d := smallDesign([]*netlist.Net{mkNet(0,
+		geom.Point{X: 2, Y: 2}, geom.Point{X: 9, Y: 2},
+		geom.Point{X: 2, Y: 9}, geom.Point{X: 9, Y: 9},
+		geom.Point{X: 5, Y: 5},
+	)})
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTreeConnectsPins(t, res.Routes[0])
+}
+
+func TestDegenerateNetSkipped(t *testing.T) {
+	d := smallDesign([]*netlist.Net{mkNet(0, geom.Point{X: 3, Y: 3}, geom.Point{X: 3, Y: 3})})
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routes[0] != nil {
+		t.Fatal("degenerate net should have nil route")
+	}
+}
+
+func TestCongestionAvoidance(t *testing.T) {
+	// Two-tile-wide corridor: saturate the straight row with parallel nets
+	// and check overall 2-D overflow stays bounded after negotiation.
+	stack := tech.Default6()
+	g := grid.New(12, 12, stack)
+	g.SetUniformCapacity([]int32{2, 2, 2, 2, 2, 2}) // cap2D per H edge = 6
+	var nets []*netlist.Net
+	for i := 0; i < 10; i++ {
+		nets = append(nets, mkNet(i, geom.Point{X: 1, Y: 5}, geom.Point{X: 10, Y: 5}))
+	}
+	d := &netlist.Design{Name: "hot", Grid: g, Stack: stack, Nets: nets}
+	res, err := RouteAll(d, Options{Rounds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range res.Routes {
+		checkTreeConnectsPins(t, rt)
+	}
+	// 10 nets over cap-6 row: at least 4 must detour; with detours the
+	// overflow should be eliminated or nearly so.
+	if res.Overflow2D > 2 {
+		t.Fatalf("Overflow2D = %d after negotiation, want ≤ 2", res.Overflow2D)
+	}
+}
+
+func TestRouteGeneratedBenchmark(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "t", W: 24, H: 24, Layers: 6, NumNets: 300, Capacity: 8, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	for _, rt := range res.Routes {
+		if rt != nil {
+			checkTreeConnectsPins(t, rt)
+			routed++
+		}
+	}
+	if routed < 250 {
+		t.Fatalf("routed = %d of 300", routed)
+	}
+	if res.WireLength == 0 {
+		t.Fatal("zero wirelength")
+	}
+}
+
+// Property: every route is a tree containing its pins, for random nets.
+func TestQuickRoutesAreTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var nets []*netlist.Net
+		for i := 0; i < 5; i++ {
+			numPins := 2 + rng.Intn(5)
+			pts := make([]geom.Point, numPins)
+			for j := range pts {
+				pts[j] = geom.Point{X: rng.Intn(12), Y: rng.Intn(12)}
+			}
+			nets = append(nets, mkNet(i, pts...))
+		}
+		d := smallDesign(nets)
+		res, err := RouteAll(d, Options{})
+		if err != nil {
+			return false
+		}
+		for _, rt := range res.Routes {
+			if rt == nil {
+				continue
+			}
+			adj := map[geom.Point][]geom.Point{}
+			tiles := map[geom.Point]bool{}
+			for _, e := range rt.Edges {
+				a := geom.Point{X: e.X, Y: e.Y}
+				b := e.Other()
+				adj[a] = append(adj[a], b)
+				adj[b] = append(adj[b], a)
+				tiles[a] = true
+				tiles[b] = true
+			}
+			if len(rt.Edges) != len(tiles)-1 {
+				return false
+			}
+			start := rt.Net.Pins[0].Pos
+			seen := map[geom.Point]bool{start: true}
+			stack := []geom.Point{start}
+			for len(stack) > 0 {
+				cur := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, nb := range adj[cur] {
+					if !seen[nb] {
+						seen[nb] = true
+						stack = append(stack, nb)
+					}
+				}
+			}
+			for _, p := range rt.Net.Pins {
+				if !seen[p.Pos] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternFastPathDominatesOnSparseDesign(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "sparse", W: 24, H: 24, Layers: 8, NumNets: 150, Capacity: 20, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PatternRoutes == 0 {
+		t.Fatal("no pattern routes on a sparse design")
+	}
+	if res.PatternRoutes < res.MazeRoutes {
+		t.Fatalf("patterns %d < mazes %d on sparse design", res.PatternRoutes, res.MazeRoutes)
+	}
+	for _, rt := range res.Routes {
+		if rt != nil {
+			checkTreeConnectsPins(t, rt)
+		}
+	}
+}
+
+func TestPatternFallsBackUnderCongestion(t *testing.T) {
+	// Zero-capacity wall between the pins: patterns through the wall cost
+	// too much, so connections must go to the maze router (which also
+	// pays, but negotiation keeps the tree legal).
+	stack := tech.Default6()
+	g := grid.New(12, 12, stack)
+	g.SetUniformCapacity([]int32{2, 2, 2, 2, 2, 2})
+	var nets []*netlist.Net
+	for i := 0; i < 8; i++ {
+		nets = append(nets, mkNet(i, geom.Point{X: 1, Y: 5}, geom.Point{X: 10, Y: 5}))
+	}
+	d := &netlist.Design{Name: "wall", Grid: g, Stack: stack, Nets: nets}
+	res, err := RouteAll(d, Options{Rounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MazeRoutes == 0 {
+		t.Fatal("expected maze fallbacks under congestion")
+	}
+	for _, rt := range res.Routes {
+		checkTreeConnectsPins(t, rt)
+	}
+}
+
+func TestStraightHelper(t *testing.T) {
+	p, ok := straight(geom.Point{X: 2, Y: 3}, geom.Point{X: 5, Y: 3})
+	if !ok || len(p) != 3 {
+		t.Fatalf("straight failed: %v %v", p, ok)
+	}
+	if _, ok := straight(geom.Point{X: 0, Y: 0}, geom.Point{X: 2, Y: 2}); ok {
+		t.Fatal("diagonal straight must fail")
+	}
+	if p, ok := straight(geom.Point{X: 1, Y: 1}, geom.Point{X: 1, Y: 1}); !ok || len(p) != 0 {
+		t.Fatalf("identity straight: %v %v", p, ok)
+	}
+}
+
+func TestSteinerGuidedRouting(t *testing.T) {
+	// Plus-sign pins: Steiner guidance should use the center and beat (or
+	// match) nearest-pin growth on wirelength.
+	mk := func(steiner bool) int {
+		d := smallDesign([]*netlist.Net{mkNet(0,
+			geom.Point{X: 5, Y: 1}, geom.Point{X: 1, Y: 5},
+			geom.Point{X: 9, Y: 5}, geom.Point{X: 5, Y: 9},
+		)})
+		res, err := RouteAll(d, Options{Steiner: steiner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTreeConnectsPins(t, res.Routes[0])
+		return len(res.Routes[0].Edges)
+	}
+	plain := mk(false)
+	guided := mk(true)
+	if guided > plain {
+		t.Fatalf("steiner wirelength %d worse than plain %d", guided, plain)
+	}
+}
+
+func TestSteinerRoutingOnBenchmark(t *testing.T) {
+	run := func(steiner bool) (*Result, error) {
+		d, err := ispd08.Generate(ispd08.GenParams{
+			Name: "st", W: 24, H: 24, Layers: 8, NumNets: 300, Capacity: 10, Seed: 12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RouteAll(d, Options{Steiner: steiner})
+	}
+	plain, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guided, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range guided.Routes {
+		if rt != nil {
+			checkTreeConnectsPins(t, rt)
+		}
+	}
+	// Guidance must not blow up wirelength (allow a small tolerance for
+	// congestion-driven detours interacting with the extra targets).
+	if float64(guided.WireLength) > 1.05*float64(plain.WireLength) {
+		t.Fatalf("steiner wirelength %d vs plain %d", guided.WireLength, plain.WireLength)
+	}
+}
+
+func TestPruneNonPinLeaves(t *testing.T) {
+	// A path 0,0→3,0 with a dangling stub at (1,0)→(1,2); pins at ends.
+	var edges []grid.Edge
+	add := func(a, b geom.Point) {
+		e, err := grid.EdgeBetween(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges = append(edges, e)
+	}
+	add(geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0})
+	add(geom.Point{X: 1, Y: 0}, geom.Point{X: 2, Y: 0})
+	add(geom.Point{X: 2, Y: 0}, geom.Point{X: 3, Y: 0})
+	add(geom.Point{X: 1, Y: 0}, geom.Point{X: 1, Y: 1})
+	add(geom.Point{X: 1, Y: 1}, geom.Point{X: 1, Y: 2})
+	pins := []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 0}}
+	kept := pruneNonPinLeaves(edges, pins)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d edges, want 3 (stub pruned)", len(kept))
+	}
+}

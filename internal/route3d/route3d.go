@@ -1,0 +1,311 @@
+// Package route3d implements a direct 3-D global router: nets are routed
+// on the (tile, layer) graph in one pass, choosing wires and vias jointly,
+// instead of the paper's flow of 2-D routing followed by layer assignment.
+// It exists as a comparison substrate: the flow-comparison experiment
+// measures what incremental layer assignment buys over routing the third
+// dimension directly.
+//
+// The router is congestion-aware (per-(edge, layer) wire costs and
+// per-(tile, level) via costs against the live grid usage) but, like most
+// production global routers, timing-blind.
+package route3d
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+	"repro/internal/tree"
+)
+
+// Options tunes the 3-D router.
+type Options struct {
+	// ViaCost is the base cost of one via level (0 → default 2; wire
+	// steps cost 1).
+	ViaCost float64
+	// SearchMargin expands the search window beyond the connection
+	// bounding box (0 → default 6).
+	SearchMargin int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ViaCost == 0 {
+		o.ViaCost = 2
+	}
+	if o.SearchMargin == 0 {
+		o.SearchMargin = 6
+	}
+	return o
+}
+
+// Result is the output of RouteAll.
+type Result struct {
+	Trees []*tree.Tree // indexed like design nets; nil for degenerate nets
+	// WireLength is the total routed wire, Vias the total via levels.
+	WireLength int
+	Vias       int
+}
+
+// RouteAll routes every multi-pin net directly in 3-D, committing wire and
+// via usage to the design grid as it goes (net-by-net, congestion-aware).
+// The returned trees carry the routed layers.
+func RouteAll(d *netlist.Design, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	r := &router3d{d: d, g: d.Grid, opt: opt}
+
+	order := make([]int, 0, len(d.Nets))
+	for i, n := range d.Nets {
+		if !degenerate(n) {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ha, hb := d.Nets[order[a]].HPWL(), d.Nets[order[b]].HPWL()
+		if ha != hb {
+			return ha < hb
+		}
+		return order[a] < order[b]
+	})
+
+	res := &Result{Trees: make([]*tree.Tree, len(d.Nets))}
+	for _, ni := range order {
+		t, err := r.routeNet(d.Nets[ni])
+		if err != nil {
+			return nil, err
+		}
+		t.ApplyUsage(d.Grid, +1)
+		res.Trees[ni] = t
+		res.WireLength += t.TotalWirelength()
+		res.Vias += t.ViaCount()
+	}
+	return res, nil
+}
+
+func degenerate(n *netlist.Net) bool {
+	first := n.Pins[0].Pos
+	for _, p := range n.Pins[1:] {
+		if p.Pos != first {
+			return false
+		}
+	}
+	return true
+}
+
+type router3d struct {
+	d   *netlist.Design
+	g   *grid.Grid
+	opt Options
+}
+
+// node3 is a search state.
+type node3 struct {
+	pos   geom.Point
+	layer int
+}
+
+type item3 struct {
+	n    node3
+	cost float64
+}
+
+type pq3 []item3
+
+func (q pq3) Len() int            { return len(q) }
+func (q pq3) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq3) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq3) Push(x interface{}) { *q = append(*q, x.(item3)) }
+func (q *pq3) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// routeNet grows the net tile-tree: the 2-D projection stays a tree (a
+// tile joins on exactly one path), which lets the result build directly
+// into a layered routing tree.
+func (r *router3d) routeNet(n *netlist.Net) (*tree.Tree, error) {
+	pins := distinctTiles(n)
+	// Tree state: wires with layers, plus the layers present per tile
+	// (search sources).
+	var wires []tree.LayeredEdge
+	tileLayers := map[geom.Point][]int{pins[0]: {n.Source().Layer}}
+
+	remaining := append([]geom.Point(nil), pins[1:]...)
+	for len(remaining) > 0 {
+		// Nearest pin to the current tree (2-D distance).
+		bestIdx, bestDist := -1, 1<<30
+		for i, p := range remaining {
+			for q := range tileLayers {
+				if d := geom.ManhattanDist(p, q); d < bestDist {
+					bestDist = d
+					bestIdx = i
+				}
+			}
+		}
+		pin := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if _, ok := tileLayers[pin]; ok {
+			continue
+		}
+		path, err := r.search(pin, tileLayers)
+		if err != nil {
+			return nil, fmt.Errorf("route3d: net %q: %w", n.Name, err)
+		}
+		for _, w := range path {
+			wires = append(wires, w)
+			for _, t := range [2]geom.Point{{X: w.E.X, Y: w.E.Y}, w.E.Other()} {
+				tileLayers[t] = appendLayer(tileLayers[t], w.Layer)
+			}
+		}
+	}
+	t, err := tree.BuildLayered(n, wires, r.d.Stack)
+	if err != nil {
+		return nil, err
+	}
+	return t, t.Validate(r.d.Stack)
+}
+
+func appendLayer(ls []int, l int) []int {
+	for _, x := range ls {
+		if x == l {
+			return ls
+		}
+	}
+	return append(ls, l)
+}
+
+// search runs 3-D Dijkstra from the pin (at its pin layer) to any tile
+// already in the tree, restricted to a window. New tiles may be explored on
+// any layer; tiles already in the tree terminate the search (the
+// connection via stack is implicit in the layered tree build).
+func (r *router3d) search(start geom.Point, tree map[geom.Point][]int) ([]tree3path, error) {
+	win := geom.NewRect(start, start)
+	for p := range tree {
+		win = win.Expand(p)
+	}
+	m := r.opt.SearchMargin
+	win.MinX -= m
+	win.MinY -= m
+	win.MaxX += m
+	win.MaxY += m
+
+	startLayer := 0
+	dist := map[node3]float64{}
+	prev := map[node3]node3{}
+	q := &pq3{}
+	s0 := node3{start, startLayer}
+	dist[s0] = 0
+	heap.Push(q, item3{s0, 0})
+
+	numLayers := r.g.NumLayers()
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(item3)
+		if cur.cost > dist[cur.n] {
+			continue
+		}
+		if _, inTree := tree[cur.n.pos]; inTree && cur.n.pos != start {
+			return r.trace(cur.n, s0, prev), nil
+		}
+		// Via moves.
+		for _, dl := range [2]int{-1, +1} {
+			nl := cur.n.layer + dl
+			if nl < 0 || nl >= numLayers {
+				continue
+			}
+			lvl := min(cur.n.layer, nl)
+			c := cur.cost + r.opt.ViaCost + r.viaCongestion(cur.n.pos, lvl)
+			nn := node3{cur.n.pos, nl}
+			if old, ok := dist[nn]; !ok || c < old {
+				dist[nn] = c
+				prev[nn] = cur.n
+				heap.Push(q, item3{nn, c})
+			}
+		}
+		// Wire moves along the layer's preferred direction.
+		var steps [2]geom.Point
+		if r.g.Stack.Dir(cur.n.layer) == tech.Horizontal {
+			steps = [2]geom.Point{{X: cur.n.pos.X + 1, Y: cur.n.pos.Y}, {X: cur.n.pos.X - 1, Y: cur.n.pos.Y}}
+		} else {
+			steps = [2]geom.Point{{X: cur.n.pos.X, Y: cur.n.pos.Y + 1}, {X: cur.n.pos.X, Y: cur.n.pos.Y - 1}}
+		}
+		for _, nb := range steps {
+			if !r.g.InBounds(nb) || !win.Contains(nb) {
+				continue
+			}
+			e, err := grid.EdgeBetween(cur.n.pos, nb)
+			if err != nil {
+				return nil, err
+			}
+			c := cur.cost + r.wireCost(e, cur.n.layer)
+			nn := node3{nb, cur.n.layer}
+			if old, ok := dist[nn]; !ok || c < old {
+				dist[nn] = c
+				prev[nn] = cur.n
+				heap.Push(q, item3{nn, c})
+			}
+		}
+	}
+	return nil, fmt.Errorf("no 3-D path from %v to tree", start)
+}
+
+// tree3path is one wire step of a traced path; via steps carry no wire.
+type tree3path = tree.LayeredEdge
+
+func (r *router3d) trace(hit, start node3, prev map[node3]node3) []tree3path {
+	var out []tree3path
+	cur := hit
+	for cur != start {
+		p := prev[cur]
+		if p.pos != cur.pos {
+			e, _ := grid.EdgeBetween(p.pos, cur.pos)
+			out = append(out, tree.LayeredEdge{E: e, Layer: cur.layer})
+		}
+		cur = p
+	}
+	return out
+}
+
+func (r *router3d) wireCost(e grid.Edge, l int) float64 {
+	cap := float64(r.g.EdgeCap(e, l))
+	if cap <= 0 {
+		return 1e6
+	}
+	u := float64(r.g.EdgeUse(e, l))
+	cost := 1.0
+	switch {
+	case u >= cap:
+		cost += 8 * (u - cap + 1)
+	case u >= 0.75*cap:
+		cost += 2 * u / cap
+	}
+	return cost
+}
+
+func (r *router3d) viaCongestion(p geom.Point, lvl int) float64 {
+	cap := float64(r.g.ViaCap(p.X, p.Y, lvl))
+	if cap <= 0 {
+		return 8
+	}
+	u := float64(r.g.EffectiveViaUse(p.X, p.Y, lvl))
+	if u >= cap {
+		return 8 * (u - cap + 1) / cap
+	}
+	return u / cap
+}
+
+func distinctTiles(n *netlist.Net) []geom.Point {
+	seen := make(map[geom.Point]bool, len(n.Pins))
+	out := make([]geom.Point, 0, len(n.Pins))
+	for _, p := range n.Pins {
+		if !seen[p.Pos] {
+			seen[p.Pos] = true
+			out = append(out, p.Pos)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package route3d
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ispd08"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+func smallDesign(nets []*netlist.Net) *netlist.Design {
+	stack := tech.Default8()
+	g := grid.New(14, 14, stack)
+	g.SetUniformCapacity([]int32{8, 8, 8, 8, 8, 8, 8, 8})
+	return &netlist.Design{Name: "r3", Grid: g, Stack: stack, Nets: nets}
+}
+
+func mkNet(id int, tiles ...geom.Point) *netlist.Net {
+	n := &netlist.Net{ID: id, Name: "n"}
+	for _, t := range tiles {
+		n.Pins = append(n.Pins, netlist.Pin{Pos: t})
+	}
+	return n
+}
+
+func TestRouteTwoPin(t *testing.T) {
+	d := smallDesign([]*netlist.Net{mkNet(0, geom.Point{X: 1, Y: 1}, geom.Point{X: 6, Y: 1})})
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trees[0]
+	if tr == nil {
+		t.Fatal("no tree")
+	}
+	if tr.TotalWirelength() != 5 {
+		t.Fatalf("wirelength = %d, want 5", tr.TotalWirelength())
+	}
+	if err := tr.Validate(d.Stack); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteVerticalNeedsViaFromPinLayer(t *testing.T) {
+	// Pins on M1 (horizontal); a purely vertical connection must via up to
+	// a vertical layer.
+	d := smallDesign([]*netlist.Net{mkNet(0, geom.Point{X: 3, Y: 1}, geom.Point{X: 3, Y: 6})})
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trees[0]
+	if err := tr.Validate(d.Stack); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Segs {
+		if s.Dir == tech.Vertical && d.Stack.Dir(s.Layer) != tech.Vertical {
+			t.Fatalf("vertical segment on layer %d", s.Layer)
+		}
+	}
+	if tr.ViaCount() == 0 {
+		t.Fatal("expected vias for the pin-layer transition")
+	}
+}
+
+func TestRouteMultiPinAndUsage(t *testing.T) {
+	d := smallDesign([]*netlist.Net{mkNet(0,
+		geom.Point{X: 2, Y: 2}, geom.Point{X: 10, Y: 2},
+		geom.Point{X: 2, Y: 10}, geom.Point{X: 6, Y: 6},
+	)})
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trees[0]
+	if err := tr.Validate(d.Stack); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.SinkNode) != 3 {
+		t.Fatalf("sinks bound = %d", len(tr.SinkNode))
+	}
+	// Usage committed by RouteAll must match the tree exactly.
+	tree.ApplyAllUsage(d.Grid, res.Trees, -1)
+	if d.Grid.TotalViaUse() != 0 {
+		t.Fatal("usage inconsistent")
+	}
+}
+
+func TestRouteBenchmarkAndTiming(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "r3b", W: 20, H: 20, Layers: 8, NumNets: 250, Capacity: 8, Seed: 44,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	eng := timing.NewEngine(d.Stack, timing.DefaultParams())
+	for _, tr := range res.Trees {
+		if tr == nil {
+			continue
+		}
+		routed++
+		if err := tr.Validate(d.Stack); err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Segs) > 0 {
+			nt := eng.Analyze(tr)
+			if nt.Tcp <= 0 {
+				t.Fatal("non-positive delay on routed net")
+			}
+		}
+	}
+	if routed < 200 {
+		t.Fatalf("routed %d of 250", routed)
+	}
+	if res.WireLength == 0 || res.Vias == 0 {
+		t.Fatalf("metrics empty: %+v", res)
+	}
+	ov := d.Grid.CollectOverflow()
+	if ov.EdgeExcess > res.WireLength/10 {
+		t.Fatalf("excess %d too high for wirelength %d", ov.EdgeExcess, res.WireLength)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() int {
+		d, err := ispd08.Generate(ispd08.GenParams{
+			Name: "r3d", W: 16, H: 16, Layers: 6, NumNets: 120, Capacity: 8, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RouteAll(d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WireLength*100000 + res.Vias
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic 3-D routing: %d vs %d", a, b)
+	}
+}

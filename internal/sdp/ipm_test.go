@@ -1,0 +1,183 @@
+package sdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func solveIPMOK(t *testing.T, p *Problem, opt Options) *Result {
+	t.Helper()
+	res, err := SolveIPM(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("IPM did not converge: primal %g dual %g mu after %d iters",
+			res.PrimalRes, res.DualRes, res.Iters)
+	}
+	return res
+}
+
+func TestIPMTraceMinimization(t *testing.T) {
+	p := &Problem{N: 3}
+	p.C.Add(0, 0, 1)
+	p.C.Add(1, 1, 1)
+	p.C.Add(2, 2, 1)
+	var a SymMatrix
+	a.Add(0, 0, 1)
+	p.Constraints = []Constraint{{A: a, RHS: 1}}
+	res := solveIPMOK(t, p, Options{})
+	if math.Abs(res.Objective-1) > 1e-4 {
+		t.Fatalf("objective = %g, want 1", res.Objective)
+	}
+}
+
+func TestIPMMaxCutTriangle(t *testing.T) {
+	p := &Problem{N: 3}
+	p.C.Add(0, 1, 0.5)
+	p.C.Add(0, 2, 0.5)
+	p.C.Add(1, 2, 0.5)
+	for i := 0; i < 3; i++ {
+		var a SymMatrix
+		a.Add(i, i, 1)
+		p.Constraints = append(p.Constraints, Constraint{A: a, RHS: 1})
+	}
+	res := solveIPMOK(t, p, Options{})
+	if math.Abs(res.Objective-(-1.5)) > 1e-4 {
+		t.Fatalf("objective = %g, want -1.5", res.Objective)
+	}
+}
+
+func TestIPMOffDiagonalConstraint(t *testing.T) {
+	p := &Problem{N: 2}
+	p.C.Add(0, 0, 1)
+	p.C.Add(1, 1, 1)
+	var a SymMatrix
+	a.Add(0, 1, 0.5)
+	p.Constraints = []Constraint{{A: a, RHS: 1}}
+	res := solveIPMOK(t, p, Options{})
+	if math.Abs(res.Objective-2) > 1e-3 {
+		t.Fatalf("objective = %g, want 2", res.Objective)
+	}
+}
+
+func TestIPMRejectsMalformed(t *testing.T) {
+	if _, err := SolveIPM(&Problem{N: 0}, Options{}); err == nil {
+		t.Fatal("expected error for empty problem")
+	}
+	p := &Problem{N: 2}
+	var a SymMatrix
+	a.Add(0, 9, 1)
+	p.Constraints = []Constraint{{A: a, RHS: 1}}
+	if _, err := SolveIPM(p, Options{}); err == nil {
+		t.Fatal("expected error for out-of-range entry")
+	}
+}
+
+// Cross-check: ADMM and IPM agree on random diagonally-constrained SDPs,
+// and the IPM achieves at least the ADMM's accuracy.
+func TestQuickIPMMatchesADMM(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := &Problem{N: n}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				p.C.Add(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < n; i++ {
+			var a SymMatrix
+			a.Add(i, i, 1)
+			p.Constraints = append(p.Constraints, Constraint{A: a, RHS: 0.5 + rng.Float64()})
+		}
+		admm, err1 := Solve(p, Options{MaxIters: 4000, Tol: 1e-5})
+		ipm, err2 := SolveIPM(p, Options{})
+		if err1 != nil || err2 != nil || !admm.Converged || !ipm.Converged {
+			return false
+		}
+		if math.Abs(admm.Objective-ipm.Objective) > 1e-2*(1+math.Abs(ipm.Objective)) {
+			return false
+		}
+		lo, err := linalg.MinEigenvalue(ipm.X)
+		return err == nil && lo > -1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIPMPartitionSized(b *testing.B) {
+	p := benchProblem(48, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveIPM(p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMehrotraPredictorMatchesPlain(t *testing.T) {
+	// Both IPM variants must reach the same optimum; the predictor should
+	// not need more iterations.
+	for _, mk := range []func() *Problem{
+		func() *Problem { // trace minimization
+			p := &Problem{N: 3}
+			p.C.Add(0, 0, 1)
+			p.C.Add(1, 1, 1)
+			p.C.Add(2, 2, 1)
+			var a SymMatrix
+			a.Add(0, 0, 1)
+			p.Constraints = []Constraint{{A: a, RHS: 1}}
+			return p
+		},
+		func() *Problem { // max-cut triangle
+			p := &Problem{N: 3}
+			p.C.Add(0, 1, 0.5)
+			p.C.Add(0, 2, 0.5)
+			p.C.Add(1, 2, 0.5)
+			for i := 0; i < 3; i++ {
+				var a SymMatrix
+				a.Add(i, i, 1)
+				p.Constraints = append(p.Constraints, Constraint{A: a, RHS: 1})
+			}
+			return p
+		},
+	} {
+		plain := solveIPMOK(t, mk(), Options{})
+		pred := solveIPMOK(t, mk(), Options{Predictor: true})
+		if math.Abs(plain.Objective-pred.Objective) > 1e-4*(1+math.Abs(plain.Objective)) {
+			t.Fatalf("objectives differ: plain %g vs predictor %g", plain.Objective, pred.Objective)
+		}
+		if pred.Iters > plain.Iters+5 {
+			t.Fatalf("predictor used %d iters vs plain %d", pred.Iters, plain.Iters)
+		}
+	}
+}
+
+func TestMehrotraOnRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(4)
+		p := &Problem{N: n}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				p.C.Add(i, j, rng.NormFloat64())
+			}
+		}
+		for i := 0; i < n; i++ {
+			var a SymMatrix
+			a.Add(i, i, 1)
+			p.Constraints = append(p.Constraints, Constraint{A: a, RHS: 0.5 + rng.Float64()})
+		}
+		plain := solveIPMOK(t, p, Options{})
+		pred := solveIPMOK(t, p, Options{Predictor: true})
+		if math.Abs(plain.Objective-pred.Objective) > 1e-3*(1+math.Abs(plain.Objective)) {
+			t.Fatalf("trial %d: objectives differ: %g vs %g", trial, plain.Objective, pred.Objective)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package sdp implements a first-order solver for standard-form semidefinite
+// programs
+//
+//	minimize    C•X
+//	subject to  Aᵢ•X = bᵢ    i = 1..m
+//	            X ⪰ 0
+//
+// using the alternating-direction dual augmented-Lagrangian method of Wen,
+// Goldfarb and Yin (2010). It replaces CSDP in the paper's flow: CPLA only
+// needs a moderately accurate fractional X whose entries rank layer choices
+// before post-mapping rounds them, so a robust first-order method is the
+// right trade-off for a dependency-free implementation.
+//
+// Aᵢ and C are sparse symmetric matrices given by their upper triangles; an
+// entry (i, j, v) with i ≠ j denotes both (i,j) and (j,i) set to v.
+package sdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// MatEntry is one upper-triangular entry of a sparse symmetric matrix.
+type MatEntry struct {
+	I, J int
+	Val  float64
+}
+
+// SymMatrix is a sparse symmetric matrix in upper-triangular coordinate
+// form.
+type SymMatrix struct {
+	Entries []MatEntry
+}
+
+// Add appends an entry, normalizing to the upper triangle.
+func (s *SymMatrix) Add(i, j int, v float64) {
+	if i > j {
+		i, j = j, i
+	}
+	s.Entries = append(s.Entries, MatEntry{I: i, J: j, Val: v})
+}
+
+// Dense materializes the full symmetric matrix with dimension n. Duplicate
+// entries accumulate.
+func (s *SymMatrix) Dense(n int) *linalg.Matrix {
+	m := linalg.NewMatrix(n, n)
+	for _, e := range s.Entries {
+		m.Add(e.I, e.J, e.Val)
+		if e.I != e.J {
+			m.Add(e.J, e.I, e.Val)
+		}
+	}
+	return m
+}
+
+// Dot computes the Frobenius inner product with a dense symmetric matrix:
+// off-diagonal entries count twice.
+func (s *SymMatrix) Dot(x *linalg.Matrix) float64 {
+	sum := 0.0
+	for _, e := range s.Entries {
+		v := e.Val * x.At(e.I, e.J)
+		if e.I != e.J {
+			v *= 2
+		}
+		sum += v
+	}
+	return sum
+}
+
+// Constraint is one equality constraint A•X = RHS.
+type Constraint struct {
+	A   SymMatrix
+	RHS float64
+}
+
+// Problem is a standard-form SDP.
+type Problem struct {
+	N           int // dimension of X
+	C           SymMatrix
+	Constraints []Constraint
+}
+
+// Options tunes the solvers (ADMM and IPM share the struct; Mu applies to
+// ADMM only, Predictor to the IPM only).
+type Options struct {
+	MaxIters int     // 0 → 2000 (ADMM) / 60 (IPM)
+	Tol      float64 // relative residual tolerance; 0 → 1e-5 (ADMM) / 1e-6 (IPM)
+	Mu       float64 // ADMM initial penalty; 0 → 1
+	// Predictor enables the Mehrotra predictor-corrector in SolveIPM: an
+	// affine scaling step sets the centering parameter adaptively and a
+	// second-order corrector reuses the factored Schur complement.
+	Predictor bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 2000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	}
+	if o.Mu == 0 {
+		o.Mu = 1
+	}
+	return o
+}
+
+// Result reports the solve outcome.
+type Result struct {
+	X         *linalg.Matrix
+	Objective float64
+	PrimalRes float64 // relative ||A(X)-b||
+	DualRes   float64 // relative ||Aᵀy + S - C||_F
+	Iters     int
+	Converged bool
+}
+
+// Solve runs the dual ADMM. It returns an error only for malformed problems
+// (dimension mismatch, linearly dependent constraints making AAᵀ singular).
+func Solve(p *Problem, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := p.N
+	m := len(p.Constraints)
+	if n <= 0 {
+		return nil, errors.New("sdp: empty problem")
+	}
+	for ci, c := range p.Constraints {
+		for _, e := range c.A.Entries {
+			if e.I < 0 || e.J >= n {
+				return nil, fmt.Errorf("sdp: constraint %d entry (%d,%d) out of range for n=%d", ci, e.I, e.J, n)
+			}
+		}
+	}
+
+	cDense := p.C.Dense(n)
+	b := make([]float64, m)
+	for i, c := range p.Constraints {
+		b[i] = c.RHS
+	}
+
+	// Gram matrix AAᵀ with (i,j) = <A_i, A_j>; factor once.
+	gram, err := gramMatrix(p.Constraints, n)
+	if err != nil {
+		return nil, err
+	}
+	chol, err := linalg.Cholesky(gram)
+	if err != nil {
+		return nil, fmt.Errorf("sdp: constraint Gram matrix not positive definite (dependent constraints?): %w", err)
+	}
+
+	x := linalg.NewMatrix(n, n)  // primal X, PSD by construction
+	s := linalg.NewMatrix(n, n)  // dual slack S
+	y := make([]float64, m)      // dual multipliers
+	mu := opt.Mu                 // penalty
+	normB := 1 + linalg.Norm2(b) // residual scaling
+	normC := 1 + cDense.FrobeniusNorm()
+
+	var priRes, duaRes float64
+	for iter := 1; iter <= opt.MaxIters; iter++ {
+		// y-update: (AAᵀ)y = (b - A(X))/μ + A(C - S).
+		ax := applyA(p.Constraints, x)
+		cms := cDense.Clone().SubMatrix(s)
+		rhs := applyA(p.Constraints, cms)
+		for i := range rhs {
+			rhs[i] += (b[i] - ax[i]) / mu
+		}
+		y = chol.Solve(rhs)
+
+		// V = C - Aᵀy - X/μ; S = P_PSD(V); X ← μ(S - V) = μ·P_PSD(-V).
+		v := cDense.Clone()
+		subAdjoint(v, p.Constraints, y)
+		v.SubMatrix(x.Clone().Scale(1 / mu))
+		v.Symmetrize()
+		sNew, err := linalg.ProjectPSD(v)
+		if err != nil {
+			return nil, err
+		}
+		s = sNew
+		x = s.Clone().SubMatrix(v).Scale(mu)
+
+		// Residuals.
+		ax = applyA(p.Constraints, x)
+		for i := range ax {
+			ax[i] -= b[i]
+		}
+		priRes = linalg.Norm2(ax) / normB
+		dual := cDense.Clone()
+		subAdjoint(dual, p.Constraints, y)
+		dual.SubMatrix(s)
+		duaRes = dual.FrobeniusNorm() / normC
+
+		if priRes < opt.Tol && duaRes < opt.Tol {
+			return &Result{
+				X: x, Objective: p.C.Dot(x),
+				PrimalRes: priRes, DualRes: duaRes,
+				Iters: iter, Converged: true,
+			}, nil
+		}
+
+		// Penalty adaptation: in the dual ADMM larger μ pushes primal
+		// feasibility harder, smaller μ pushes dual feasibility.
+		if iter%20 == 0 {
+			switch {
+			case priRes > 10*duaRes:
+				mu = math.Min(mu*1.6, 1e6)
+			case duaRes > 10*priRes:
+				mu = math.Max(mu/1.6, 1e-6)
+			}
+		}
+	}
+	return &Result{
+		X: x, Objective: p.C.Dot(x),
+		PrimalRes: priRes, DualRes: duaRes,
+		Iters: opt.MaxIters, Converged: false,
+	}, nil
+}
+
+// applyA evaluates the linear map A(X) = (A₁•X, …, A_m•X).
+func applyA(cons []Constraint, x *linalg.Matrix) []float64 {
+	out := make([]float64, len(cons))
+	for i := range cons {
+		out[i] = cons[i].A.Dot(x)
+	}
+	return out
+}
+
+// subAdjoint computes dst -= Aᵀy = Σ yᵢ·Aᵢ in place.
+func subAdjoint(dst *linalg.Matrix, cons []Constraint, y []float64) {
+	for i := range cons {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for _, e := range cons[i].A.Entries {
+			dst.Add(e.I, e.J, -yi*e.Val)
+			if e.I != e.J {
+				dst.Add(e.J, e.I, -yi*e.Val)
+			}
+		}
+	}
+}
+
+// gramMatrix builds the m×m matrix of pairwise Frobenius inner products of
+// the constraint matrices.
+func gramMatrix(cons []Constraint, n int) (*linalg.Matrix, error) {
+	m := len(cons)
+	// Canonical per-constraint maps from packed upper-triangular cell index
+	// to accumulated value.
+	maps := make([]map[int]float64, m)
+	for i, c := range cons {
+		cm := make(map[int]float64, len(c.A.Entries))
+		for _, e := range c.A.Entries {
+			cm[e.I*n+e.J] += e.Val
+		}
+		maps[i] = cm
+	}
+	g := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			// Iterate over the smaller map.
+			a, bm := maps[i], maps[j]
+			if len(bm) < len(a) {
+				a, bm = bm, a
+			}
+			sum := 0.0
+			for cell, va := range a {
+				vb, ok := bm[cell]
+				if !ok {
+					continue
+				}
+				w := va * vb
+				if cell/n != cell%n {
+					w *= 2 // off-diagonal cells count twice
+				}
+				sum += w
+			}
+			g.Set(i, j, sum)
+			g.Set(j, i, sum)
+		}
+	}
+	// Tiny ridge for numerical safety with near-dependent rows.
+	for i := 0; i < m; i++ {
+		g.Add(i, i, 1e-12)
+	}
+	return g, nil
+}

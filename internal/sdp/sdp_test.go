@@ -1,0 +1,250 @@
+package sdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func solveOK(t *testing.T, p *Problem, opt Options) *Result {
+	t.Helper()
+	res, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: primal %g dual %g after %d iters",
+			res.PrimalRes, res.DualRes, res.Iters)
+	}
+	return res
+}
+
+func TestTraceMinimization(t *testing.T) {
+	// min tr(X) s.t. X_00 = 1, X ⪰ 0 → X = e₀₀·1, objective 1.
+	p := &Problem{N: 3}
+	p.C.Add(0, 0, 1)
+	p.C.Add(1, 1, 1)
+	p.C.Add(2, 2, 1)
+	var a SymMatrix
+	a.Add(0, 0, 1)
+	p.Constraints = []Constraint{{A: a, RHS: 1}}
+	res := solveOK(t, p, Options{})
+	if math.Abs(res.Objective-1) > 1e-3 {
+		t.Fatalf("objective = %g, want 1", res.Objective)
+	}
+	if math.Abs(res.X.At(0, 0)-1) > 1e-3 {
+		t.Fatalf("X00 = %g, want 1", res.X.At(0, 0))
+	}
+	if math.Abs(res.X.At(1, 1)) > 1e-3 || math.Abs(res.X.At(2, 2)) > 1e-3 {
+		t.Fatalf("off mass: %v", res.X.Data)
+	}
+}
+
+func TestSignedTraceObjective(t *testing.T) {
+	// min C•X with C = diag(1, -1), tr(X) = 1, X ⪰ 0 → put all mass on the
+	// -1 entry: objective -1.
+	p := &Problem{N: 2}
+	p.C.Add(0, 0, 1)
+	p.C.Add(1, 1, -1)
+	var a SymMatrix
+	a.Add(0, 0, 1)
+	a.Add(1, 1, 1)
+	p.Constraints = []Constraint{{A: a, RHS: 1}}
+	res := solveOK(t, p, Options{})
+	if math.Abs(res.Objective-(-1)) > 1e-3 {
+		t.Fatalf("objective = %g, want -1", res.Objective)
+	}
+}
+
+func TestMaxCutTriangleRelaxation(t *testing.T) {
+	// Max-cut SDP relaxation of a unit triangle: min Σ_{i<j} X_ij with
+	// diag(X) = 1 has optimum X_ij = -1/2 → objective -3/2.
+	p := &Problem{N: 3}
+	p.C.Add(0, 1, 0.5) // symmetric entry counts twice → contributes X_01
+	p.C.Add(0, 2, 0.5)
+	p.C.Add(1, 2, 0.5)
+	for i := 0; i < 3; i++ {
+		var a SymMatrix
+		a.Add(i, i, 1)
+		p.Constraints = append(p.Constraints, Constraint{A: a, RHS: 1})
+	}
+	res := solveOK(t, p, Options{MaxIters: 5000})
+	if math.Abs(res.Objective-(-1.5)) > 5e-3 {
+		t.Fatalf("objective = %g, want -1.5", res.Objective)
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if math.Abs(res.X.At(i, j)-(-0.5)) > 5e-3 {
+				t.Fatalf("X[%d][%d] = %g, want -0.5", i, j, res.X.At(i, j))
+			}
+		}
+	}
+}
+
+func TestOffDiagonalConstraint(t *testing.T) {
+	// min tr(X) s.t. X_01 = 1 (via symmetric entry), X ⪰ 0.
+	// X = [[a, 1],[1, d]] PSD needs a·d ≥ 1; min a+d = 2 at a=d=1.
+	p := &Problem{N: 2}
+	p.C.Add(0, 0, 1)
+	p.C.Add(1, 1, 1)
+	var a SymMatrix
+	a.Add(0, 1, 0.5) // A•X = 2·0.5·X01 = X01
+	p.Constraints = []Constraint{{A: a, RHS: 1}}
+	res := solveOK(t, p, Options{MaxIters: 5000})
+	if math.Abs(res.Objective-2) > 5e-3 {
+		t.Fatalf("objective = %g, want 2", res.Objective)
+	}
+}
+
+func TestMalformedProblems(t *testing.T) {
+	if _, err := Solve(&Problem{N: 0}, Options{}); err == nil {
+		t.Fatal("expected error for empty problem")
+	}
+	p := &Problem{N: 2}
+	var a SymMatrix
+	a.Add(0, 5, 1)
+	p.Constraints = []Constraint{{A: a, RHS: 1}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("expected error for out-of-range entry")
+	}
+}
+
+func TestSymMatrixDenseAndDot(t *testing.T) {
+	var s SymMatrix
+	s.Add(0, 1, 2)
+	s.Add(1, 1, 3)
+	d := s.Dense(2)
+	if d.At(0, 1) != 2 || d.At(1, 0) != 2 || d.At(1, 1) != 3 {
+		t.Fatalf("Dense wrong: %v", d.Data)
+	}
+	x := linalg.NewMatrixFrom([][]float64{{1, 4}, {4, 5}})
+	// Dot = 2·X01·2 + 3·X11 = 16 + 15 = 31.
+	if got := s.Dot(x); got != 31 {
+		t.Fatalf("Dot = %g, want 31", got)
+	}
+	// Add with reversed indices normalizes.
+	var r SymMatrix
+	r.Add(3, 1, 7)
+	if r.Entries[0].I != 1 || r.Entries[0].J != 3 {
+		t.Fatalf("Add did not normalize: %+v", r.Entries[0])
+	}
+}
+
+// Property: the returned X is PSD and satisfies the constraints within a
+// loose tolerance, for random diagonally-constrained problems.
+func TestQuickSolutionFeasiblePSD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := &Problem{N: n}
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				p.C.Add(i, j, rng.NormFloat64())
+			}
+		}
+		// Constraints: diag entries pinned to random positive values.
+		for i := 0; i < n; i++ {
+			var a SymMatrix
+			a.Add(i, i, 1)
+			p.Constraints = append(p.Constraints, Constraint{A: a, RHS: 0.5 + rng.Float64()})
+		}
+		res, err := Solve(p, Options{MaxIters: 4000, Tol: 1e-4})
+		if err != nil || !res.Converged {
+			return false
+		}
+		for _, c := range p.Constraints {
+			if math.Abs(c.A.Dot(res.X)-c.RHS) > 1e-2 {
+				return false
+			}
+		}
+		lo, err := linalg.MinEigenvalue(res.X)
+		return err == nil && lo > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: objective is invariant to scaling the constraint matrices and
+// RHS together (A → 2A, b → 2b leaves the feasible set unchanged).
+func TestQuickConstraintScalingInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		build := func(scale float64) *Problem {
+			r := rand.New(rand.NewSource(seed)) // same randomness
+			p := &Problem{N: n}
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					p.C.Add(i, j, r.NormFloat64())
+				}
+			}
+			for i := 0; i < n; i++ {
+				var a SymMatrix
+				a.Add(i, i, scale)
+				p.Constraints = append(p.Constraints, Constraint{A: a, RHS: scale * (0.5 + r.Float64())})
+			}
+			return p
+		}
+		r1, err1 := Solve(build(1), Options{MaxIters: 4000, Tol: 1e-3})
+		r2, err2 := Solve(build(2), Options{MaxIters: 4000, Tol: 1e-3})
+		if err1 != nil || err2 != nil || !r1.Converged || !r2.Converged {
+			return false
+		}
+		_ = rng
+		return math.Abs(r1.Objective-r2.Objective) < 5e-2*(1+math.Abs(r1.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependentConstraintsRejected(t *testing.T) {
+	// Two identical constraint matrices make AAᵀ singular; the solver must
+	// report a clean error rather than diverge.
+	p := &Problem{N: 2}
+	p.C.Add(0, 0, 1)
+	var a1, a2 SymMatrix
+	a1.Add(0, 0, 1)
+	a2.Add(0, 0, 1)
+	p.Constraints = []Constraint{{A: a1, RHS: 1}, {A: a2, RHS: 2}}
+	res, err := Solve(p, Options{MaxIters: 300})
+	if err == nil && res.Converged {
+		t.Fatal("contradictory constraints reported as converged")
+	}
+}
+
+func TestInfeasibleReportsNonConverged(t *testing.T) {
+	// X00 = -1 is impossible for PSD X; ADMM must terminate with
+	// Converged=false instead of looping or panicking.
+	p := &Problem{N: 2}
+	p.C.Add(0, 0, 1)
+	var a SymMatrix
+	a.Add(0, 0, 1)
+	p.Constraints = []Constraint{{A: a, RHS: -1}}
+	res, err := Solve(p, Options{MaxIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("infeasible problem reported as converged")
+	}
+	if res.PrimalRes <= 0 {
+		t.Fatal("expected nonzero primal residual")
+	}
+}
+
+func TestIPMInfeasibleDoesNotConverge(t *testing.T) {
+	p := &Problem{N: 2}
+	p.C.Add(0, 0, 1)
+	var a SymMatrix
+	a.Add(0, 0, 1)
+	p.Constraints = []Constraint{{A: a, RHS: -1}}
+	res, err := SolveIPM(p, Options{MaxIters: 30})
+	if err == nil && res.Converged {
+		t.Fatal("infeasible problem reported as converged")
+	}
+}

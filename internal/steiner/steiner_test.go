@@ -1,0 +1,166 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func pt(x, y int) geom.Point { return geom.Point{X: x, Y: y} }
+
+func TestTrivialCases(t *testing.T) {
+	if tr := Build(nil); len(tr.Edges) != 0 {
+		t.Fatal("empty build has edges")
+	}
+	if tr := Build([]geom.Point{pt(3, 3)}); len(tr.Edges) != 0 {
+		t.Fatal("single terminal has edges")
+	}
+	tr := Build([]geom.Point{pt(0, 0), pt(4, 3)})
+	if len(tr.Edges) != 1 || tr.Wirelength() != 7 {
+		t.Fatalf("2-pin: edges=%d wl=%d", len(tr.Edges), tr.Wirelength())
+	}
+}
+
+func TestClassicSteinerCross(t *testing.T) {
+	// Four corners of a plus sign: MST costs 3 sides worth; the Steiner
+	// tree uses the center. Terminals at (0,1),(2,1),(1,0),(1,2):
+	// MST = 2+2+2 = 6; Steiner with center (1,1) = 4.
+	tr := Build([]geom.Point{pt(0, 1), pt(2, 1), pt(1, 0), pt(1, 2)})
+	if wl := tr.Wirelength(); wl != 4 {
+		t.Fatalf("wirelength = %d, want 4", wl)
+	}
+	if len(tr.Points) != 5 {
+		t.Fatalf("points = %d, want 5 (one Steiner point)", len(tr.Points))
+	}
+	if tr.Points[4] != pt(1, 1) {
+		t.Fatalf("steiner point = %v, want (1,1)", tr.Points[4])
+	}
+}
+
+func TestLShapeNoSteinerNeeded(t *testing.T) {
+	// Three collinear-ish pins where the MST is already optimal.
+	tr := Build([]geom.Point{pt(0, 0), pt(5, 0), pt(9, 0)})
+	if wl := tr.Wirelength(); wl != 9 {
+		t.Fatalf("wirelength = %d, want 9", wl)
+	}
+	if len(tr.Points) != 3 {
+		t.Fatalf("unnecessary steiner points: %v", tr.Points)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		seen := map[geom.Point]bool{}
+		var pins []geom.Point
+		for len(pins) < n {
+			p := pt(rng.Intn(30), rng.Intn(30))
+			if !seen[p] {
+				seen[p] = true
+				pins = append(pins, p)
+			}
+		}
+		tr := Build(pins)
+		if len(tr.Edges) != len(tr.Points)-1 {
+			t.Fatalf("not a tree: %d edges %d points", len(tr.Edges), len(tr.Points))
+		}
+		// Union-find connectivity.
+		parent := make([]int, len(tr.Points))
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(v int) int {
+			if parent[v] != v {
+				parent[v] = find(parent[v])
+			}
+			return parent[v]
+		}
+		for _, e := range tr.Edges {
+			parent[find(e[0])] = find(e[1])
+		}
+		root := find(0)
+		for i := range tr.Points {
+			if find(i) != root {
+				t.Fatal("disconnected topology")
+			}
+		}
+	}
+}
+
+// Property: the Steiner tree never exceeds the MST wirelength and never
+// goes below the HPWL lower bound.
+func TestQuickSteinerBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		seen := map[geom.Point]bool{}
+		var pins []geom.Point
+		for len(pins) < n {
+			p := pt(rng.Intn(24), rng.Intn(24))
+			if !seen[p] {
+				seen[p] = true
+				pins = append(pins, p)
+			}
+		}
+		tr := Build(pins)
+		mst := &Tree{Points: pins, Terminals: n, Edges: mstEdges(pins)}
+		if tr.Wirelength() > mst.Wirelength() {
+			return false
+		}
+		return tr.Wirelength() >= geom.BoundingBox(pins).HPWL()/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: all terminals survive in the final point list, in order.
+func TestQuickTerminalsPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		seen := map[geom.Point]bool{}
+		var pins []geom.Point
+		for len(pins) < n {
+			p := pt(rng.Intn(20), rng.Intn(20))
+			if !seen[p] {
+				seen[p] = true
+				pins = append(pins, p)
+			}
+		}
+		tr := Build(pins)
+		if tr.Terminals != n {
+			return false
+		}
+		for i, p := range pins {
+			if tr.Points[i] != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild10Pins(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	var pins []geom.Point
+	seen := map[geom.Point]bool{}
+	for len(pins) < 10 {
+		p := pt(rng.Intn(40), rng.Intn(40))
+		if !seen[p] {
+			seen[p] = true
+			pins = append(pins, p)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pins)
+	}
+}

@@ -1,0 +1,156 @@
+// Package tech models the metal-layer technology stack: preferred routing
+// direction, per-layer unit wire resistance and capacitance, via resistance,
+// and the geometric parameters (wire/via width and spacing, tile width) that
+// determine via capacity per Eqn (1) of the paper.
+//
+// The shipped default stack follows the qualitative industrial property the
+// paper relies on: higher metal layers are wider with lower resistance,
+// lower layers are thinner with higher resistance.
+package tech
+
+import "fmt"
+
+// Direction is a layer's preferred routing direction.
+type Direction int
+
+const (
+	// Horizontal layers carry x-direction wires.
+	Horizontal Direction = iota
+	// Vertical layers carry y-direction wires.
+	Vertical
+)
+
+func (d Direction) String() string {
+	if d == Horizontal {
+		return "H"
+	}
+	return "V"
+}
+
+// Layer describes one metal layer.
+type Layer struct {
+	Name string
+	Dir  Direction
+	// UnitR is the wire resistance per tile of wirelength (Ω/tile).
+	UnitR float64
+	// UnitC is the wire capacitance per tile of wirelength (fF/tile).
+	UnitC float64
+	// ViaR is the resistance of a via from this layer up to the next (Ω).
+	// Unused on the top layer.
+	ViaR float64
+}
+
+// Stack is a full technology stack.
+type Stack struct {
+	Layers []Layer
+	// Geometry used by the via-capacity model, Eqn (1). All lengths share
+	// one arbitrary unit.
+	WireWidth   float64
+	WireSpacing float64
+	ViaWidth    float64
+	ViaSpacing  float64
+	TileWidth   float64
+}
+
+// NumLayers returns the number of metal layers.
+func (s *Stack) NumLayers() int { return len(s.Layers) }
+
+// Dir returns the preferred direction of layer l.
+func (s *Stack) Dir(l int) Direction { return s.Layers[l].Dir }
+
+// LayersWithDir returns the indices of all layers routed in direction d,
+// ascending.
+func (s *Stack) LayersWithDir(d Direction) []int {
+	var out []int
+	for i, layer := range s.Layers {
+		if layer.Dir == d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NV returns the number of via positions blocked by one routing track of
+// wire within one tile — the nv coefficient of constraint (4d): one track of
+// width (ww+ws) over a tile of width Tilew covers
+// (ww+ws)·Tilew/(vw+vs)² via sites.
+func (s *Stack) NV() int {
+	denom := (s.ViaWidth + s.ViaSpacing) * (s.ViaWidth + s.ViaSpacing)
+	return int((s.WireWidth + s.WireSpacing) * s.TileWidth / denom)
+}
+
+// ViaCapacity implements Eqn (1): the via capacity of a grid cell at layer l
+// given the routing capacities (in tracks) of the two edges e0, e1 adjacent
+// to the cell on layer l.
+func (s *Stack) ViaCapacity(capE0, capE1 int) int {
+	denom := (s.ViaWidth + s.ViaSpacing) * (s.ViaWidth + s.ViaSpacing)
+	return int((s.WireWidth + s.WireSpacing) * s.TileWidth * float64(capE0+capE1) / denom)
+}
+
+// ViaR returns the via resistance between layer l and l+1.
+func (s *Stack) ViaR(l int) float64 { return s.Layers[l].ViaR }
+
+// Validate checks internal consistency.
+func (s *Stack) Validate() error {
+	if len(s.Layers) < 2 {
+		return fmt.Errorf("tech: stack needs at least 2 layers, has %d", len(s.Layers))
+	}
+	if s.WireWidth <= 0 || s.WireSpacing <= 0 || s.ViaWidth <= 0 || s.ViaSpacing <= 0 || s.TileWidth <= 0 {
+		return fmt.Errorf("tech: non-positive geometry parameter")
+	}
+	for i, l := range s.Layers {
+		if l.UnitR <= 0 || l.UnitC <= 0 {
+			return fmt.Errorf("tech: layer %d has non-positive RC", i)
+		}
+		if i+1 < len(s.Layers) && l.ViaR <= 0 {
+			return fmt.Errorf("tech: layer %d has non-positive via resistance", i)
+		}
+	}
+	hasH, hasV := false, false
+	for _, l := range s.Layers {
+		if l.Dir == Horizontal {
+			hasH = true
+		} else {
+			hasV = true
+		}
+	}
+	if !hasH || !hasV {
+		return fmt.Errorf("tech: stack must contain both directions")
+	}
+	return nil
+}
+
+// Default8 returns the default 8-layer stack used throughout the
+// reproduction. Layers alternate H/V starting horizontal; resistance halves
+// every layer pair going up while capacitance grows mildly with wire width,
+// mirroring the industrial trend the paper cites.
+func Default8() *Stack {
+	mk := func(name string, dir Direction, r, c float64) Layer {
+		return Layer{Name: name, Dir: dir, UnitR: r, UnitC: c, ViaR: 2.0}
+	}
+	return &Stack{
+		Layers: []Layer{
+			mk("M1", Horizontal, 8.0, 0.8),
+			mk("M2", Vertical, 8.0, 0.8),
+			mk("M3", Horizontal, 4.0, 0.9),
+			mk("M4", Vertical, 4.0, 0.9),
+			mk("M5", Horizontal, 2.0, 1.0),
+			mk("M6", Vertical, 2.0, 1.0),
+			mk("M7", Horizontal, 1.0, 1.2),
+			mk("M8", Vertical, 1.0, 1.2),
+		},
+		WireWidth:   1,
+		WireSpacing: 1,
+		ViaWidth:    1,
+		ViaSpacing:  1,
+		TileWidth:   40,
+	}
+}
+
+// Default6 returns a 6-layer variant used by the smaller synthetic
+// instances.
+func Default6() *Stack {
+	s := Default8()
+	s.Layers = s.Layers[:6]
+	return s
+}

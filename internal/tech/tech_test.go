@@ -1,0 +1,105 @@
+package tech
+
+import "testing"
+
+func TestDefaultStacksValid(t *testing.T) {
+	for _, s := range []*Stack{Default8(), Default6()} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("default stack invalid: %v", err)
+		}
+	}
+}
+
+func TestDirectionsAlternate(t *testing.T) {
+	s := Default8()
+	for i, l := range s.Layers {
+		want := Horizontal
+		if i%2 == 1 {
+			want = Vertical
+		}
+		if l.Dir != want {
+			t.Fatalf("layer %d dir = %v, want %v", i, l.Dir, want)
+		}
+	}
+}
+
+func TestResistanceMonotoneDecreasing(t *testing.T) {
+	// The property the paper relies on: higher layers have lower (or equal)
+	// resistance within each direction.
+	s := Default8()
+	for _, d := range []Direction{Horizontal, Vertical} {
+		idx := s.LayersWithDir(d)
+		for k := 1; k < len(idx); k++ {
+			if s.Layers[idx[k]].UnitR > s.Layers[idx[k-1]].UnitR {
+				t.Fatalf("layer %d R=%g exceeds lower layer %d R=%g",
+					idx[k], s.Layers[idx[k]].UnitR, idx[k-1], s.Layers[idx[k-1]].UnitR)
+			}
+		}
+	}
+}
+
+func TestLayersWithDir(t *testing.T) {
+	s := Default8()
+	h := s.LayersWithDir(Horizontal)
+	v := s.LayersWithDir(Vertical)
+	if len(h) != 4 || len(v) != 4 {
+		t.Fatalf("h=%v v=%v", h, v)
+	}
+	if h[0] != 0 || v[0] != 1 {
+		t.Fatalf("h=%v v=%v", h, v)
+	}
+}
+
+func TestViaCapacityEqn1(t *testing.T) {
+	s := Default8()
+	// (ww+ws)·Tilew·(c0+c1)/(vw+vs)² = 2·40·(10+10)/4 = 400.
+	if got := s.ViaCapacity(10, 10); got != 400 {
+		t.Fatalf("ViaCapacity = %d, want 400", got)
+	}
+	if got := s.ViaCapacity(0, 0); got != 0 {
+		t.Fatalf("ViaCapacity(0,0) = %d, want 0", got)
+	}
+}
+
+func TestNV(t *testing.T) {
+	s := Default8()
+	// (ww+ws)·Tilew/(vw+vs)² = 2·40/4 = 20.
+	if got := s.NV(); got != 20 {
+		t.Fatalf("NV = %d, want 20", got)
+	}
+}
+
+func TestValidateCatchesBadStacks(t *testing.T) {
+	s := Default8()
+	s.Layers = s.Layers[:1]
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for single layer")
+	}
+
+	s = Default8()
+	s.Layers[2].UnitR = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for zero resistance")
+	}
+
+	s = Default8()
+	for i := range s.Layers {
+		s.Layers[i].Dir = Horizontal
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for single-direction stack")
+	}
+
+	s = Default8()
+	s.TileWidth = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("expected error for zero tile width")
+	}
+}
+
+func TestViaR(t *testing.T) {
+	s := Default8()
+	if s.ViaR(0) != 2.0 {
+		t.Fatalf("ViaR(0) = %g", s.ViaR(0))
+	}
+}

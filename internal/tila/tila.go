@@ -1,0 +1,415 @@
+// Package tila re-implements the paper's baseline, TILA (Yu et al., ICCAD
+// 2015): timing-driven incremental layer assignment by Lagrangian
+// relaxation. The released nets' total weighted delay (sum of segment and
+// via Elmore terms) is minimized subject to edge and via capacities, which
+// are relaxed into per-resource multipliers updated by subgradient steps;
+// given multipliers, each net is solved independently by a tree dynamic
+// program with downstream capacitances frozen from the previous iteration —
+// the linearization of the quadratic via terms that the CPLA paper
+// criticizes in its introduction.
+package tila
+
+import (
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/pipeline"
+	"repro/internal/tech"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// Options tunes the optimizer.
+type Options struct {
+	// MaxIters is the number of Lagrangian iterations (0 → default 12).
+	MaxIters int
+	// Step scales the subgradient step relative to the average per-track
+	// delay unit (0 → default 0.5).
+	Step float64
+	// OverflowPenalty weights capacity excess when scoring candidate
+	// solutions (0 → default: 10× the average segment delay).
+	OverflowPenalty float64
+	// ExactDP upgrades the per-net pricing step from TILA's linearized
+	// per-segment model to an exact tree dynamic program that jointly
+	// optimizes via pairs. The published TILA linearizes the quadratic
+	// via terms against previous-iteration neighbor layers — precisely
+	// the approximation the CPLA paper criticizes — so the faithful
+	// baseline keeps this false; true gives a strengthened baseline for
+	// ablation.
+	ExactDP bool
+	// FlowPricing replaces the per-segment argmin with a min-cost-flow
+	// assignment across all released segments per iteration: segments
+	// flow to (bottleneck-edge, layer) resources with the same linearized
+	// costs, so capacities are respected exactly instead of priced. This
+	// mirrors the published TILA's min-cost-flow engine most closely.
+	// Ignored when ExactDP is set.
+	FlowPricing bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 12
+	}
+	if o.Step == 0 {
+		o.Step = 0.5
+	}
+	return o
+}
+
+// Result summarizes the optimization.
+type Result struct {
+	Iters         int
+	InitialDelay  float64 // released nets' total weighted delay before
+	FinalDelay    float64 // and after
+	FinalOverflow int     // edge+via excess contributed by released nets' region
+}
+
+// multipliers holds λ (edges) and μ (vias) as flat per-layer arrays.
+type multipliers struct {
+	w, h    int
+	lambdaH [][]float64 // [layer][(w-1)*h]
+	lambdaV [][]float64 // [layer][w*(h-1)]
+	mu      [][]float64 // [level][w*h]
+}
+
+func newMultipliers(g *grid.Grid) *multipliers {
+	l := g.NumLayers()
+	m := &multipliers{w: g.W, h: g.H}
+	m.lambdaH = make([][]float64, l)
+	m.lambdaV = make([][]float64, l)
+	for i := 0; i < l; i++ {
+		m.lambdaH[i] = make([]float64, (g.W-1)*g.H)
+		m.lambdaV[i] = make([]float64, g.W*(g.H-1))
+	}
+	m.mu = make([][]float64, l-1)
+	for i := range m.mu {
+		m.mu[i] = make([]float64, g.W*g.H)
+	}
+	return m
+}
+
+func (m *multipliers) lambda(e grid.Edge, l int) float64 {
+	if e.Horiz {
+		return m.lambdaH[l][e.Y*(m.w-1)+e.X]
+	}
+	return m.lambdaV[l][e.Y*m.w+e.X]
+}
+
+func (m *multipliers) addLambda(e grid.Edge, l int, d float64) {
+	var slot *float64
+	if e.Horiz {
+		slot = &m.lambdaH[l][e.Y*(m.w-1)+e.X]
+	} else {
+		slot = &m.lambdaV[l][e.Y*m.w+e.X]
+	}
+	*slot += d
+	if *slot < 0 {
+		*slot = 0
+	}
+}
+
+func (m *multipliers) muAt(x, y, lvl int) float64 { return m.mu[lvl][y*m.w+x] }
+
+func (m *multipliers) addMu(x, y, lvl int, d float64) {
+	slot := &m.mu[lvl][y*m.w+x]
+	*slot += d
+	if *slot < 0 {
+		*slot = 0
+	}
+}
+
+// muSpan sums μ over the via levels crossed between layers a and b at tile
+// (x, y).
+func (m *multipliers) muSpan(x, y, a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	sum := 0.0
+	for lvl := a; lvl < b; lvl++ {
+		sum += m.mu[lvl][y*m.w+x]
+	}
+	return sum
+}
+
+// Optimize runs TILA on the released nets of the prepared state. Usage on
+// the grid is updated in place; the trees' segment layers hold the final
+// assignment.
+func Optimize(st *pipeline.State, released []int, opt Options) *Result {
+	opt = opt.withDefaults()
+	g := st.Design.Grid
+	eng := st.Engine
+
+	relTrees := make([]*tree.Tree, 0, len(released))
+	for _, ni := range released {
+		if t := st.Trees[ni]; t != nil && len(t.Segs) > 0 {
+			relTrees = append(relTrees, t)
+		}
+	}
+	if len(relTrees) == 0 {
+		return &Result{}
+	}
+
+	// Released nets' usage leaves the grid; the remaining usage is the
+	// non-released background the capacities must accommodate first.
+	for _, t := range relTrees {
+		t.ApplyUsage(g, -1)
+	}
+
+	res := &Result{InitialDelay: totalDelay(eng, relTrees)}
+
+	// Delay scale for subgradient steps and overflow scoring.
+	wl := 0
+	for _, t := range relTrees {
+		wl += t.TotalWirelength()
+	}
+	scale := res.InitialDelay / math.Max(1, float64(wl))
+	if opt.OverflowPenalty == 0 {
+		opt.OverflowPenalty = 10 * scale
+	}
+
+	mult := newMultipliers(g)
+	best := make([][]int, len(relTrees))
+	bestScore := math.Inf(1)
+
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		// Price and re-assign every released net against frozen Cd.
+		switch {
+		case opt.ExactDP:
+			for _, t := range relTrees {
+				assignNetLR(eng, g, t, mult)
+			}
+		case opt.FlowPricing:
+			assignAllFlow(eng, g, relTrees, mult)
+		default:
+			for _, t := range relTrees {
+				assignNetLinear(eng, g, t, mult)
+			}
+		}
+		// Score this assignment: delay plus penalized overflow.
+		for _, t := range relTrees {
+			t.ApplyUsage(g, +1)
+		}
+		ov := g.CollectOverflow()
+		score := totalDelay(eng, relTrees) + opt.OverflowPenalty*float64(ov.EdgeExcess+ov.ViaExcess)
+		if score < bestScore {
+			bestScore = score
+			for i, t := range relTrees {
+				best[i] = t.SnapshotLayers()
+			}
+		}
+		// Subgradient step on all resources while usage is committed.
+		step := opt.Step * scale / float64(iter+1)
+		updateMultipliers(g, mult, step)
+		for _, t := range relTrees {
+			t.ApplyUsage(g, -1)
+		}
+		res.Iters++
+	}
+
+	// Install the best assignment and commit.
+	for i, t := range relTrees {
+		if best[i] != nil {
+			t.RestoreLayers(best[i])
+		}
+		t.ApplyUsage(g, +1)
+	}
+	res.FinalDelay = totalDelay(eng, relTrees)
+	ov := g.CollectOverflow()
+	res.FinalOverflow = ov.EdgeExcess + ov.ViaExcess
+	return res
+}
+
+// totalDelay is TILA's objective: the summed weighted delay of every
+// segment and via of the released nets (weighted-sum model, not worst
+// path).
+func totalDelay(eng *timing.Engine, trees []*tree.Tree) float64 {
+	sum := 0.0
+	for _, t := range trees {
+		nt := eng.Analyze(t)
+		for _, d := range nt.SinkDelay {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// assignNetLR reassigns one net by tree DP given the multipliers, with
+// downstream caps frozen at the current assignment.
+func assignNetLR(eng *timing.Engine, g *grid.Grid, t *tree.Tree, mult *multipliers) {
+	cd := eng.CdWithLayers(t, nil)
+	numLayers := g.NumLayers()
+	dp := make([][]float64, len(t.Segs))
+	choice := make([][][]int, len(t.Segs))
+
+	order := t.BFSOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := &t.Nodes[order[i]]
+		for _, sid := range n.DownSegs {
+			s := t.Segs[sid]
+			layers := layersFor(g, s)
+			dp[sid] = make([]float64, numLayers)
+			choice[sid] = make([][]int, numLayers)
+			for l := range dp[sid] {
+				dp[sid][l] = math.Inf(1)
+			}
+			end := &t.Nodes[s.ToNode]
+			for _, l := range layers {
+				cost := eng.SegDelay(s, l, cd[sid]) + lambdaCost(g, mult, s, l)
+				// Sink pin via at the far node.
+				if end.PinLayer >= 0 {
+					cost += eng.ViaDelay(l, end.PinLayer, eng.Params.SinkCap) +
+						mult.muSpan(end.Pos.X, end.Pos.Y, minInt(l, end.PinLayer), maxInt(l, end.PinLayer))
+				}
+				var childLayers []int
+				for _, cid := range s.Children {
+					c := t.Segs[cid]
+					bestCL, bestCost := -1, math.Inf(1)
+					for _, clayer := range layersFor(g, c) {
+						viaCd := math.Min(cd[sid], cd[cid])
+						v := dp[cid][clayer] +
+							eng.ViaDelay(l, clayer, viaCd) +
+							mult.muSpan(end.Pos.X, end.Pos.Y, minInt(l, clayer), maxInt(l, clayer))
+						if v < bestCost {
+							bestCost = v
+							bestCL = clayer
+						}
+					}
+					cost += bestCost
+					childLayers = append(childLayers, bestCL)
+				}
+				dp[sid][l] = cost
+				choice[sid][l] = childLayers
+			}
+		}
+	}
+
+	rootPin := t.Nodes[t.Root].PinLayer
+	rootPos := t.Nodes[t.Root].Pos
+	var fix func(sid, l int)
+	fix = func(sid, l int) {
+		t.Segs[sid].Layer = l
+		for k, cid := range t.Segs[sid].Children {
+			fix(cid, choice[sid][l][k])
+		}
+	}
+	for _, sid := range t.RootSegs() {
+		s := t.Segs[sid]
+		bestL, bestCost := -1, math.Inf(1)
+		for _, l := range layersFor(g, s) {
+			v := dp[sid][l]
+			if rootPin >= 0 {
+				driveCap := eng.WireCapOn(s, l) + cd[sid]
+				v += eng.ViaDelay(rootPin, l, driveCap) +
+					mult.muSpan(rootPos.X, rootPos.Y, minInt(rootPin, l), maxInt(rootPin, l))
+			}
+			if v < bestCost {
+				bestCost = v
+				bestL = l
+			}
+		}
+		fix(sid, bestL)
+	}
+}
+
+// assignNetLinear is the faithful TILA pricing step: via terms are
+// linearized against the neighbors' previous-iteration layers, making every
+// segment's cost separable; each segment then independently takes its
+// cheapest layer. This is the approximation of quadratic terms the CPLA
+// paper's introduction criticizes in TILA.
+func assignNetLinear(eng *timing.Engine, g *grid.Grid, t *tree.Tree, mult *multipliers) {
+	cd := eng.CdWithLayers(t, nil)
+	prev := t.SnapshotLayers()
+	for _, s := range t.Segs {
+		bestL, bestCost := s.Layer, math.Inf(1)
+		for _, l := range layersFor(g, s) {
+			cost := eng.SegDelay(s, l, cd[s.ID]) + lambdaCost(g, mult, s, l)
+			// Via to the parent (or source pin) at its previous layer.
+			if pid := s.Parent; pid >= 0 {
+				node := t.Nodes[s.FromNode]
+				viaCd := math.Min(cd[s.ID], cd[pid])
+				cost += eng.ViaDelay(prev[pid], l, viaCd) +
+					mult.muSpan(node.Pos.X, node.Pos.Y, minInt(prev[pid], l), maxInt(prev[pid], l))
+			} else if root := &t.Nodes[t.Root]; root.PinLayer >= 0 {
+				driveCap := eng.WireCapOn(s, l) + cd[s.ID]
+				cost += eng.ViaDelay(root.PinLayer, l, driveCap) +
+					mult.muSpan(root.Pos.X, root.Pos.Y, minInt(root.PinLayer, l), maxInt(root.PinLayer, l))
+			}
+			// Vias to children at their previous layers.
+			end := &t.Nodes[s.ToNode]
+			for _, cid := range s.Children {
+				viaCd := math.Min(cd[s.ID], cd[cid])
+				cost += eng.ViaDelay(l, prev[cid], viaCd) +
+					mult.muSpan(end.Pos.X, end.Pos.Y, minInt(l, prev[cid]), maxInt(l, prev[cid]))
+			}
+			// Sink pin via at the far node.
+			if end.PinLayer >= 0 {
+				cost += eng.ViaDelay(l, end.PinLayer, eng.Params.SinkCap) +
+					mult.muSpan(end.Pos.X, end.Pos.Y, minInt(l, end.PinLayer), maxInt(l, end.PinLayer))
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestL = l
+			}
+		}
+		s.Layer = bestL
+	}
+}
+
+func layersFor(g *grid.Grid, s *tree.Segment) []int {
+	return g.Stack.LayersWithDir(s.Dir)
+}
+
+// lambdaCost sums the edge multipliers of placing s on layer l, plus a hard
+// wall for layers with zero capacity.
+func lambdaCost(g *grid.Grid, mult *multipliers, s *tree.Segment, l int) float64 {
+	cost := 0.0
+	for _, e := range s.Edges {
+		if g.EdgeCap(e, l) <= 0 {
+			cost += 1e9
+			continue
+		}
+		cost += mult.lambda(e, l)
+	}
+	return cost
+}
+
+// updateMultipliers performs one subgradient step over every edge and via
+// resource: multiplier += step·(usage − capacity), clamped at zero.
+func updateMultipliers(g *grid.Grid, mult *multipliers, step float64) {
+	for l := 0; l < g.NumLayers(); l++ {
+		horiz := g.Stack.Dir(l) == tech.Horizontal
+		g.Edges2D(func(e grid.Edge) {
+			if e.Horiz != horiz {
+				return
+			}
+			viol := float64(g.EdgeUse(e, l) - g.EdgeCap(e, l))
+			if viol != 0 {
+				mult.addLambda(e, l, step*viol)
+			}
+		})
+	}
+	for lvl := 0; lvl < g.NumLayers()-1; lvl++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				viol := float64(g.EffectiveViaUse(x, y, lvl) - g.ViaCap(x, y, lvl))
+				if viol != 0 {
+					mult.addMu(x, y, lvl, step*viol/float64(g.Stack.NV()))
+				}
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

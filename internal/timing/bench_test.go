@@ -1,0 +1,47 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/ispd08"
+	"repro/internal/route"
+	"repro/internal/tree"
+)
+
+func benchTrees(b *testing.B) (*Engine, []*tree.Tree) {
+	b.Helper()
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "tb", W: 28, H: 28, Layers: 8, NumNets: 1000, Capacity: 10, Seed: 23,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := route.RouteAll(d, route.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trees, err := tree.BuildAll(res, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign.AssignAll(d.Grid, trees, assign.Options{})
+	return NewEngine(d.Stack, DefaultParams()), trees
+}
+
+func BenchmarkAnalyzeAll1000Nets(b *testing.B) {
+	eng, trees := benchTrees(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.AnalyzeAll(trees)
+	}
+}
+
+func BenchmarkSelectCritical(b *testing.B) {
+	eng, trees := benchTrees(b)
+	timings := eng.AnalyzeAll(trees)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectCritical(timings, 0.01)
+	}
+}

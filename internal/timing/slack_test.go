@@ -1,0 +1,69 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func slackFixture() []*NetTiming {
+	return []*NetTiming{
+		{Tcp: 10, CritSink: 0, SinkDelay: map[int]float64{0: 10, 1: 4}},
+		nil,
+		{Tcp: 25, CritSink: 0, SinkDelay: map[int]float64{0: 25, 1: 22}},
+		{Tcp: 15, CritSink: 0, SinkDelay: map[int]float64{0: 15}},
+	}
+}
+
+func TestSlacksAggregates(t *testing.T) {
+	r := Slacks(slackFixture(), 20)
+	if r.WNS != -5 {
+		t.Fatalf("WNS = %g, want -5", r.WNS)
+	}
+	// Violations: delays 25 (−5) and 22 (−2) → TNS −7, 2 sinks, 1 net.
+	if math.Abs(r.TNS-(-7)) > 1e-12 {
+		t.Fatalf("TNS = %g, want -7", r.TNS)
+	}
+	if r.ViolatingNets != 1 || r.ViolatingSinks != 2 {
+		t.Fatalf("violations = %d nets, %d sinks", r.ViolatingNets, r.ViolatingSinks)
+	}
+	if s := r.NetSlack[0]; s != 10 {
+		t.Fatalf("net 0 slack = %g, want 10", s)
+	}
+}
+
+func TestSlacksAllMet(t *testing.T) {
+	r := Slacks(slackFixture(), 100)
+	if r.WNS != 0 || r.TNS != 0 || r.ViolatingNets != 0 {
+		t.Fatalf("unexpected violations: %+v", r)
+	}
+}
+
+func TestWorstNetsOrder(t *testing.T) {
+	r := Slacks(slackFixture(), 20)
+	worst := r.WorstNets(2)
+	if len(worst) != 2 || worst[0] != 2 || worst[1] != 3 {
+		t.Fatalf("WorstNets = %v, want [2 3]", worst)
+	}
+	all := r.WorstNets(100)
+	if len(all) != 3 {
+		t.Fatalf("WorstNets(100) = %v", all)
+	}
+}
+
+func TestBudgetForViolationRatio(t *testing.T) {
+	timings := slackFixture()
+	// Top-1 of 3 analyzable nets → budget just under 25.
+	b := BudgetForViolationRatio(timings, 0.33)
+	viol := SelectViolating(timings, b)
+	if len(viol) != 1 || viol[0] != 2 {
+		t.Fatalf("budget %g releases %v, want [2]", b, viol)
+	}
+	// Everything.
+	b = BudgetForViolationRatio(timings, 1.0)
+	if got := len(SelectViolating(timings, b)); got != 3 {
+		t.Fatalf("full ratio releases %d, want 3", got)
+	}
+	if BudgetForViolationRatio(nil, 0.5) != 0 {
+		t.Fatal("empty budget should be 0")
+	}
+}

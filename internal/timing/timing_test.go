@@ -1,0 +1,309 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/tech"
+	"repro/internal/tree"
+)
+
+func pt(x, y int) geom.Point { return geom.Point{X: x, Y: y} }
+
+func mkTree(t *testing.T, stack *tech.Stack, pins []geom.Point, pairs [][2]geom.Point) *tree.Tree {
+	t.Helper()
+	net := &netlist.Net{Name: "n"}
+	for _, p := range pins {
+		net.Pins = append(net.Pins, netlist.Pin{Pos: p, Layer: 0})
+	}
+	rt := &route.Route{Net: net}
+	for _, p := range pairs {
+		e, err := grid.EdgeBetween(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Edges = append(rt.Edges, e)
+	}
+	tr, err := tree.Build(rt, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTwoPinStraightHandComputed(t *testing.T) {
+	stack := tech.Default8()
+	eng := NewEngine(stack, Params{SinkCap: 3})
+	tr := mkTree(t, stack,
+		[]geom.Point{pt(0, 0), pt(3, 0)},
+		[][2]geom.Point{{pt(0, 0), pt(1, 0)}, {pt(1, 0), pt(2, 0)}, {pt(2, 0), pt(3, 0)}},
+	)
+	// Segment on M1 (layer 0): R=8/tile, C=0.8/tile, len 3, Cd = sink 3.
+	// delay = 8·3·(0.8·3/2 + 3) = 24·4.2 = 100.8; no vias (pin layer 0).
+	nt := eng.Analyze(tr)
+	if !approx(nt.Tcp, 100.8) {
+		t.Fatalf("Tcp = %g, want 100.8", nt.Tcp)
+	}
+	if !approx(nt.Cd[0], 3) {
+		t.Fatalf("Cd = %g, want 3", nt.Cd[0])
+	}
+	if len(nt.CritPath) != 1 || nt.CritPath[0] != 0 {
+		t.Fatalf("CritPath = %v", nt.CritPath)
+	}
+
+	// Move the segment to M3 (layer 2): R=4, C=0.9.
+	// seg: 4·3·(0.9·3/2+3) = 12·4.35 = 52.2
+	// source via 0→2: (2+2)·(wirecap 2.7 + Cd 3) = 4·5.7 = 22.8
+	// sink via 2→0:   4·3 = 12 → total 87.
+	tr.Segs[0].Layer = 2
+	nt = eng.Analyze(tr)
+	if !approx(nt.Tcp, 87) {
+		t.Fatalf("Tcp on M3 = %g, want 87", nt.Tcp)
+	}
+}
+
+func TestTShapeDownstreamCaps(t *testing.T) {
+	stack := tech.Default8()
+	eng := NewEngine(stack, Params{SinkCap: 3})
+	// Source (0,0); branch at (2,0); sinks (4,0) and (2,2).
+	tr := mkTree(t, stack,
+		[]geom.Point{pt(0, 0), pt(4, 0), pt(2, 2)},
+		[][2]geom.Point{
+			{pt(0, 0), pt(1, 0)}, {pt(1, 0), pt(2, 0)},
+			{pt(2, 0), pt(3, 0)}, {pt(3, 0), pt(4, 0)},
+			{pt(2, 0), pt(2, 1)}, {pt(2, 1), pt(2, 2)},
+		},
+	)
+	nt := eng.Analyze(tr)
+	// Identify segments by direction/endpoint.
+	var segA, segB, segC *tree.Segment // A: trunk, B: right, C: down
+	for _, s := range tr.Segs {
+		switch {
+		case s.Parent == -1:
+			segA = s
+		case s.Dir == tech.Horizontal:
+			segB = s
+		default:
+			segC = s
+		}
+	}
+	if segA == nil || segB == nil || segC == nil {
+		t.Fatalf("segment identification failed: %+v", tr.Segs)
+	}
+	// Cd(B) = Cd(C) = 3; Cd(A) = 1.6+3 + 1.6+3 = 9.2 (M1/M2 C=0.8, len 2).
+	if !approx(nt.Cd[segB.ID], 3) || !approx(nt.Cd[segC.ID], 3) {
+		t.Fatalf("leaf Cd = %g, %g", nt.Cd[segB.ID], nt.Cd[segC.ID])
+	}
+	if !approx(nt.Cd[segA.ID], 9.2) {
+		t.Fatalf("trunk Cd = %g, want 9.2", nt.Cd[segA.ID])
+	}
+	// Right sink: 160 + 60.8 = 220.8. Down sink: 160 + 6 + 60.8 + 6 = 232.8.
+	wantRight, wantDown := 220.8, 232.8
+	gotRight := nt.SinkDelay[1]
+	gotDown := nt.SinkDelay[2]
+	if !approx(gotRight, wantRight) {
+		t.Fatalf("right sink delay = %g, want %g", gotRight, wantRight)
+	}
+	if !approx(gotDown, wantDown) {
+		t.Fatalf("down sink delay = %g, want %g", gotDown, wantDown)
+	}
+	if nt.CritSink != 2 || !approx(nt.Tcp, wantDown) {
+		t.Fatalf("critical: sink %d Tcp %g", nt.CritSink, nt.Tcp)
+	}
+	// Critical path is trunk then the vertical branch, source-first.
+	if len(nt.CritPath) != 2 || nt.CritPath[0] != segA.ID || nt.CritPath[1] != segC.ID {
+		t.Fatalf("CritPath = %v", nt.CritPath)
+	}
+}
+
+func TestViaDelayEqn3(t *testing.T) {
+	eng := NewEngine(tech.Default8(), DefaultParams())
+	// Layers 1→4 crosses levels 1,2,3: R = 3·2 = 6; cd = 5 → 30.
+	if got := eng.ViaDelay(1, 4, 5); !approx(got, 30) {
+		t.Fatalf("ViaDelay = %g, want 30", got)
+	}
+	// Order-insensitive.
+	if got := eng.ViaDelay(4, 1, 5); !approx(got, 30) {
+		t.Fatalf("reversed ViaDelay = %g, want 30", got)
+	}
+	if got := eng.ViaDelay(2, 2, 5); got != 0 {
+		t.Fatalf("same-layer via = %g, want 0", got)
+	}
+	if got := eng.ViaR(0, 3); !approx(got, 6) {
+		t.Fatalf("ViaR = %g", got)
+	}
+}
+
+func TestHigherLayerReducesDelayForLongNets(t *testing.T) {
+	// The paper's core physics: long segments benefit from high layers
+	// despite the extra via cost.
+	stack := tech.Default8()
+	eng := NewEngine(stack, Params{SinkCap: 3})
+	var pairs [][2]geom.Point
+	for x := 0; x < 20; x++ {
+		pairs = append(pairs, [2]geom.Point{pt(x, 0), pt(x+1, 0)})
+	}
+	tr := mkTree(t, stack, []geom.Point{pt(0, 0), pt(20, 0)}, pairs)
+	tr.Segs[0].Layer = 0
+	low := eng.Analyze(tr).Tcp
+	tr.Segs[0].Layer = 6
+	high := eng.Analyze(tr).Tcp
+	if high >= low {
+		t.Fatalf("M7 delay %g not better than M1 delay %g for a 20-tile segment", high, low)
+	}
+}
+
+func TestCdWithLayersMatchesMutation(t *testing.T) {
+	stack := tech.Default8()
+	eng := NewEngine(stack, DefaultParams())
+	tr := mkTree(t, stack,
+		[]geom.Point{pt(0, 0), pt(4, 0), pt(2, 2)},
+		[][2]geom.Point{
+			{pt(0, 0), pt(1, 0)}, {pt(1, 0), pt(2, 0)},
+			{pt(2, 0), pt(3, 0)}, {pt(3, 0), pt(4, 0)},
+			{pt(2, 0), pt(2, 1)}, {pt(2, 1), pt(2, 2)},
+		},
+	)
+	layers := tr.SnapshotLayers()
+	for i := range layers {
+		if tr.Segs[i].Dir == tech.Horizontal {
+			layers[i] = 6
+		} else {
+			layers[i] = 5
+		}
+	}
+	hypo := eng.CdWithLayers(tr, layers)
+	tr.RestoreLayers(layers)
+	actual := eng.Analyze(tr).Cd
+	for i := range hypo {
+		if !approx(hypo[i], actual[i]) {
+			t.Fatalf("Cd[%d]: hypothetical %g vs mutated %g", i, hypo[i], actual[i])
+		}
+	}
+}
+
+func TestSelectCritical(t *testing.T) {
+	timings := []*NetTiming{
+		{Tcp: 10, CritSink: 1},
+		nil,
+		{Tcp: 50, CritSink: 1},
+		{Tcp: 30, CritSink: 1},
+		{Tcp: 20, CritSink: 1},
+	}
+	got := SelectCritical(timings, 0.4) // 0.4·5 = 2 nets
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("SelectCritical = %v, want [2 3]", got)
+	}
+	// Ratio rounding to at least one net.
+	got = SelectCritical(timings, 0.01)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("SelectCritical tiny ratio = %v", got)
+	}
+	m := CriticalMetrics(timings, got)
+	if !approx(m.AvgTcp, 50) || !approx(m.MaxTcp, 50) {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m := CriticalMetrics(timings, nil); m.AvgTcp != 0 || m.MaxTcp != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+}
+
+// Property: delays are positive and Cd decreases monotonically from parent
+// to child along any path.
+func TestQuickElmoreMonotonicity(t *testing.T) {
+	stack := tech.Default8()
+	eng := NewEngine(stack, DefaultParams())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random caterpillar: trunk along x with random vertical stubs.
+		var pairs [][2]geom.Point
+		pins := []geom.Point{pt(0, 0)}
+		trunkLen := 3 + rng.Intn(8)
+		for x := 0; x < trunkLen; x++ {
+			pairs = append(pairs, [2]geom.Point{pt(x, 0), pt(x+1, 0)})
+		}
+		pins = append(pins, pt(trunkLen, 0))
+		for s := 0; s < 2; s++ {
+			x := 1 + rng.Intn(trunkLen-1)
+			stub := 1 + rng.Intn(3)
+			for y := 0; y < stub; y++ {
+				pairs = append(pairs, [2]geom.Point{pt(x, y), pt(x, y+1)})
+			}
+			pins = append(pins, pt(x, stub))
+		}
+		net := &netlist.Net{Name: "q"}
+		seen := map[geom.Point]bool{}
+		for _, p := range pins {
+			if seen[p] {
+				return true // skip degenerate sample
+			}
+			seen[p] = true
+			net.Pins = append(net.Pins, netlist.Pin{Pos: p, Layer: 0})
+		}
+		rt := &route.Route{Net: net}
+		eseen := map[grid.Edge]bool{}
+		for _, pr := range pairs {
+			e, err := grid.EdgeBetween(pr[0], pr[1])
+			if err != nil {
+				return false
+			}
+			if eseen[e] {
+				continue
+			}
+			eseen[e] = true
+			rt.Edges = append(rt.Edges, e)
+		}
+		tr, err := tree.Build(rt, stack)
+		if err != nil {
+			return false
+		}
+		// Random legal layers.
+		for _, s := range tr.Segs {
+			ls := stack.LayersWithDir(s.Dir)
+			s.Layer = ls[rng.Intn(len(ls))]
+		}
+		nt := eng.Analyze(tr)
+		for _, d := range nt.SinkDelay {
+			if d <= 0 {
+				return false
+			}
+		}
+		for _, s := range tr.Segs {
+			if s.Parent >= 0 && nt.Cd[s.ID] >= nt.Cd[s.Parent] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectViolating(t *testing.T) {
+	timings := []*NetTiming{
+		{Tcp: 10, CritSink: 1},
+		nil,
+		{Tcp: 50, CritSink: 1},
+		{Tcp: 30, CritSink: 1},
+		{Tcp: 30, CritSink: 1},
+	}
+	got := SelectViolating(timings, 25)
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("SelectViolating = %v, want [2 3 4]", got)
+	}
+	if got := SelectViolating(timings, 100); len(got) != 0 {
+		t.Fatalf("expected empty, got %v", got)
+	}
+	if got := SelectViolating(timings, 0); len(got) != 4 {
+		t.Fatalf("expected all 4 analyzable nets, got %v", got)
+	}
+}

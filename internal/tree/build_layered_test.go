@@ -1,0 +1,105 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tech"
+)
+
+func le(t *testing.T, a, b geom.Point, layer int) LayeredEdge {
+	t.Helper()
+	e, err := grid.EdgeBetween(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return LayeredEdge{E: e, Layer: layer}
+}
+
+func TestBuildLayeredSplitsAtLayerChange(t *testing.T) {
+	stack := tech.Default8()
+	net := mkNet(pt(0, 0), pt(4, 0))
+	// Straight run that hops from M1 to M3 halfway: two segments despite
+	// no bend.
+	wires := []LayeredEdge{
+		le(t, pt(0, 0), pt(1, 0), 0),
+		le(t, pt(1, 0), pt(2, 0), 0),
+		le(t, pt(2, 0), pt(3, 0), 2),
+		le(t, pt(3, 0), pt(4, 0), 2),
+	}
+	tr, err := BuildLayered(net, wires, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segs) != 2 {
+		t.Fatalf("segments = %d, want 2 (split at layer change)", len(tr.Segs))
+	}
+	if tr.Segs[0].Layer != 0 || tr.Segs[1].Layer != 2 {
+		t.Fatalf("layers = %d, %d", tr.Segs[0].Layer, tr.Segs[1].Layer)
+	}
+	if err := tr.Validate(stack); err != nil {
+		t.Fatal(err)
+	}
+	// The layer change point carries a via span of 2 levels.
+	if got := tr.ViaCount(); got != 2+2 { // hop M1→M3 plus sink via M3→M1
+		t.Fatalf("ViaCount = %d, want 4", got)
+	}
+}
+
+func TestBuildLayeredRejectsConflicts(t *testing.T) {
+	stack := tech.Default8()
+	net := mkNet(pt(0, 0), pt(2, 0))
+	dup := []LayeredEdge{
+		le(t, pt(0, 0), pt(1, 0), 0),
+		le(t, pt(0, 0), pt(1, 0), 2),
+		le(t, pt(1, 0), pt(2, 0), 0),
+	}
+	if _, err := BuildLayered(net, dup, stack); err == nil {
+		t.Fatal("expected error for edge on two layers")
+	}
+	// Wrong direction: vertical layer for a horizontal edge.
+	bad := []LayeredEdge{le(t, pt(0, 0), pt(1, 0), 1)}
+	if _, err := BuildLayered(net, bad, stack); err == nil {
+		t.Fatal("expected error for direction violation")
+	}
+	// Disconnected pin.
+	short := []LayeredEdge{le(t, pt(0, 0), pt(1, 0), 0)}
+	if _, err := BuildLayered(net, short, stack); err == nil {
+		t.Fatal("expected error for unreachable pin")
+	}
+}
+
+func TestBuildLayeredDegenerate(t *testing.T) {
+	net := mkNet(pt(1, 1), pt(1, 1))
+	tr, err := BuildLayered(net, nil, tech.Default8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segs) != 0 || len(tr.SinkNode) != 1 {
+		t.Fatalf("degenerate: %d segs, %d sinks", len(tr.Segs), len(tr.SinkNode))
+	}
+}
+
+func TestBuildLayeredBranch(t *testing.T) {
+	stack := tech.Default8()
+	net := mkNet(pt(0, 0), pt(2, 0), pt(1, 1))
+	wires := []LayeredEdge{
+		le(t, pt(0, 0), pt(1, 0), 0),
+		le(t, pt(1, 0), pt(2, 0), 0),
+		le(t, pt(1, 0), pt(1, 1), 1),
+	}
+	tr, err := BuildLayered(net, wires, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(tr.Segs))
+	}
+	if err := tr.Validate(stack); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.SinkNode) != 2 {
+		t.Fatalf("sinks = %d", len(tr.SinkNode))
+	}
+}

@@ -1,0 +1,225 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/ispd08"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/tech"
+)
+
+func mkRoute(net *netlist.Net, pairs ...[2]geom.Point) *route.Route {
+	rt := &route.Route{Net: net}
+	for _, p := range pairs {
+		e, err := grid.EdgeBetween(p[0], p[1])
+		if err != nil {
+			panic(err)
+		}
+		rt.Edges = append(rt.Edges, e)
+	}
+	return rt
+}
+
+func mkNet(tiles ...geom.Point) *netlist.Net {
+	n := &netlist.Net{Name: "n"}
+	for _, t := range tiles {
+		n.Pins = append(n.Pins, netlist.Pin{Pos: t})
+	}
+	return n
+}
+
+func pt(x, y int) geom.Point { return geom.Point{X: x, Y: y} }
+
+func TestBuildStraightSegment(t *testing.T) {
+	net := mkNet(pt(0, 0), pt(3, 0))
+	rt := mkRoute(net,
+		[2]geom.Point{pt(0, 0), pt(1, 0)},
+		[2]geom.Point{pt(1, 0), pt(2, 0)},
+		[2]geom.Point{pt(2, 0), pt(3, 0)},
+	)
+	tr, err := Build(rt, tech.Default8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segs) != 1 {
+		t.Fatalf("segments = %d, want 1", len(tr.Segs))
+	}
+	s := tr.Segs[0]
+	if s.Len() != 3 || s.Dir != tech.Horizontal || s.Parent != -1 {
+		t.Fatalf("seg = %+v", s)
+	}
+	if err := tr.Validate(tech.Default8()); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalWirelength() != 3 {
+		t.Fatalf("wl = %d", tr.TotalWirelength())
+	}
+}
+
+func TestBuildLShapeSplitsAtBend(t *testing.T) {
+	net := mkNet(pt(0, 0), pt(2, 2))
+	rt := mkRoute(net,
+		[2]geom.Point{pt(0, 0), pt(1, 0)},
+		[2]geom.Point{pt(1, 0), pt(2, 0)},
+		[2]geom.Point{pt(2, 0), pt(2, 1)},
+		[2]geom.Point{pt(2, 1), pt(2, 2)},
+	)
+	tr, err := Build(rt, tech.Default8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segs) != 2 {
+		t.Fatalf("segments = %d, want 2 (split at bend)", len(tr.Segs))
+	}
+	if tr.Segs[0].Dir == tr.Segs[1].Dir {
+		t.Fatal("bend segments should differ in direction")
+	}
+	if tr.Segs[1].Parent != tr.Segs[0].ID {
+		t.Fatalf("child parent = %d", tr.Segs[1].Parent)
+	}
+	if err := tr.Validate(tech.Default8()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildSplitsAtBranchAndPin(t *testing.T) {
+	// T shape: source (0,0), sinks (4,0) and (2,2); branch at (2,0).
+	// Additionally a sink at (3,0) in the middle of the right run.
+	net := mkNet(pt(0, 0), pt(4, 0), pt(2, 2), pt(3, 0))
+	rt := mkRoute(net,
+		[2]geom.Point{pt(0, 0), pt(1, 0)},
+		[2]geom.Point{pt(1, 0), pt(2, 0)},
+		[2]geom.Point{pt(2, 0), pt(3, 0)},
+		[2]geom.Point{pt(3, 0), pt(4, 0)},
+		[2]geom.Point{pt(2, 0), pt(2, 1)},
+		[2]geom.Point{pt(2, 1), pt(2, 2)},
+	)
+	tr, err := Build(rt, tech.Default8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segments: (0,0)-(2,0), (2,0)-(3,0), (3,0)-(4,0), (2,0)-(2,2).
+	if len(tr.Segs) != 4 {
+		t.Fatalf("segments = %d, want 4", len(tr.Segs))
+	}
+	if err := tr.Validate(tech.Default8()); err != nil {
+		t.Fatal(err)
+	}
+	// Sinks bound to the right nodes.
+	for pi, nid := range tr.SinkNode {
+		if tr.Nodes[nid].Pos != net.Pins[pi].Pos {
+			t.Fatalf("sink %d at node %v", pi, tr.Nodes[nid].Pos)
+		}
+	}
+	if len(tr.SinkNode) != 3 {
+		t.Fatalf("sinks = %d, want 3", len(tr.SinkNode))
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	net := mkNet(pt(0, 0), pt(2, 2))
+	rt := mkRoute(net,
+		[2]geom.Point{pt(0, 0), pt(1, 0)},
+		[2]geom.Point{pt(1, 0), pt(2, 0)},
+		[2]geom.Point{pt(2, 0), pt(2, 1)},
+		[2]geom.Point{pt(2, 1), pt(2, 2)},
+	)
+	tr, err := Build(rt, tech.Default8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkNode := tr.SinkNode[1]
+	path := tr.PathToRoot(sinkNode)
+	if len(path) != 2 {
+		t.Fatalf("path = %v, want 2 segments", path)
+	}
+	// Nearest-first: the vertical segment (child) first, then horizontal.
+	if tr.Segs[path[0]].Dir != tech.Vertical || tr.Segs[path[1]].Dir != tech.Horizontal {
+		t.Fatalf("path order wrong: %v", path)
+	}
+}
+
+func TestDegenerateAllPinsOneTile(t *testing.T) {
+	net := mkNet(pt(3, 3), pt(3, 3), pt(3, 3))
+	rt := &route.Route{Net: net}
+	tr, err := Build(rt, tech.Default8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segs) != 0 || len(tr.Nodes) != 1 {
+		t.Fatalf("degenerate tree: %d segs %d nodes", len(tr.Segs), len(tr.Nodes))
+	}
+	if len(tr.SinkNode) != 2 {
+		t.Fatalf("sinks = %d", len(tr.SinkNode))
+	}
+}
+
+func TestBuildRejectsDisconnectedPin(t *testing.T) {
+	net := mkNet(pt(0, 0), pt(5, 5))
+	rt := mkRoute(net, [2]geom.Point{pt(0, 0), pt(1, 0)})
+	if _, err := Build(rt, tech.Default8()); err == nil {
+		t.Fatal("expected error for unreachable pin")
+	}
+}
+
+func TestDefaultLayerMatchesDirection(t *testing.T) {
+	stack := tech.Default8()
+	net := mkNet(pt(0, 0), pt(0, 3))
+	rt := mkRoute(net,
+		[2]geom.Point{pt(0, 0), pt(0, 1)},
+		[2]geom.Point{pt(0, 1), pt(0, 2)},
+		[2]geom.Point{pt(0, 2), pt(0, 3)},
+	)
+	tr, err := Build(rt, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Segs[0]
+	if s.Dir != tech.Vertical || stack.Dir(s.Layer) != tech.Vertical {
+		t.Fatalf("seg dir %v layer %d", s.Dir, s.Layer)
+	}
+}
+
+// Property: BuildAll on routed synthetic designs yields valid trees whose
+// wirelength equals the route's edge count and whose sink count matches the
+// net's distinct non-source pin tiles.
+func TestQuickBuildAllOnRoutedDesigns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, err := ispd08.Generate(ispd08.GenParams{
+			Name: "q", W: 16, H: 16, Layers: 6,
+			NumNets: 30 + rng.Intn(30), Capacity: 8, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		res, err := route.RouteAll(d, route.Options{})
+		if err != nil {
+			return false
+		}
+		trees, err := BuildAll(res, d)
+		if err != nil {
+			return false
+		}
+		for i, tr := range trees {
+			if tr == nil {
+				continue
+			}
+			if tr.TotalWirelength() != len(res.Routes[i].Edges) {
+				return false
+			}
+			if err := tr.Validate(d.Stack); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tech"
+)
+
+// lTree builds the 2-segment L tree used by several usage tests:
+// source (0,0) → (2,0) → (2,2), sink at (2,2).
+func lTree(t *testing.T) (*Tree, *grid.Grid) {
+	t.Helper()
+	stack := tech.Default8()
+	g := grid.New(8, 8, stack)
+	g.SetUniformCapacity([]int32{8, 8, 8, 8, 8, 8, 8, 8})
+	net := mkNet(pt(0, 0), pt(2, 2))
+	rt := mkRoute(net,
+		[2]geom.Point{pt(0, 0), pt(1, 0)},
+		[2]geom.Point{pt(1, 0), pt(2, 0)},
+		[2]geom.Point{pt(2, 0), pt(2, 1)},
+		[2]geom.Point{pt(2, 1), pt(2, 2)},
+	)
+	tr, err := Build(rt, stack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, g
+}
+
+func TestApplyUsageWiresAndVias(t *testing.T) {
+	tr, g := lTree(t)
+	// Default layers: horizontal → M1 (0), vertical → M2 (1); pins on M1.
+	tr.ApplyUsage(g, +1)
+	if got := g.EdgeUse(grid.Edge{X: 0, Y: 0, Horiz: true}, 0); got != 1 {
+		t.Fatalf("H edge use = %d", got)
+	}
+	if got := g.EdgeUse(grid.Edge{X: 2, Y: 1, Horiz: false}, 1); got != 1 {
+		t.Fatalf("V edge use = %d", got)
+	}
+	// Vias: at the bend (2,0) spanning M1–M2 (one level); at the sink
+	// (2,2) spanning pin M1 to segment M2 (one level). Source pin is on
+	// the segment layer — no via.
+	if got := g.ViaUse(2, 0, 0); got != 1 {
+		t.Fatalf("bend via use = %d", got)
+	}
+	if got := g.ViaUse(2, 2, 0); got != 1 {
+		t.Fatalf("sink via use = %d", got)
+	}
+	if got := g.TotalViaUse(); got != 2 {
+		t.Fatalf("total via use = %d", got)
+	}
+	if got := tr.ViaCount(); got != 2 {
+		t.Fatalf("ViaCount = %d", got)
+	}
+	tr.ApplyUsage(g, -1)
+	if g.TotalViaUse() != 0 {
+		t.Fatal("usage not removed")
+	}
+}
+
+func TestViaCountGrowsWithLayerSpread(t *testing.T) {
+	tr, _ := lTree(t)
+	base := tr.ViaCount()
+	// Push the vertical segment to M8: spans lengthen.
+	for _, s := range tr.Segs {
+		if s.Dir == tech.Vertical {
+			s.Layer = 7
+		}
+	}
+	if tr.ViaCount() <= base {
+		t.Fatalf("ViaCount %d did not grow from %d", tr.ViaCount(), base)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	tr, _ := lTree(t)
+	snap := tr.SnapshotLayers()
+	tr.Segs[0].Layer = 6
+	tr.RestoreLayers(snap)
+	if tr.Segs[0].Layer == 6 {
+		t.Fatal("restore failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad snapshot length")
+		}
+	}()
+	tr.RestoreLayers([]int{1})
+}
+
+func TestBFSOrderParentsFirst(t *testing.T) {
+	net := mkNet(pt(0, 0), pt(4, 0), pt(2, 2))
+	rt := mkRoute(net,
+		[2]geom.Point{pt(0, 0), pt(1, 0)},
+		[2]geom.Point{pt(1, 0), pt(2, 0)},
+		[2]geom.Point{pt(2, 0), pt(3, 0)},
+		[2]geom.Point{pt(3, 0), pt(4, 0)},
+		[2]geom.Point{pt(2, 0), pt(2, 1)},
+		[2]geom.Point{pt(2, 1), pt(2, 2)},
+	)
+	tr, err := Build(rt, tech.Default8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := tr.BFSOrder()
+	if len(order) != len(tr.Nodes) {
+		t.Fatalf("order covers %d of %d nodes", len(order), len(tr.Nodes))
+	}
+	pos := make(map[int]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, n := range tr.Nodes {
+		if n.Parent >= 0 && pos[n.Parent] > pos[n.ID] {
+			t.Fatalf("node %d before its parent %d", n.ID, n.Parent)
+		}
+	}
+}
+
+func TestTotalViaCountAcrossTrees(t *testing.T) {
+	tr1, _ := lTree(t)
+	tr2, _ := lTree(t)
+	if got := TotalViaCount([]*Tree{tr1, nil, tr2}); got != tr1.ViaCount()+tr2.ViaCount() {
+		t.Fatalf("TotalViaCount = %d", got)
+	}
+}

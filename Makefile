@@ -1,0 +1,16 @@
+.PHONY: check test bench
+
+# Fast verification gate: gofmt, go vet, race-enabled tests of the CPLA
+# hot-path packages.
+check:
+	sh scripts/check.sh
+
+# Full tier-1 suite.
+test:
+	go build ./... && go test ./...
+
+# The allocation-sensitive benchmarks recorded in BENCH_sdp.json.
+bench:
+	go test -bench BenchmarkSolve -benchmem -run NONE ./internal/sdp/
+	go test -bench BenchmarkOptimizeRound -benchmem -run NONE ./internal/core/
+	go test -bench BenchmarkTable2SDP -benchmem -run NONE .

@@ -9,6 +9,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/partition"
 	"repro/internal/pipeline"
+	"repro/internal/sdp"
 	"repro/internal/timing"
 	"repro/internal/tree"
 )
@@ -120,9 +121,17 @@ type Options struct {
 	// ILPHardViaCaps adds the paper's hard via-capacity rows (4d) to the
 	// ILP instead of the penalty pricing both engines share by default.
 	ILPHardViaCaps bool
-	// Workers is the partition-solve parallelism (0 → GOMAXPROCS),
+	// Workers is the partition-solve parallelism (≤ 0 → GOMAXPROCS),
 	// mirroring the paper's OpenMP threads.
 	Workers int
+	// WarmStart seeds each recurring partition leaf's ADMM with the
+	// previous round's primal iterate X. Off, rounds 2+ still reuse the
+	// leaf's cached Gram Cholesky factor and skip byte-identical problems
+	// outright — both bitwise-neutral. On, warm-started solves converge in
+	// fewer iterations but may round to slightly different (equally valid)
+	// layer choices, so results can differ from a cold run within the
+	// solver tolerance.
+	WarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -161,7 +170,7 @@ func (o Options) withDefaults() Options {
 	if o.ILPGap == 0 {
 		o.ILPGap = 1e-6 // prove optimality, like the GUROBI baseline
 	}
-	if o.Workers == 0 {
+	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
@@ -178,6 +187,12 @@ type RoundStats struct {
 	Partitions int
 	// SolveErrors counts failed partition solves in this round.
 	SolveErrors int
+	// ADMMIters is the total ADMM iteration count over this round's leaf
+	// solves (0 for the ILP and IPM backends). Warm-started rounds should
+	// report markedly fewer iterations than round 1.
+	ADMMIters int
+	// WarmStarts counts leaves seeded from a previous round's ADMM state.
+	WarmStarts int
 }
 
 // Result summarizes an Optimize run.
@@ -199,7 +214,6 @@ type Result struct {
 func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	g := st.Design.Grid
-	eng := st.Engine
 
 	// Working set: released trees with segments.
 	var work []int
@@ -218,41 +232,15 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 
 	prevScore := releasedScore(timings, work)
 
+	// Warm-start cache: partition leaves keyed by their (tree, seg) item
+	// set. When the same leaf recurs in a later round, its previous record
+	// accelerates the solve (see Options.WarmStart for the tiers). Written
+	// serially between rounds, read-only while workers run.
+	warmCache := map[uint64]*leafCache{}
+
 	for round := 0; round < opt.MaxRounds; round++ {
 		// Frozen per-round state: downstream caps and criticality weights.
-		in := &buildInput{
-			g:   g,
-			eng: eng,
-			cds: map[int][]float64{},
-			wts: map[int][]float64{},
-			ups: map[int][]float64{},
-			opts: Options{
-				ViaPenalty: opt.ViaPenalty,
-				OVWeight:   opt.OVWeight,
-			},
-		}
-		var items []partition.Item
-		for _, ni := range work {
-			tr := st.Trees[ni]
-			nt := eng.Analyze(tr)
-			in.cds[ni] = nt.Cd
-			w := make([]float64, len(tr.Segs))
-			for i := range w {
-				w[i] = opt.BranchWeight
-			}
-			for _, sid := range nt.CritPath {
-				w[sid] = 1
-			}
-			in.wts[ni] = w
-			in.ups[ni] = upstreamResistance(tr, eng, w)
-			for _, s := range tr.Segs {
-				mid := s.Edges[len(s.Edges)/2]
-				items = append(items, partition.Item{
-					Tree: ni, Seg: s.ID,
-					Pos: midPoint(mid),
-				})
-			}
-		}
+		in, items := buildRoundInput(st, work, opt)
 
 		leaves := partition.Split(g.W, g.H, items, partition.Options{
 			K: opt.K, MaxSegs: opt.MaxSegs, Adaptive: !opt.NoAdaptive,
@@ -264,6 +252,8 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 		type proposal struct {
 			leaf   *partition.Leaf
 			layers []int // chosen layer per leaf item, aligned with items
+			key    uint64
+			stats  leafStats
 			err    error
 		}
 		proposals := make([]proposal, len(leaves))
@@ -271,63 +261,62 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 		sem := make(chan struct{}, opt.Workers)
 		for li, leaf := range leaves {
 			wg.Add(1)
-			sem <- struct{}{}
 			go func(li int, leaf *partition.Leaf) {
 				defer wg.Done()
+				sem <- struct{}{}
 				defer func() { <-sem }()
-				layers, err := solveLeaf(in, st.Trees, leaf, opt)
-				proposals[li] = proposal{leaf: leaf, layers: layers, err: err}
+				key := leafKey(leaf)
+				layers, ls, err := solveLeaf(in, st.Trees, leaf, opt, warmCache[key])
+				proposals[li] = proposal{leaf: leaf, layers: layers, key: key, stats: ls, err: err}
 			}(li, leaf)
 		}
 		wg.Wait()
 
 		// Commit: per affected tree, swap usage out, set layers, swap in.
-		affected := map[int]bool{}
 		snapshots := map[int][]int{}
 		for _, ni := range work {
-			affected[ni] = true
 			snapshots[ni] = st.Trees[ni].SnapshotLayers()
-		}
-		for ni := range affected {
 			st.Trees[ni].ApplyUsage(g, -1)
 		}
+		stats := RoundStats{Partitions: len(leaves)}
 		for _, pr := range proposals {
 			if pr.err != nil {
-				res.SolveErrors++
+				stats.SolveErrors++
 				continue
 			}
 			for k, it := range pr.leaf.Items {
 				st.Trees[it.Tree].Segs[it.Seg].Layer = pr.layers[k]
 			}
+			stats.ADMMIters += pr.stats.iters
+			if pr.stats.warm {
+				stats.WarmStarts++
+			}
+			if pr.stats.cache != nil {
+				warmCache[pr.key] = pr.stats.cache
+			}
 		}
-		for ni := range affected {
+		res.SolveErrors += stats.SolveErrors
+		for _, ni := range work {
 			st.Trees[ni].ApplyUsage(g, +1)
 		}
 
-		// Accept or revert by the released nets' critical-path score.
-		newTimings := st.Timings()
+		// Accept or revert by the released nets' critical-path score. Only
+		// the released trees changed, so re-analyze just those and merge
+		// into the cached timings of the untouched nets.
+		newTimings := st.Retime(work)
 		newScore := releasedScore(newTimings, work)
 		res.Rounds++
-		roundErrs := res.SolveErrors
-		if len(res.RoundLog) > 0 {
-			for _, rs := range res.RoundLog {
-				roundErrs -= rs.SolveErrors
-			}
-		}
-		stats := RoundStats{
-			Score:       newScore,
-			Partitions:  len(leaves),
-			SolveErrors: roundErrs,
-			Accepted:    newScore < prevScore,
-		}
+		stats.Score = newScore
+		stats.Accepted = newScore < prevScore
 		res.RoundLog = append(res.RoundLog, stats)
 		if newScore >= prevScore {
 			// Revert this round.
-			for ni := range affected {
+			for _, ni := range work {
 				st.Trees[ni].ApplyUsage(g, -1)
 				st.Trees[ni].RestoreLayers(snapshots[ni])
 				st.Trees[ni].ApplyUsage(g, +1)
 			}
+			st.Retime(work)
 			break
 		}
 		improvement := (prevScore - newScore) / prevScore
@@ -337,13 +326,89 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 		}
 	}
 
-	res.After = timing.CriticalMetrics(st.Timings(), released)
+	res.After = timing.CriticalMetrics(st.TimingsCached(), released)
 	return res, nil
 }
 
+// buildRoundInput freezes one round's model inputs — per-net downstream
+// caps, criticality weights, upstream resistances — and collects the
+// partition items for the released working set.
+func buildRoundInput(st *pipeline.State, work []int, opt Options) (*buildInput, []partition.Item) {
+	eng := st.Engine
+	in := &buildInput{
+		g:   st.Design.Grid,
+		eng: eng,
+		cds: map[int][]float64{},
+		wts: map[int][]float64{},
+		ups: map[int][]float64{},
+		opts: Options{
+			ViaPenalty: opt.ViaPenalty,
+			OVWeight:   opt.OVWeight,
+		},
+	}
+	var items []partition.Item
+	for _, ni := range work {
+		tr := st.Trees[ni]
+		nt := eng.Analyze(tr)
+		in.cds[ni] = nt.Cd
+		w := make([]float64, len(tr.Segs))
+		for i := range w {
+			w[i] = opt.BranchWeight
+		}
+		for _, sid := range nt.CritPath {
+			w[sid] = 1
+		}
+		in.wts[ni] = w
+		in.ups[ni] = upstreamResistance(tr, eng, w)
+		for _, s := range tr.Segs {
+			mid := s.Edges[len(s.Edges)/2]
+			items = append(items, partition.Item{
+				Tree: ni, Seg: s.ID,
+				Pos: midPoint(mid),
+			})
+		}
+	}
+	return in, items
+}
+
+// leafKey fingerprints a leaf's (tree, seg) item set with FNV-1a — the
+// identity under which ADMM states warm-start later rounds. Leaf items are
+// in deterministic partition order, so recurring leaves hash identically.
+func leafKey(leaf *partition.Leaf) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(len(leaf.Items)))
+	for _, it := range leaf.Items {
+		mix(uint64(it.Tree))
+		mix(uint64(it.Seg))
+	}
+	return h
+}
+
+// leafCache is one partition leaf's cross-round record: the full content
+// signature of the problem it solved, the fractional solution (reused
+// verbatim when the identical problem recurs — the solver is
+// deterministic), and the ADMM state for warm starts and factor reuse.
+type leafCache struct {
+	sig   uint64
+	xFrac [][]float64
+	state *sdp.State
+}
+
+// leafStats carries per-leaf solver telemetry and the cache record that
+// accelerates the same leaf next round.
+type leafStats struct {
+	iters int
+	warm  bool
+	cache *leafCache
+}
+
 // solveLeaf builds and solves one partition, returning the chosen layer per
-// leaf item.
-func solveLeaf(in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Options) ([]int, error) {
+// leaf item. A non-nil cached record accelerates the ADMM backend.
+func solveLeaf(in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Options, cached *leafCache) ([]int, leafStats, error) {
 	items := make([]item, len(leaf.Items))
 	for i, it := range leaf.Items {
 		items[i] = item{treeIdx: it.Tree, segID: it.Seg}
@@ -351,15 +416,16 @@ func solveLeaf(in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Opt
 	p := buildProblem(in, trees, items)
 
 	var xFrac [][]float64
+	var ls leafStats
 	var err error
 	switch opt.Engine {
 	case EngineILP:
 		xFrac, err = solveILP(p, opt)
 	default:
-		xFrac, err = solveSDP(p, opt)
+		xFrac, ls, err = solveSDP(p, opt, cached)
 	}
 	if err != nil {
-		return nil, err
+		return nil, ls, err
 	}
 	var choice []int
 	switch opt.Mapping {
@@ -374,11 +440,11 @@ func solveLeaf(in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Opt
 	for i := range items {
 		li := choice[i]
 		if li < 0 || li >= len(p.segs[i].layers) {
-			return nil, fmt.Errorf("core: mapping produced invalid layer index %d", li)
+			return nil, ls, fmt.Errorf("core: mapping produced invalid layer index %d", li)
 		}
 		layers[i] = p.segs[i].layers[li]
 	}
-	return layers, nil
+	return layers, ls, nil
 }
 
 // upstreamResistance computes, per segment, the weighted wire resistance of

@@ -9,7 +9,7 @@ import (
 	"repro/internal/tree"
 )
 
-func prepare(t *testing.T, seed int64, nets int) *pipeline.State {
+func prepare(t testing.TB, seed int64, nets int) *pipeline.State {
 	t.Helper()
 	d, err := ispd08.Generate(ispd08.GenParams{
 		Name: "cpla-test", W: 18, H: 18, Layers: 8, NumNets: nets, Capacity: 8, Seed: seed,
@@ -105,6 +105,9 @@ func TestOptimizeEmptyRelease(t *testing.T) {
 }
 
 func TestSDPvsILPQualityClose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	// The paper's Fig. 7 claim: the SDP relaxation achieves timing close
 	// to the exact ILP. Run both on identical small states.
 	run := func(engine Engine) (float64, float64) {

@@ -12,6 +12,9 @@ import (
 // must achieve a model objective no worse than SDP + post-mapping (small
 // slack for the B&B gap option).
 func TestILPBeatsSDPOnModelObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
 	st := prepare(t, 6, 150)
 	released := timing.SelectCritical(st.Timings(), 0.04)
 
@@ -65,7 +68,7 @@ func TestILPBeatsSDPOnModelObjective(t *testing.T) {
 			t.Fatalf("leaf %d ILP: %v", li, err)
 		}
 		ilpChoice := argmaxMap(p, xI)
-		xS, err := solveSDP(p, opt)
+		xS, _, err := solveSDP(p, opt, nil)
 		if err != nil {
 			t.Fatalf("leaf %d SDP: %v", li, err)
 		}

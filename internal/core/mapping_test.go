@@ -74,7 +74,7 @@ func validChoice(t *testing.T, p *problem, choice []int) {
 
 func TestAllMappingsProduceValidChoices(t *testing.T) {
 	p := buildOneProblem(t)
-	xFrac, err := solveSDP(p, Options{}.withDefaults())
+	xFrac, _, err := solveSDP(p, Options{}.withDefaults(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestPartitionSummaryOnRealRun(t *testing.T) {
 func TestIPMBackendOnPartitionProblem(t *testing.T) {
 	p := buildOneProblem(t)
 	opt := Options{SDPSolver: SolverIPM}.withDefaults()
-	xFrac, err := solveSDP(p, opt)
+	xFrac, _, err := solveSDP(p, opt, nil)
 	if err != nil {
 		t.Fatalf("IPM backend failed: %v", err)
 	}

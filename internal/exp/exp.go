@@ -69,6 +69,9 @@ type Config struct {
 	// GreedyMapping replaces Algorithm 1 with per-segment argmax
 	// (ablation; SDP engine only).
 	GreedyMapping bool
+	// WarmStart seeds recurring partition leaves' ADMM solves from the
+	// previous round's iterates (see core.Options.WarmStart).
+	WarmStart bool
 }
 
 func (c Config) ratio() float64 {
@@ -103,6 +106,7 @@ func Run(params ispd08.GenParams, method Method, cfg Config) (RunMetrics, error)
 			MaxSegs:    cfg.MaxSegs,
 			SDPIters:   cfg.SDPIters,
 			NoAdaptive: cfg.NoAdaptive,
+			WarmStart:  cfg.WarmStart,
 		}
 		if method == MethodILP {
 			opt.Engine = core.EngineILP

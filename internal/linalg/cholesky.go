@@ -48,11 +48,18 @@ func Cholesky(a *Matrix) (*CholeskyFactor, error) {
 
 // Solve solves A·x = b given the factorization, returning x.
 func (c *CholeskyFactor) Solve(b []float64) []float64 {
-	if len(b) != c.n {
-		panic("linalg: Cholesky Solve dimension mismatch")
+	return c.SolveInto(make([]float64, c.n), b, make([]float64, c.n))
+}
+
+// SolveInto solves A·x = b into dst using work as forward-substitution
+// scratch; dst, b and work must all have length n, and dst must not alias
+// work. Returns dst (b may alias dst).
+func (c *CholeskyFactor) SolveInto(dst, b, work []float64) []float64 {
+	if len(b) != c.n || len(dst) != c.n || len(work) != c.n {
+		panic("linalg: Cholesky SolveInto dimension mismatch")
 	}
 	// Forward substitution: L·y = b.
-	y := make([]float64, c.n)
+	y := work
 	for i := 0; i < c.n; i++ {
 		s := b[i]
 		li := c.l.Row(i)
@@ -62,15 +69,14 @@ func (c *CholeskyFactor) Solve(b []float64) []float64 {
 		y[i] = s / li[i]
 	}
 	// Back substitution: Lᵀ·x = y.
-	x := make([]float64, c.n)
 	for i := c.n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < c.n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= c.l.At(k, i) * dst[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		dst[i] = s / c.l.At(i, i)
 	}
-	return x
+	return dst
 }
 
 // L returns a copy of the lower-triangular factor.

@@ -114,19 +114,49 @@ func EigenSymJacobi(a *Matrix) (vals []float64, vecs *Matrix, err error) {
 // ProjectPSD returns the nearest (Frobenius) positive semidefinite matrix to
 // the symmetric matrix a: eigenvalues are clamped at zero.
 func ProjectPSD(a *Matrix) (*Matrix, error) {
-	vals, vecs, err := EigenSym(a)
-	if err != nil {
+	out := NewMatrix(a.Rows, a.Cols)
+	if err := ProjectPSDInto(out, a, &EigenWorkspace{}); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// ProjectPSDInto writes the PSD projection of the symmetric matrix a into
+// dst (which must be a's shape and must not alias a), using ws for every
+// eigendecomposition scratch buffer — allocation-free once ws has warmed up
+// at this dimension. Falls back to the Jacobi method if QL fails.
+func ProjectPSDInto(dst, a *Matrix, ws *EigenWorkspace) error {
+	if a.Rows != a.Cols {
+		return errors.New("linalg: ProjectPSDInto requires a square matrix")
+	}
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		return errors.New("linalg: ProjectPSDInto destination shape mismatch")
+	}
+	if dst == a {
+		return errors.New("linalg: ProjectPSDInto destination aliases input")
+	}
+	vals, vecs, err := eigenSymQLWS(a, ws)
+	if err != nil {
+		// Rare: fall back to the unconditionally convergent (allocating)
+		// Jacobi path.
+		vals, vecs, err = EigenSymJacobi(a)
+		if err != nil {
+			return err
+		}
+	}
 	n := a.Rows
-	out := NewMatrix(n, n)
-	v := make([]float64, n)
+	dst.Zero()
+	if n == 0 {
+		return nil
+	}
+	ws.ensure(n)
+	v := ws.col
 	for k := 0; k < n; k++ {
 		lam := vals[k]
 		if lam <= 0 {
 			continue
 		}
-		// out += lam · v_k v_kᵀ, with the column flattened for locality.
+		// dst += lam · v_k v_kᵀ, with the column flattened for locality.
 		for i := 0; i < n; i++ {
 			v[i] = vecs.At(i, k)
 		}
@@ -135,13 +165,14 @@ func ProjectPSD(a *Matrix) (*Matrix, error) {
 			if f == 0 {
 				continue
 			}
-			oi := out.Row(i)
+			oi := dst.Row(i)
 			for j, vj := range v {
 				oi[j] += f * vj
 			}
 		}
 	}
-	return out.Symmetrize(), nil
+	dst.Symmetrize()
+	return nil
 }
 
 // MinEigenvalue returns the smallest eigenvalue of the symmetric matrix a.

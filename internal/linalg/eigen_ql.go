@@ -5,25 +5,58 @@ import (
 	"math"
 )
 
+// EigenWorkspace owns the scratch arrays of the QL eigendecomposition and
+// the PSD projection (tridiagonal reduction matrix, d/e work arrays, sort
+// permutation, output eigenpairs, and a column buffer). The zero value is
+// ready to use; buffers grow on demand and are reused across calls, so a
+// steady-state EigenSymWS / ProjectPSDInto call allocates nothing.
+type EigenWorkspace struct {
+	z    *Matrix
+	d, e []float64
+	idx  []int
+	vals []float64
+	vecs *Matrix
+	col  []float64
+}
+
+// ensure sizes every buffer for dimension n.
+func (w *EigenWorkspace) ensure(n int) {
+	if w.z == nil || w.z.Rows != n {
+		w.z = NewMatrix(n, n)
+		w.vecs = NewMatrix(n, n)
+		w.d = make([]float64, n)
+		w.e = make([]float64, n)
+		w.idx = make([]int, n)
+		w.vals = make([]float64, n)
+		w.col = make([]float64, n)
+	}
+}
+
 // eigenSymQL computes the eigendecomposition of a symmetric matrix by
 // Householder tridiagonalization followed by the implicit-shift QL
 // iteration (the classic tred2/tql2 pair). It is roughly an order of
 // magnitude faster than cyclic Jacobi at the sizes the SDP projection step
 // uses, which makes it the default backend of EigenSym.
 func eigenSymQL(a *Matrix) (vals []float64, vecs *Matrix, err error) {
+	return eigenSymQLWS(a, &EigenWorkspace{})
+}
+
+// eigenSymQLWS is eigenSymQL with caller-owned scratch: the returned slices
+// and matrix are views into ws and are overwritten by the next call.
+func eigenSymQLWS(a *Matrix, ws *EigenWorkspace) (vals []float64, vecs *Matrix, err error) {
 	n := a.Rows
 	if n == 0 {
 		return nil, NewMatrix(0, 0), nil
 	}
-	z := a.Clone().Symmetrize()
-	d := make([]float64, n)
-	e := make([]float64, n)
+	ws.ensure(n)
+	z := ws.z.CopyFrom(a).Symmetrize()
+	d, e := ws.d, ws.e
 	tred2(z, d, e)
 	if err := tql2(z, d, e); err != nil {
 		return nil, nil, err
 	}
 	// Sort ascending, permuting eigenvector columns.
-	idx := make([]int, n)
+	idx := ws.idx
 	for i := range idx {
 		idx[i] = i
 	}
@@ -32,8 +65,8 @@ func eigenSymQL(a *Matrix) (vals []float64, vecs *Matrix, err error) {
 			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
-	vals = make([]float64, n)
-	vecs = NewMatrix(n, n)
+	vals = ws.vals
+	vecs = ws.vecs
 	for col, k := range idx {
 		vals[col] = d[k]
 		for row := 0; row < n; row++ {

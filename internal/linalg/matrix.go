@@ -70,6 +70,23 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// CopyFrom overwrites m with other's contents in place and returns m.
+func (m *Matrix) CopyFrom(other *Matrix) *Matrix {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: CopyFrom shape mismatch")
+	}
+	copy(m.Data, other.Data)
+	return m
+}
+
+// Zero clears every entry in place and returns m.
+func (m *Matrix) Zero() *Matrix {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
 // Row returns row i as a slice view (not a copy).
 func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
@@ -105,6 +122,36 @@ func (m *Matrix) Mul(other *Matrix) *Matrix {
 		}
 	}
 	return out
+}
+
+// MulInto computes dst = a * b without allocating; dst must not alias a or
+// b. Returns dst.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MulInto shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("linalg: MulInto destination shape mismatch")
+	}
+	if dst == a || dst == b {
+		panic("linalg: MulInto destination aliases an operand")
+	}
+	dst.Zero()
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			v := ai[k]
+			if v == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range di {
+				di[j] += v * bk[j]
+			}
+		}
+	}
+	return dst
 }
 
 // MulVec returns m * v.

@@ -18,6 +18,14 @@ type State struct {
 	Routes *route.Result
 	Trees  []*tree.Tree // indexed like Design.Nets; nil for degenerate nets
 	Engine *timing.Engine
+
+	// timings caches the most recent full analysis. Timings refreshes it
+	// wholesale; Retime patches only the named nets — the incremental path
+	// optimizers use after touching a handful of trees. The cache is a
+	// plain slice shared with callers: per-net entries are replaced (never
+	// mutated), so a held NetTiming stays internally consistent, but the
+	// slice itself reflects the latest analysis.
+	timings []*timing.NetTiming
 }
 
 // Options bundles the stage options.
@@ -52,7 +60,39 @@ func Prepare(d *netlist.Design, opt Options) (*State, error) {
 	}, nil
 }
 
-// Timings analyzes every tree with the state's engine.
+// Timings analyzes every tree with the state's engine and refreshes the
+// cache.
 func (s *State) Timings() []*timing.NetTiming {
-	return s.Engine.AnalyzeAll(s.Trees)
+	s.timings = s.Engine.AnalyzeAll(s.Trees)
+	return s.timings
+}
+
+// TimingsCached returns the cached analysis, computing it in full only when
+// no cache exists yet. Callers that mutate trees must Retime (or Timings)
+// the affected nets first — every Elmore quantity is a pure per-net
+// function of that net's tree, so a cache patched net-by-net is exactly
+// equal to a full recompute.
+func (s *State) TimingsCached() []*timing.NetTiming {
+	if s.timings == nil {
+		return s.Timings()
+	}
+	return s.timings
+}
+
+// Retime re-analyzes only the given nets, merging them into the cached
+// analysis, and returns the full (patched) timing slice. Nets outside the
+// list keep their cached results — valid whenever only the listed nets'
+// trees changed since the cache was built.
+func (s *State) Retime(nets []int) []*timing.NetTiming {
+	if s.timings == nil {
+		return s.Timings()
+	}
+	for _, ni := range nets {
+		if t := s.Trees[ni]; t != nil {
+			s.timings[ni] = s.Engine.Analyze(t)
+		} else {
+			s.timings[ni] = nil
+		}
+	}
+	return s.timings
 }

@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/ispd08"
+	"repro/internal/timing"
 	"repro/internal/tree"
 )
 
@@ -46,6 +48,86 @@ func TestPrepareEndToEnd(t *testing.T) {
 	}
 	if analyzed < 150 {
 		t.Fatalf("analyzed = %d of 200", analyzed)
+	}
+}
+
+// TestRetimeMatchesFullAnalysis is the incremental-timing correctness
+// property: after perturbing a random subset of trees' layers, Retime on
+// just those nets must equal a from-scratch Timings() on every net, in every
+// field — Elmore analysis is a pure per-net function of its tree, so a
+// patched cache and a full recompute are the same computation.
+func TestRetimeMatchesFullAnalysis(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "retime", W: 18, H: 18, Layers: 8, NumNets: 250, Capacity: 8, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Prepare(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Timings() // build the cache
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		// Perturb a random subset of nets: move each segment to a random
+		// legal layer for its direction.
+		var touched []int
+		for ni, tr := range st.Trees {
+			if tr == nil || len(tr.Segs) == 0 || rng.Intn(5) != 0 {
+				continue
+			}
+			for _, s := range tr.Segs {
+				legal := d.Stack.LayersWithDir(s.Dir)
+				s.Layer = legal[rng.Intn(len(legal))]
+			}
+			touched = append(touched, ni)
+		}
+
+		got := st.Retime(touched)
+		want := st.Engine.AnalyzeAll(st.Trees)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d vs %d", trial, len(got), len(want))
+		}
+		for ni := range want {
+			compareNetTiming(t, trial, ni, got[ni], want[ni])
+		}
+	}
+}
+
+func compareNetTiming(t *testing.T, trial, ni int, got, want *timing.NetTiming) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("trial %d net %d: nil mismatch", trial, ni)
+	}
+	if got == nil {
+		return
+	}
+	if got.Tcp != want.Tcp || got.CritSink != want.CritSink {
+		t.Fatalf("trial %d net %d: Tcp/CritSink %g/%d vs %g/%d",
+			trial, ni, got.Tcp, got.CritSink, want.Tcp, want.CritSink)
+	}
+	if len(got.Cd) != len(want.Cd) || len(got.CritPath) != len(want.CritPath) ||
+		len(got.SinkDelay) != len(want.SinkDelay) {
+		t.Fatalf("trial %d net %d: shape mismatch", trial, ni)
+	}
+	for i := range want.Cd {
+		if got.Cd[i] != want.Cd[i] {
+			t.Fatalf("trial %d net %d: Cd[%d] %g vs %g", trial, ni, i, got.Cd[i], want.Cd[i])
+		}
+	}
+	for i := range want.CritPath {
+		if got.CritPath[i] != want.CritPath[i] {
+			t.Fatalf("trial %d net %d: CritPath[%d] %d vs %d",
+				trial, ni, i, got.CritPath[i], want.CritPath[i])
+		}
+	}
+	for pin, delay := range want.SinkDelay {
+		if got.SinkDelay[pin] != delay {
+			t.Fatalf("trial %d net %d: SinkDelay[%d] %g vs %g",
+				trial, ni, pin, got.SinkDelay[pin], delay)
+		}
 	}
 }
 

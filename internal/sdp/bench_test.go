@@ -25,8 +25,11 @@ func benchProblem(n int, seed int64) *Problem {
 	return p
 }
 
+// BenchmarkSolvePartitionSized is the cold path: a fresh workspace per
+// solve, as a caller without buffer reuse would pay.
 func BenchmarkSolvePartitionSized(b *testing.B) {
 	p := benchProblem(48, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Solve(p, Options{MaxIters: 300, Tol: 2e-3}); err != nil {
@@ -35,8 +38,47 @@ func BenchmarkSolvePartitionSized(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveWorkspaceReuse measures the steady state of the CPLA hot
+// path: one Workspace solving the same-shaped problem repeatedly. After the
+// first solve sizes the buffers, the iteration itself is allocation-free —
+// remaining allocs/op are the result snapshot and the per-solve Gram factor.
+func BenchmarkSolveWorkspaceReuse(b *testing.B) {
+	p := benchProblem(48, 1)
+	w := NewWorkspace()
+	if _, err := w.Solve(p, Options{MaxIters: 300, Tol: 2e-3}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Solve(p, Options{MaxIters: 300, Tol: 2e-3}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveWarmStarted additionally seeds each solve from the previous
+// converged state and reuses its Gram Cholesky factor — the cross-round
+// fast path. Iteration counts collapse to the convergence check.
+func BenchmarkSolveWarmStarted(b *testing.B) {
+	p := benchProblem(48, 1)
+	w := NewWorkspace()
+	if _, err := w.Solve(p, Options{MaxIters: 300, Tol: 2e-3}, nil); err != nil {
+		b.Fatal(err)
+	}
+	warm := w.State()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Solve(p, Options{MaxIters: 300, Tol: 2e-3}, warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSolveLarge(b *testing.B) {
 	p := benchProblem(96, 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Solve(p, Options{MaxIters: 200, Tol: 5e-3}); err != nil {

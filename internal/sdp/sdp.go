@@ -16,10 +16,6 @@
 package sdp
 
 import (
-	"errors"
-	"fmt"
-	"math"
-
 	"repro/internal/linalg"
 )
 
@@ -46,14 +42,20 @@ func (s *SymMatrix) Add(i, j int, v float64) {
 // Dense materializes the full symmetric matrix with dimension n. Duplicate
 // entries accumulate.
 func (s *SymMatrix) Dense(n int) *linalg.Matrix {
-	m := linalg.NewMatrix(n, n)
+	return s.DenseInto(linalg.NewMatrix(n, n))
+}
+
+// DenseInto materializes the full symmetric matrix into dst, overwriting
+// its contents, and returns dst. Duplicate entries accumulate.
+func (s *SymMatrix) DenseInto(dst *linalg.Matrix) *linalg.Matrix {
+	dst.Zero()
 	for _, e := range s.Entries {
-		m.Add(e.I, e.J, e.Val)
+		dst.Add(e.I, e.J, e.Val)
 		if e.I != e.J {
-			m.Add(e.J, e.I, e.Val)
+			dst.Add(e.J, e.I, e.Val)
 		}
 	}
-	return m
+	return dst
 }
 
 // Dot computes the Frobenius inner product with a dense symmetric matrix:
@@ -116,115 +118,31 @@ type Result struct {
 	DualRes   float64 // relative ||Aᵀy + S - C||_F
 	Iters     int
 	Converged bool
+	// Warm reports whether the solve was seeded from a previous State.
+	Warm bool
 }
 
-// Solve runs the dual ADMM. It returns an error only for malformed problems
-// (dimension mismatch, linearly dependent constraints making AAᵀ singular).
+// Solve runs the dual ADMM from a cold start in a one-shot workspace. It
+// returns an error only for malformed problems (dimension mismatch,
+// linearly dependent constraints making AAᵀ singular). Callers solving many
+// related problems should keep a Workspace and use its Solve method, which
+// reuses every iteration buffer and supports warm starts.
 func Solve(p *Problem, opt Options) (*Result, error) {
-	opt = opt.withDefaults()
-	n := p.N
-	m := len(p.Constraints)
-	if n <= 0 {
-		return nil, errors.New("sdp: empty problem")
-	}
-	for ci, c := range p.Constraints {
-		for _, e := range c.A.Entries {
-			if e.I < 0 || e.J >= n {
-				return nil, fmt.Errorf("sdp: constraint %d entry (%d,%d) out of range for n=%d", ci, e.I, e.J, n)
-			}
-		}
-	}
-
-	cDense := p.C.Dense(n)
-	b := make([]float64, m)
-	for i, c := range p.Constraints {
-		b[i] = c.RHS
-	}
-
-	// Gram matrix AAᵀ with (i,j) = <A_i, A_j>; factor once.
-	gram, err := gramMatrix(p.Constraints, n)
-	if err != nil {
-		return nil, err
-	}
-	chol, err := linalg.Cholesky(gram)
-	if err != nil {
-		return nil, fmt.Errorf("sdp: constraint Gram matrix not positive definite (dependent constraints?): %w", err)
-	}
-
-	x := linalg.NewMatrix(n, n)  // primal X, PSD by construction
-	s := linalg.NewMatrix(n, n)  // dual slack S
-	y := make([]float64, m)      // dual multipliers
-	mu := opt.Mu                 // penalty
-	normB := 1 + linalg.Norm2(b) // residual scaling
-	normC := 1 + cDense.FrobeniusNorm()
-
-	var priRes, duaRes float64
-	for iter := 1; iter <= opt.MaxIters; iter++ {
-		// y-update: (AAᵀ)y = (b - A(X))/μ + A(C - S).
-		ax := applyA(p.Constraints, x)
-		cms := cDense.Clone().SubMatrix(s)
-		rhs := applyA(p.Constraints, cms)
-		for i := range rhs {
-			rhs[i] += (b[i] - ax[i]) / mu
-		}
-		y = chol.Solve(rhs)
-
-		// V = C - Aᵀy - X/μ; S = P_PSD(V); X ← μ(S - V) = μ·P_PSD(-V).
-		v := cDense.Clone()
-		subAdjoint(v, p.Constraints, y)
-		v.SubMatrix(x.Clone().Scale(1 / mu))
-		v.Symmetrize()
-		sNew, err := linalg.ProjectPSD(v)
-		if err != nil {
-			return nil, err
-		}
-		s = sNew
-		x = s.Clone().SubMatrix(v).Scale(mu)
-
-		// Residuals.
-		ax = applyA(p.Constraints, x)
-		for i := range ax {
-			ax[i] -= b[i]
-		}
-		priRes = linalg.Norm2(ax) / normB
-		dual := cDense.Clone()
-		subAdjoint(dual, p.Constraints, y)
-		dual.SubMatrix(s)
-		duaRes = dual.FrobeniusNorm() / normC
-
-		if priRes < opt.Tol && duaRes < opt.Tol {
-			return &Result{
-				X: x, Objective: p.C.Dot(x),
-				PrimalRes: priRes, DualRes: duaRes,
-				Iters: iter, Converged: true,
-			}, nil
-		}
-
-		// Penalty adaptation: in the dual ADMM larger μ pushes primal
-		// feasibility harder, smaller μ pushes dual feasibility.
-		if iter%20 == 0 {
-			switch {
-			case priRes > 10*duaRes:
-				mu = math.Min(mu*1.6, 1e6)
-			case duaRes > 10*priRes:
-				mu = math.Max(mu/1.6, 1e-6)
-			}
-		}
-	}
-	return &Result{
-		X: x, Objective: p.C.Dot(x),
-		PrimalRes: priRes, DualRes: duaRes,
-		Iters: opt.MaxIters, Converged: false,
-	}, nil
+	return NewWorkspace().Solve(p, opt, nil)
 }
 
 // applyA evaluates the linear map A(X) = (A₁•X, …, A_m•X).
 func applyA(cons []Constraint, x *linalg.Matrix) []float64 {
 	out := make([]float64, len(cons))
+	applyAInto(out, cons, x)
+	return out
+}
+
+// applyAInto evaluates A(X) into out, which must have length len(cons).
+func applyAInto(out []float64, cons []Constraint, x *linalg.Matrix) {
 	for i := range cons {
 		out[i] = cons[i].A.Dot(x)
 	}
-	return out
 }
 
 // subAdjoint computes dst -= Aᵀy = Σ yᵢ·Aᵢ in place.
@@ -245,7 +163,7 @@ func subAdjoint(dst *linalg.Matrix, cons []Constraint, y []float64) {
 
 // gramMatrix builds the m×m matrix of pairwise Frobenius inner products of
 // the constraint matrices.
-func gramMatrix(cons []Constraint, n int) (*linalg.Matrix, error) {
+func gramMatrix(cons []Constraint, n int) *linalg.Matrix {
 	m := len(cons)
 	// Canonical per-constraint maps from packed upper-triangular cell index
 	// to accumulated value.
@@ -285,5 +203,5 @@ func gramMatrix(cons []Constraint, n int) (*linalg.Matrix, error) {
 	for i := 0; i < m; i++ {
 		g.Add(i, i, 1e-12)
 	}
-	return g, nil
+	return g
 }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's fast verification gate: formatting, vet, and the
+# race-enabled tests of the two packages the CPLA hot path lives in
+# (-short skips the heavy single-threaded convergence properties; the
+# parallel leaf-solve and warm-cache paths still run under the detector).
+# Run from the repo root (or via `make check`).
+set -eu
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go test -race -short -timeout 15m ./internal/core/ ./internal/sdp/

@@ -1,13 +1,17 @@
-.PHONY: check test bench
+.PHONY: check test bench serve
 
-# Fast verification gate: gofmt, go vet, race-enabled tests of the CPLA
-# hot-path packages.
+# Fast verification gate: gofmt, full build, go vet, race-enabled tests of
+# the CPLA hot-path and server packages.
 check:
 	sh scripts/check.sh
 
 # Full tier-1 suite.
 test:
 	go build ./... && go test ./...
+
+# Run the cplad job server on :8080 (see README "Running the server").
+serve:
+	go run ./cmd/cplad -addr :8080
 
 # The allocation-sensitive benchmarks recorded in BENCH_sdp.json.
 bench:

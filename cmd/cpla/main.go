@@ -11,9 +11,12 @@
 //	cpla -bench adaptec1 -mapping flow -solver ipm
 //	cpla -bench adaptec1 -budget 15000      # release by timing budget
 //	cpla -bench adaptec1 -steiner -legalize -clock 20000
+//	cpla -bench adaptec1 -timeout 30s            # bounded run; exit 3 on deadline
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +39,15 @@ func main() {
 	steiner := flag.Bool("steiner", false, "use Steiner-guided 2-D routing")
 	doLegalize := flag.Bool("legalize", false, "run the overflow repair pass after optimization")
 	clock := flag.Float64("clock", 0, "report WNS/TNS against this required arrival time")
+	timeout := flag.Duration("timeout", 0, "bound the whole run (prepare + optimize); cancelled runs exit non-zero")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	design, err := load(*bench, *grFile)
 	if err != nil {
@@ -49,10 +60,9 @@ func main() {
 
 	popt := cpla.DefaultPrepareOptions()
 	popt.Route.Steiner = *steiner
-	sys, err := cpla.Prepare(design, popt)
+	sys, err := cpla.PrepareCtx(ctx, design, popt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err, *timeout)
 	}
 	var released []int
 	if *budget > 0 {
@@ -97,9 +107,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
 			os.Exit(2)
 		}
-		if _, err := sys.OptimizeCPLA(released, opt); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if _, err := sys.OptimizeCPLACtx(ctx, released, opt); err != nil {
+			fail(err, *timeout)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
@@ -144,6 +153,18 @@ func load(bench, grFile string) (*cpla.Design, error) {
 		return d, nil
 	}
 	return nil, fmt.Errorf("specify -bench <name> (one of %v) or -gr <file>", cpla.BenchmarkNames())
+}
+
+// fail prints the error and exits non-zero: 3 for a run stopped by
+// -timeout (so wrappers can tell a deadline from a genuine failure), 1
+// otherwise.
+func fail(err error, timeout time.Duration) {
+	fmt.Fprintln(os.Stderr, err)
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "run cancelled after -timeout %v\n", timeout)
+		os.Exit(3)
+	}
+	os.Exit(1)
 }
 
 func pct(before, after float64) float64 {

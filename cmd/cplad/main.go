@@ -1,0 +1,87 @@
+// Command cplad serves layer-assignment jobs over an HTTP JSON API: a
+// bounded queue feeds a fixed worker pool, every job is cancellable
+// mid-solve, and SIGINT/SIGTERM drains gracefully (running jobs finish,
+// queued jobs are cancelled, then the listener closes).
+//
+// Usage:
+//
+//	cplad -addr :8080 -workers 4 -queue 32
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"benchmark":"adaptec1"}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s -X DELETE localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent jobs (each job parallelizes its own partition solves)")
+	queue := flag.Int("queue", 16, "queued-job bound; submissions beyond it get 429")
+	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job run-time cap")
+	maxUpload := flag.Int64("max-upload", 8<<20, "request body limit in bytes (ISPD'08 uploads)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before hard-cancelling")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		JobTimeout:     *jobTimeout,
+		MaxUploadBytes: *maxUpload,
+		Logger:         log,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errs := make(chan error, 1)
+	go func() {
+		log.Info("cplad listening", "addr", *addr)
+		errs <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errs:
+		log.Error("listener failed", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: running jobs get drain-timeout to finish, queued
+	// jobs are cancelled, in-flight HTTP requests complete, and /healthz
+	// flips to 503 so load balancers stop routing here.
+	log.Info("signal received, draining", "timeout", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Warn("http shutdown", "error", err)
+	}
+	if drainErr != nil {
+		log.Warn("drain incomplete, jobs were hard-cancelled", "error", drainErr)
+		os.Exit(1)
+	}
+	log.Info("shutdown complete")
+}

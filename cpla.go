@@ -20,6 +20,7 @@
 package cpla
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -139,7 +140,13 @@ type System struct {
 // assignment and returns the ready-to-optimize system. The design's grid
 // usage is populated.
 func Prepare(d *Design, opt PrepareOptions) (*System, error) {
-	st, err := pipeline.Prepare(d, opt)
+	return PrepareCtx(context.Background(), d, opt)
+}
+
+// PrepareCtx is Prepare with cancellation: a deadline or cancel on ctx
+// stops the router within one net's work and leaves the design untouched.
+func PrepareCtx(ctx context.Context, d *Design, opt PrepareOptions) (*System, error) {
+	st, err := pipeline.PrepareCtx(ctx, d, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +225,15 @@ func (s *System) NetLowerBound(net int) float64 {
 // released nets.
 func (s *System) OptimizeCPLA(released []int, opt CPLAOptions) (*CPLAResult, error) {
 	return core.Optimize(s.state, released, opt)
+}
+
+// OptimizeCPLACtx is OptimizeCPLA with cancellation: the context reaches
+// the solver hot loops (per ADMM/IPM iteration, per branch-and-bound node),
+// so a deadline or cancel stops the run within one iteration's work. On
+// cancellation the system is left consistent at the last fully accepted
+// round and the partial result is returned alongside the context error.
+func (s *System) OptimizeCPLACtx(ctx context.Context, released []int, opt CPLAOptions) (*CPLAResult, error) {
+	return core.OptimizeCtx(ctx, s.state, released, opt)
 }
 
 // OptimizeTILA runs the TILA baseline on the released nets.

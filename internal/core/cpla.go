@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -132,6 +133,11 @@ type Options struct {
 	// layer choices, so results can differ from a cold run within the
 	// solver tolerance.
 	WarmStart bool
+	// OnRound, when non-nil, receives each round's RoundStats right after
+	// the accept/revert decision — live progress for callers monitoring a
+	// long run (the cplad job server streams these into job status). Called
+	// synchronously from the optimizing goroutine; keep it cheap.
+	OnRound func(RoundStats)
 }
 
 func (o Options) withDefaults() Options {
@@ -212,6 +218,19 @@ type Result struct {
 // Optimize runs CPLA on the released nets of a prepared state. Grid usage
 // and the trees' segment layers are updated in place.
 func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) {
+	return OptimizeCtx(context.Background(), st, released, opt)
+}
+
+// OptimizeCtx is Optimize with cancellation. The context reaches the hot
+// loops: every leaf solver checks it per ADMM/IPM iteration or per
+// branch-and-bound node, and the round loop checks it at each boundary. On
+// cancellation the state is left consistent at the last completed round —
+// an in-flight round's proposals are discarded before commit, so trees,
+// grid usage and the timing cache always reflect a fully accepted-or-
+// reverted state — and the partial Result is returned alongside the
+// wrapped context error. A run that completes without cancellation is
+// byte-identical to Optimize.
+func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	g := st.Design.Grid
 
@@ -238,7 +257,12 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 	// serially between rounds, read-only while workers run.
 	warmCache := map[uint64]*leafCache{}
 
+	var cancelErr error
 	for round := 0; round < opt.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
 		// Frozen per-round state: downstream caps and criticality weights.
 		in, items := buildRoundInput(st, work, opt)
 
@@ -266,11 +290,19 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				key := leafKey(leaf)
-				layers, ls, err := solveLeaf(in, st.Trees, leaf, opt, warmCache[key])
+				layers, ls, err := solveLeaf(ctx, in, st.Trees, leaf, opt, warmCache[key])
 				proposals[li] = proposal{leaf: leaf, layers: layers, key: key, stats: ls, err: err}
 			}(li, leaf)
 		}
 		wg.Wait()
+
+		// A round interrupted mid-solve is discarded whole: nothing has been
+		// committed yet, so dropping the proposals leaves trees, grid usage
+		// and the timing cache at the last accepted round.
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			break
+		}
 
 		// Commit: per affected tree, swap usage out, set layers, swap in.
 		snapshots := map[int][]int{}
@@ -309,6 +341,9 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 		stats.Score = newScore
 		stats.Accepted = newScore < prevScore
 		res.RoundLog = append(res.RoundLog, stats)
+		if opt.OnRound != nil {
+			opt.OnRound(stats)
+		}
 		if newScore >= prevScore {
 			// Revert this round.
 			for _, ni := range work {
@@ -327,6 +362,9 @@ func Optimize(st *pipeline.State, released []int, opt Options) (*Result, error) 
 	}
 
 	res.After = timing.CriticalMetrics(st.TimingsCached(), released)
+	if cancelErr != nil {
+		return res, fmt.Errorf("core: optimization cancelled after %d rounds: %w", res.Rounds, cancelErr)
+	}
 	return res, nil
 }
 
@@ -407,8 +445,9 @@ type leafStats struct {
 }
 
 // solveLeaf builds and solves one partition, returning the chosen layer per
-// leaf item. A non-nil cached record accelerates the ADMM backend.
-func solveLeaf(in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Options, cached *leafCache) ([]int, leafStats, error) {
+// leaf item. A non-nil cached record accelerates the ADMM backend; ctx
+// cancellation aborts the underlying solver mid-iteration.
+func solveLeaf(ctx context.Context, in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Options, cached *leafCache) ([]int, leafStats, error) {
 	items := make([]item, len(leaf.Items))
 	for i, it := range leaf.Items {
 		items[i] = item{treeIdx: it.Tree, segID: it.Seg}
@@ -420,9 +459,9 @@ func solveLeaf(in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Opt
 	var err error
 	switch opt.Engine {
 	case EngineILP:
-		xFrac, err = solveILP(p, opt)
+		xFrac, err = solveILP(ctx, p, opt)
 	default:
-		xFrac, ls, err = solveSDP(p, opt, cached)
+		xFrac, ls, err = solveSDP(ctx, p, opt, cached)
 	}
 	if err != nil {
 		return nil, ls, err

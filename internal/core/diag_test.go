@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/partition"
@@ -63,12 +64,12 @@ func TestILPBeatsSDPOnModelObjective(t *testing.T) {
 		}
 		p := buildProblem(in, st.Trees, pitems)
 
-		xI, err := solveILP(p, opt)
+		xI, err := solveILP(context.Background(), p, opt)
 		if err != nil {
 			t.Fatalf("leaf %d ILP: %v", li, err)
 		}
 		ilpChoice := argmaxMap(p, xI)
-		xS, _, err := solveSDP(p, opt, nil)
+		xS, _, err := solveSDP(context.Background(), p, opt, nil)
 		if err != nil {
 			t.Fatalf("leaf %d SDP: %v", li, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ilp"
@@ -14,7 +15,7 @@ import (
 // edge capacities (4c) with the overflow relief variable Vo of §3.1
 // (weight α), and via capacities (4d) per node and level with the same
 // relief. Returns 0/1 preferences per segment and layer.
-func solveILP(p *problem, opt Options) ([][]float64, error) {
+func solveILP(ctx context.Context, p *problem, opt Options) ([][]float64, error) {
 	numX := p.numXVars()
 	off := p.xOffsets()
 	xIdx := func(vi, li int) int { return off[vi] + li }
@@ -190,7 +191,7 @@ func solveILP(p *problem, opt Options) ([][]float64, error) {
 		}
 	}
 
-	res, err := ilp.Solve(&ilp.Problem{LP: prob, Binary: binary}, ilp.Options{
+	res, err := ilp.SolveCtx(ctx, &ilp.Problem{LP: prob, Binary: binary}, ilp.Options{
 		MaxNodes: opt.ILPMaxNodes,
 		Gap:      opt.ILPGap,
 	})

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/partition"
@@ -74,7 +76,7 @@ func validChoice(t *testing.T, p *problem, choice []int) {
 
 func TestAllMappingsProduceValidChoices(t *testing.T) {
 	p := buildOneProblem(t)
-	xFrac, _, err := solveSDP(p, Options{}.withDefaults(), nil)
+	xFrac, _, err := solveSDP(context.Background(), p, Options{}.withDefaults(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +156,7 @@ func TestPartitionSummaryOnRealRun(t *testing.T) {
 func TestIPMBackendOnPartitionProblem(t *testing.T) {
 	p := buildOneProblem(t)
 	opt := Options{SDPSolver: SolverIPM}.withDefaults()
-	xFrac, _, err := solveSDP(p, opt, nil)
+	xFrac, _, err := solveSDP(context.Background(), p, opt, nil)
 	if err != nil {
 		t.Fatalf("IPM backend failed: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -28,7 +29,7 @@ var sdpWorkspaces = sync.Pool{New: func() any { return sdp.NewWorkspace() }}
 // entries (nonnegative because PSD diagonals are); the via-capacity terms
 // (4d) are folded into the objective as congestion penalties on the via
 // cost entries, as the paper prescribes.
-func solveSDP(p *problem, opt Options, cached *leafCache) ([][]float64, leafStats, error) {
+func solveSDP(ctx context.Context, p *problem, opt Options, cached *leafCache) ([][]float64, leafStats, error) {
 	numX := p.numXVars()
 	off := p.xOffsets()
 	nSlack := len(p.edges)
@@ -112,7 +113,7 @@ func solveSDP(p *problem, opt Options, cached *leafCache) ([][]float64, leafStat
 		// Post-mapping needs ranking rather than certificates; 1e-4 with a
 		// generous iteration cap is plenty and much faster than full
 		// convergence on the larger partitions.
-		res, err = sdp.SolveIPM(prob, sdp.Options{MaxIters: 120, Tol: 1e-4})
+		res, err = sdp.SolveIPMCtx(ctx, prob, sdp.Options{MaxIters: 120, Tol: 1e-4})
 	} else {
 		// Cross-round acceleration tiers. A byte-identical recurring
 		// problem reuses the previous fractional solution outright (the
@@ -132,7 +133,7 @@ func solveSDP(p *problem, opt Options, cached *leafCache) ([][]float64, leafStat
 			}
 		}
 		ws := sdpWorkspaces.Get().(*sdp.Workspace)
-		res, err = ws.Solve(prob, sdp.Options{
+		res, err = ws.SolveCtx(ctx, prob, sdp.Options{
 			MaxIters: opt.SDPIters,
 			Tol:      opt.SDPTol,
 		}, warm)

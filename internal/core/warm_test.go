@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/ispd08"
@@ -111,7 +113,7 @@ func TestWarmMatchesColdMapping(t *testing.T) {
 		}
 		p := buildProblem(in, st.Trees, pitems)
 
-		cold, ls, err := solveSDP(p, opt, nil)
+		cold, ls, err := solveSDP(context.Background(), p, opt, nil)
 		if err != nil {
 			t.Fatalf("leaf %d cold: %v", li, err)
 		}
@@ -124,7 +126,7 @@ func TestWarmMatchesColdMapping(t *testing.T) {
 		cached.xFrac = nil
 		wopt := opt
 		wopt.WarmStart = true
-		warm, wls, err := solveSDP(p, wopt, cached)
+		warm, wls, err := solveSDP(context.Background(), p, wopt, cached)
 		if err != nil {
 			t.Fatalf("leaf %d warm: %v", li, err)
 		}

@@ -9,7 +9,9 @@ package ilp
 
 import (
 	"container/heap"
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/lp"
@@ -84,6 +86,14 @@ func (h *nodeHeap) Pop() interface{} {
 // Solve runs branch and bound. The binary variables automatically receive an
 // upper bound of 1.
 func Solve(p *Problem, opt Options) (*Result, error) {
+	return SolveCtx(context.Background(), p, opt)
+}
+
+// SolveCtx is Solve with cancellation: ctx is checked before every node
+// LP, so a deadline or cancel stops the search within one simplex solve.
+// The context error is returned wrapped; when no cancellation fires the
+// search is identical to Solve.
+func SolveCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	isBinary := make(map[int]bool, len(p.Binary))
 	for _, v := range p.Binary {
@@ -96,6 +106,9 @@ func Solve(p *Problem, opt Options) (*Result, error) {
 	nodes := 0
 
 	solveWithFixes := func(fixes []fix) (*lp.Solution, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ilp: search cancelled: %w", err)
+		}
 		// Fixings are expressed as temporary equality rows appended to a
 		// fresh copy of the constraint system. lp.Problem has no removal
 		// API, so rebuild: cheap relative to the simplex solve itself.

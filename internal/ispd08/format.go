@@ -23,10 +23,29 @@ import (
 	"repro/internal/tech"
 )
 
+// Parse limits: inputs claiming more are rejected before any large
+// allocation happens. The cplad server feeds Parse untrusted uploads, so
+// every count read from the file is bounds-checked against these.
+const (
+	// MaxGridDim bounds W and H (the real suite tops out near 800).
+	MaxGridDim = 8192
+	// MaxNets bounds the declared net count.
+	MaxNets = 10_000_000
+	// MaxPinsPerNet bounds one net's declared pin count.
+	MaxPinsPerNet = 100_000
+	// MaxAdjustments bounds the capacity-adjustment count.
+	MaxAdjustments = 50_000_000
+)
+
 // Parse reads an ISPD'08-format benchmark. Layer directions are inferred
 // from which of the vertical/horizontal capacity entries are nonzero; wire
 // RC parameters are taken from the default technology stack since the
 // format does not carry them.
+//
+// Parse is hardened against malformed and truncated input: implausible
+// grid dimensions, non-positive net/pin counts, out-of-range layers and
+// truncation anywhere all produce a descriptive error rather than a panic
+// or a silently empty design.
 func Parse(r io.Reader) (*netlist.Design, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -53,7 +72,7 @@ func Parse(r io.Reader) (*netlist.Design, error) {
 	if _, err := fmt.Sscanf(line, "grid %d %d %d", &w, &h, &l); err != nil {
 		return nil, fmt.Errorf("ispd08: bad grid line %q: %w", line, err)
 	}
-	if w < 2 || h < 2 || l < 2 || l > 16 {
+	if w < 2 || h < 2 || l < 2 || l > 16 || w > MaxGridDim || h > MaxGridDim {
 		return nil, fmt.Errorf("ispd08: implausible grid %dx%dx%d", w, h, l)
 	}
 
@@ -143,6 +162,11 @@ func Parse(r io.Reader) (*netlist.Design, error) {
 	if _, err := fmt.Sscanf(line, "num net %d", &numNets); err != nil {
 		return nil, fmt.Errorf("ispd08: bad net count line %q: %w", line, err)
 	}
+	if numNets <= 0 || numNets > MaxNets {
+		// A zero-net file would otherwise parse into a silently useless
+		// design; a huge claimed count is rejected before reading it in.
+		return nil, fmt.Errorf("ispd08: implausible net count %d (want 1..%d)", numNets, MaxNets)
+	}
 	toTile := func(x, y float64) (geom.Point, error) {
 		tx := int((x - lowX) / tileW)
 		ty := int((y - lowY) / tileH)
@@ -163,7 +187,7 @@ func Parse(r io.Reader) (*netlist.Design, error) {
 		}
 		name := fields[0]
 		numPins, err := strconv.Atoi(fields[2])
-		if err != nil || numPins < 1 {
+		if err != nil || numPins < 1 || numPins > MaxPinsPerNet {
 			return nil, fmt.Errorf("ispd08: bad pin count in %q", line)
 		}
 		net := &netlist.Net{ID: ni, Name: name}
@@ -193,6 +217,9 @@ func Parse(r io.Reader) (*netlist.Design, error) {
 	if line, err = next(); err == nil {
 		var numAdj int
 		if _, err := fmt.Sscanf(line, "%d", &numAdj); err == nil {
+			if numAdj < 0 || numAdj > MaxAdjustments {
+				return nil, fmt.Errorf("ispd08: implausible adjustment count %d", numAdj)
+			}
 			for a := 0; a < numAdj; a++ {
 				line, err = next()
 				if err != nil {
@@ -203,9 +230,18 @@ func Parse(r io.Reader) (*netlist.Design, error) {
 				if _, err := fmt.Sscanf(line, "%d %d %d %d %d %d %g", &x1, &y1, &l1, &x2, &y2, &l2, &newCap); err != nil {
 					return nil, fmt.Errorf("ispd08: bad adjustment %q: %w", line, err)
 				}
+				if l1 < 1 || l1 > l || l2 < 1 || l2 > l {
+					return nil, fmt.Errorf("ispd08: adjustment layer %d-%d out of 1..%d in %q", l1, l2, l, line)
+				}
+				if newCap < 0 {
+					return nil, fmt.Errorf("ispd08: negative adjusted capacity in %q", line)
+				}
 				e, err := grid.EdgeBetween(geom.Point{X: x1, Y: y1}, geom.Point{X: x2, Y: y2})
 				if err != nil {
 					return nil, err
+				}
+				if !g.InBounds(geom.Point{X: x1, Y: y1}) || !g.InBounds(geom.Point{X: x2, Y: y2}) {
+					return nil, fmt.Errorf("ispd08: adjustment edge (%d,%d)-(%d,%d) out of grid", x1, y1, x2, y2)
 				}
 				li := l1 - 1
 				pitch := minW[li] + minS[li]

@@ -315,3 +315,110 @@ func TestScaledSuite(t *testing.T) {
 		t.Fatal("suite length changed")
 	}
 }
+
+// TestParseRejectsHostileCounts covers the untrusted-upload guards: counts
+// and dimensions that would allocate unboundedly, silently produce an
+// empty design, or (before hardening) panic on out-of-range indices.
+func TestParseRejectsHostileCounts(t *testing.T) {
+	header := `grid 4 4 2
+vertical capacity: 0 20
+horizontal capacity: 20 0
+minimum width: 1 1
+minimum spacing: 1 1
+via spacing: 1 1
+0 0 10 10
+`
+	cases := map[string]string{
+		"zero nets":     header + "num net 0\n",
+		"negative nets": header + "num net -5\n",
+		"huge nets":     header + "num net 99999999999\n",
+		"huge grid":     "grid 1000000000 1000000000 8\n",
+		"huge pin count": header + `num net 1
+netA 0 999999999 1
+5 5 1
+`,
+		"zero pin count": header + `num net 1
+netA 0 0 1
+`,
+		"pin layer zero": header + `num net 1
+netA 0 1 1
+5 5 0
+`,
+		"adjustment layer zero": header + `num net 1
+netA 0 1 1
+5 5 1
+1
+0 0 0 1 0 0 10
+`,
+		"adjustment layer over": header + `num net 1
+netA 0 1 1
+5 5 1
+1
+0 0 9 1 0 9 10
+`,
+		"negative adjustment count": header + `num net 1
+netA 0 1 1
+5 5 1
+-3
+`,
+		"negative adjusted capacity": header + `num net 1
+netA 0 1 1
+5 5 1
+1
+0 0 1 1 0 1 -10
+`,
+		"adjustment off grid": header + `num net 1
+netA 0 1 1
+5 5 1
+1
+100 100 1 101 100 1 10
+`,
+	}
+	for name, src := range cases {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: parser panicked: %v", name, r)
+				}
+			}()
+			if _, err := Parse(strings.NewReader(src)); err == nil {
+				t.Errorf("%s: Parse succeeded, want error", name)
+			}
+		}()
+	}
+}
+
+// TestParseTruncationSweep cuts a valid file at every line boundary; each
+// prefix must parse cleanly or error — never panic, never yield an invalid
+// or empty design.
+func TestParseTruncationSweep(t *testing.T) {
+	d, err := Generate(GenParams{Name: "trunc", W: 8, H: 8, Layers: 6, NumNets: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	lines := strings.SplitAfter(full, "\n")
+	prefix := ""
+	for i, ln := range lines {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix of %d lines: parser panicked: %v", i, r)
+				}
+			}()
+			if d2, err := Parse(strings.NewReader(prefix)); err == nil {
+				if d2 == nil || len(d2.Nets) == 0 {
+					t.Fatalf("prefix of %d lines: accepted an empty design", i)
+				}
+				if err := d2.Validate(); err != nil {
+					t.Fatalf("prefix of %d lines: accepted invalid design: %v", i, err)
+				}
+			}
+		}()
+		prefix += ln
+	}
+}

@@ -5,6 +5,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"repro/internal/assign"
 	"repro/internal/netlist"
 	"repro/internal/route"
@@ -43,12 +45,23 @@ func DefaultOptions() Options {
 // Prepare routes the design, builds trees, runs initial layer assignment
 // (committing usage to the design's grid) and returns the combined state.
 func Prepare(d *netlist.Design, opt Options) (*State, error) {
-	res, err := route.RouteAll(d, opt.Route)
+	return PrepareCtx(context.Background(), d, opt)
+}
+
+// PrepareCtx is Prepare with cancellation: the router checks ctx per net,
+// and the remaining stages check it at their boundaries. On cancellation
+// the design's grid usage is left untouched (assignment is the only stage
+// that commits usage, and it runs last, after the final check).
+func PrepareCtx(ctx context.Context, d *netlist.Design, opt Options) (*State, error) {
+	res, err := route.RouteAllCtx(ctx, d, opt.Route)
 	if err != nil {
 		return nil, err
 	}
 	trees, err := tree.BuildAll(res, d)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	assign.AssignAll(d.Grid, trees, opt.Assign)

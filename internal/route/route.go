@@ -12,6 +12,7 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -88,6 +89,14 @@ type router struct {
 // routes. The design's grid usage is not modified; layer assignment applies
 // usage later.
 func RouteAll(d *netlist.Design, opt Options) (*Result, error) {
+	return RouteAllCtx(context.Background(), d, opt)
+}
+
+// RouteAllCtx is RouteAll with cancellation: ctx is checked before every
+// per-net route (initial pass and every negotiation reroute), so a deadline
+// or cancel stops the router within one net's work. The routing produced up
+// to that point is discarded and the context error returned wrapped.
+func RouteAllCtx(ctx context.Context, d *netlist.Design, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	r := &router{
 		d: d, g: d.Grid, opt: opt,
@@ -117,6 +126,9 @@ func RouteAll(d *netlist.Design, opt Options) (*Result, error) {
 		return order[a] < order[b]
 	})
 	for _, ni := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: cancelled: %w", err)
+		}
 		rt, err := r.routeNet(d.Nets[ni])
 		if err != nil {
 			return nil, err
@@ -137,6 +149,9 @@ func RouteAll(d *netlist.Design, opt Options) (*Result, error) {
 		}
 		victims := r.netsUsing(over)
 		for _, ni := range victims {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("route: cancelled: %w", err)
+			}
 			r.commit(r.route[ni], -1)
 			rt, err := r.routeNet(d.Nets[ni])
 			if err != nil {

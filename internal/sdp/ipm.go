@@ -1,6 +1,7 @@
 package sdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -14,6 +15,14 @@ import (
 // tens of iterations to higher accuracy, at the cost of forming and
 // factoring an m×m Schur complement per iteration.
 func SolveIPM(p *Problem, opt Options) (*Result, error) {
+	return SolveIPMCtx(context.Background(), p, opt)
+}
+
+// SolveIPMCtx is SolveIPM with cancellation: ctx is checked once per
+// interior-point iteration (each of which factors a Schur complement, so
+// the check itself is free by comparison). The context error is returned
+// wrapped; numerics are unchanged when no cancellation fires.
+func SolveIPMCtx(ctx context.Context, p *Problem, opt Options) (*Result, error) {
 	opt = opt.withIPMDefaults()
 	n := p.N
 	m := len(p.Constraints)
@@ -49,6 +58,9 @@ func SolveIPM(p *Problem, opt Options) (*Result, error) {
 
 	var priRes, duaRes, mu float64
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sdp: IPM cancelled at iteration %d: %w", iter, err)
+		}
 		mu = x.Dot(z) / float64(n)
 
 		// Residuals: rp = b − A(X); Rd = C − Z − Aᵀ(y).

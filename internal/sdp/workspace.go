@@ -1,6 +1,7 @@
 package sdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -137,6 +138,15 @@ func (w *Workspace) ensure(n, m int) {
 // a cold start. It returns an error only for malformed problems (dimension
 // mismatch, linearly dependent constraints making AAᵀ singular).
 func (w *Workspace) Solve(p *Problem, opt Options, warm *State) (*Result, error) {
+	return w.SolveCtx(context.Background(), p, opt, warm)
+}
+
+// SolveCtx is Solve with cancellation: ctx is checked once per ADMM
+// iteration, so a deadline or cancel stops the hot loop within one
+// iteration's work. The context error is returned verbatim (wrapped), and
+// the workspace stays reusable. Cancellation never changes numerics — a
+// solve that runs to completion is bit-identical with or without a context.
+func (w *Workspace) SolveCtx(ctx context.Context, p *Problem, opt Options, warm *State) (*Result, error) {
 	opt = opt.withDefaults()
 	n := p.N
 	m := len(p.Constraints)
@@ -188,6 +198,9 @@ func (w *Workspace) Solve(p *Problem, opt Options, warm *State) (*Result, error)
 
 	var priRes, duaRes float64
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sdp: ADMM cancelled at iteration %d: %w", iter, err)
+		}
 		// y-update: (AAᵀ)y = (b - A(X))/μ + A(C - S).
 		applyAInto(w.ax, p.Constraints, x)
 		cms := w.scratch.CopyFrom(cDense).SubMatrix(s)

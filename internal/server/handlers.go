@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// statusError pairs an error message with the HTTP status it maps to.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+var (
+	errQueueFull = &statusError{code: http.StatusTooManyRequests, msg: "job queue full"}
+	errDraining  = &statusError{code: http.StatusServiceUnavailable, msg: "server draining"}
+	errNotFound  = &statusError{code: http.StatusNotFound, msg: "no such job"}
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs       submit a job (202, or 429 queue full / 503 draining)
+//	GET    /v1/jobs       list jobs, newest first
+//	GET    /v1/jobs/{id}  job status, live progress, result
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /healthz       liveness (503 while draining)
+//	GET    /metrics       counter snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Bound the body before decoding: ISPD'08 uploads are untrusted and
+	// arrive inline in the JSON.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, &statusError{
+				code: http.StatusRequestEntityTooLarge,
+				msg:  "request body exceeds upload limit",
+			})
+			return
+		}
+		writeError(w, &statusError{code: http.StatusBadRequest, msg: "bad JSON: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, errNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // client gone is not our error
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var se *statusError
+	if !errors.As(err, &se) {
+		se = &statusError{code: http.StatusInternalServerError, msg: err.Error()}
+	}
+	writeJSON(w, se.code, map[string]string{"error": se.msg})
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the solve-latency histogram upper bounds in seconds;
+// the implicit last bucket is +Inf.
+var latencyBuckets = [...]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// Metrics is the server's expvar-style counter set. Everything is atomic:
+// the hot paths (workers, handlers) never take a lock to count.
+type Metrics struct {
+	Accepted  atomic.Int64 // jobs admitted to the queue
+	Rejected  atomic.Int64 // jobs refused with 429 (queue full)
+	Running   atomic.Int64 // jobs currently executing (gauge)
+	Done      atomic.Int64 // jobs finished successfully
+	Failed    atomic.Int64 // jobs finished with an error (incl. timeout)
+	Cancelled atomic.Int64 // jobs cancelled while queued or running
+	Queued    atomic.Int64 // queue depth (gauge)
+
+	ADMMIters  atomic.Int64 // total ADMM iterations over all rounds
+	WarmStarts atomic.Int64 // total warm-started leaf solves
+
+	latencyCount atomic.Int64
+	latencySumMS atomic.Int64
+	latencyHist  [len(latencyBuckets) + 1]atomic.Int64
+}
+
+// ObserveLatency records one finished job's wall-clock solve time.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	m.latencyCount.Add(1)
+	m.latencySumMS.Add(d.Milliseconds())
+	secs := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			m.latencyHist[i].Add(1)
+			return
+		}
+	}
+	m.latencyHist[len(latencyBuckets)].Add(1)
+}
+
+// HistBucket is one latency histogram bucket in the snapshot.
+type HistBucket struct {
+	LE    float64 `json:"le"` // upper bound in seconds; 0 means +Inf
+	Count int64   `json:"count"`
+}
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	JobsAccepted  int64 `json:"jobs_accepted"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsRunning   int64 `json:"jobs_running"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	QueueDepth    int64 `json:"queue_depth"`
+
+	ADMMIters  int64 `json:"admm_iters"`
+	WarmStarts int64 `json:"warm_starts"`
+
+	SolveCount   int64        `json:"solve_count"`
+	SolveSumMS   int64        `json:"solve_sum_ms"`
+	SolveLatency []HistBucket `json:"solve_latency"`
+}
+
+// Snapshot reads every counter once. The reads are individually atomic but
+// not mutually consistent — fine for monitoring.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		JobsAccepted:  m.Accepted.Load(),
+		JobsRejected:  m.Rejected.Load(),
+		JobsRunning:   m.Running.Load(),
+		JobsDone:      m.Done.Load(),
+		JobsFailed:    m.Failed.Load(),
+		JobsCancelled: m.Cancelled.Load(),
+		QueueDepth:    m.Queued.Load(),
+		ADMMIters:     m.ADMMIters.Load(),
+		WarmStarts:    m.WarmStarts.Load(),
+		SolveCount:    m.latencyCount.Load(),
+		SolveSumMS:    m.latencySumMS.Load(),
+	}
+	for i := range m.latencyHist {
+		b := HistBucket{Count: m.latencyHist[i].Load()}
+		if i < len(latencyBuckets) {
+			b.LE = latencyBuckets[i]
+		}
+		s.SolveLatency = append(s.SolveLatency, b)
+	}
+	return s
+}

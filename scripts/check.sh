@@ -1,9 +1,11 @@
 #!/bin/sh
-# check.sh — the repo's fast verification gate: formatting, vet, and the
-# race-enabled tests of the two packages the CPLA hot path lives in
-# (-short skips the heavy single-threaded convergence properties; the
-# parallel leaf-solve and warm-cache paths still run under the detector).
-# Run from the repo root (or via `make check`).
+# check.sh — the repo's fast verification gate: formatting, a full build
+# (both binaries included), vet, and the race-enabled tests of the packages
+# where concurrency lives: the CPLA hot path (parallel leaf solves, warm
+# cache) and the cplad job server (queue, cancellation, drain). -short skips
+# the heavy single-threaded convergence properties and the full-stack server
+# e2e; the concurrent paths still run under the detector. Run from the repo
+# root (or via `make check`).
 set -eu
 
 unformatted=$(gofmt -l .)
@@ -13,5 +15,6 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
+go build ./...
 go vet ./...
-go test -race -short -timeout 15m ./internal/core/ ./internal/sdp/
+go test -race -short -timeout 15m ./internal/core/ ./internal/sdp/ ./internal/server/

@@ -12,6 +12,7 @@
 //	cpla -bench adaptec1 -budget 15000      # release by timing budget
 //	cpla -bench adaptec1 -steiner -legalize -clock 20000
 //	cpla -bench adaptec1 -timeout 30s            # bounded run; exit 3 on deadline
+//	cpla -bench adaptec1 -verify                 # audit the result; exit 4 on violations
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	cpla "repro"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -40,6 +42,7 @@ func main() {
 	doLegalize := flag.Bool("legalize", false, "run the overflow repair pass after optimization")
 	clock := flag.Float64("clock", 0, "report WNS/TNS against this required arrival time")
 	timeout := flag.Duration("timeout", 0, "bound the whole run (prepare + optimize); cancelled runs exit non-zero")
+	doVerify := flag.Bool("verify", false, "audit the final assignment with the independent checker (and every SDP solve, on the sdp engine); exit 4 on violations")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -76,6 +79,13 @@ func main() {
 	fmt.Printf("before : Avg(Tcp)=%.1f Max(Tcp)=%.1f viaOV=%d via#=%d\n",
 		before.AvgTcp, before.MaxTcp, ovBefore.ViaExcess, sys.ViaCount())
 
+	// The auditor rides along on every fresh SDP solve when -verify is set;
+	// its findings merge into the final report.
+	var auditor *verify.SDPAuditor
+	if *doVerify {
+		auditor = verify.NewSDPAuditor(verify.SDPCheckOptions{})
+	}
+
 	start := time.Now()
 	switch *engine {
 	case "tila":
@@ -86,6 +96,9 @@ func main() {
 		sys.OptimizeTILA(released, cpla.TILAOptions{FlowPricing: true})
 	case "sdp", "ilp":
 		opt := cpla.CPLAOptions{MaxSegs: *maxSegs, K: *k, MaxRounds: *rounds}
+		if auditor != nil {
+			opt.OnSDP = auditor.Hook()
+		}
 		if *engine == "ilp" {
 			opt.Engine = cpla.EngineILP
 		}
@@ -130,6 +143,19 @@ func main() {
 		sr := sys.Slacks(*clock)
 		fmt.Printf("slack  : WNS=%.1f TNS=%.1f violating %d nets / %d sinks (clock %.1f)\n",
 			sr.WNS, sr.TNS, sr.ViolatingNets, sr.ViolatingSinks, *clock)
+	}
+	if *doVerify {
+		rep := sys.Verify()
+		if auditor != nil {
+			auditor.Fill(rep)
+		}
+		fmt.Printf("verify : %s\n", rep.Summary())
+		if !rep.Clean() {
+			for _, v := range rep.Violations {
+				fmt.Fprintln(os.Stderr, v.String())
+			}
+			os.Exit(4)
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"repro/internal/tila"
 	"repro/internal/timing"
 	"repro/internal/tree"
+	"repro/internal/verify"
 )
 
 // Re-exported data types. The aliases expose the internal implementations
@@ -69,6 +70,11 @@ type (
 	// SlackReport is the STA-style slack summary (WNS/TNS) against a
 	// required arrival time.
 	SlackReport = timing.SlackReport
+	// VerifyReport is the independent checker's audit result: typed
+	// violations plus a from-scratch overflow recount.
+	VerifyReport = verify.Report
+	// VerifyViolation is one detected invariant breach.
+	VerifyViolation = verify.Violation
 )
 
 // Engine selection for OptimizeCPLA.
@@ -276,4 +282,15 @@ func (s *System) SegmentLayers(net int) []int {
 		return t.SnapshotLayers()
 	}
 	return nil
+}
+
+// Verify audits the current state with the independent reference checker:
+// tree topology and layer assignment, grid usage and via-capacity
+// consistency, and the cached timing against a from-scratch Elmore
+// recomputation. A clean report (Report.Clean()) certifies the invariants;
+// Report.Overflow carries the recounted OV# metrics, which may legitimately
+// be nonzero. SDP solves are audited separately via CPLAOptions.OnSDP — see
+// internal/verify.SDPAuditor.
+func (s *System) Verify() *VerifyReport {
+	return verify.State(s.state, verify.Options{})
 }

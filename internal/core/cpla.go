@@ -138,6 +138,14 @@ type Options struct {
 	// long run (the cplad job server streams these into job status). Called
 	// synchronously from the optimizing goroutine; keep it cheap.
 	OnRound func(RoundStats)
+	// OnSDP, when non-nil, receives every freshly solved partition
+	// relaxation with its result — the hook the independent verifier's
+	// SDPAuditor installs. Called concurrently from the parallel leaf
+	// workers, so the callback must be safe for concurrent use. Memoized
+	// byte-identical re-solves skip the solver and this hook; each distinct
+	// problem's original solve is always delivered. The ILP engine never
+	// calls it.
+	OnSDP func(*sdp.Problem, *sdp.Result)
 }
 
 func (o Options) withDefaults() Options {

@@ -145,6 +145,9 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cached *leafCache) (
 	if err != nil {
 		return nil, ls, fmt.Errorf("core: partition SDP (%v) failed: %w", opt.SDPSolver, err)
 	}
+	if opt.OnSDP != nil {
+		opt.OnSDP(prob, res)
+	}
 
 	// Read the diagonal (the paper reads xij off the diagonal of X).
 	out := make([][]float64, len(p.segs))

@@ -14,6 +14,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/tila"
 	"repro/internal/timing"
+	"repro/internal/verify"
 )
 
 // Method identifies an optimizer under comparison.
@@ -72,6 +73,11 @@ type Config struct {
 	// WarmStart seeds recurring partition leaves' ADMM solves from the
 	// previous round's iterates (see core.Options.WarmStart).
 	WarmStart bool
+	// Verify audits every finished run with the independent reference
+	// checker (internal/verify) and fails the run on any violation, so a
+	// buggy optimizer can't silently publish a table built on an illegal
+	// or mistimed assignment.
+	Verify bool
 }
 
 func (c Config) ratio() float64 {
@@ -122,8 +128,35 @@ func Run(params ispd08.GenParams, method Method, cfg Config) (RunMetrics, error)
 		}
 	}
 	out.CPU = time.Since(start)
+	if cfg.Verify {
+		if err := auditState(st, released, method); err != nil {
+			return out, fmt.Errorf("exp: %s %s: %w", params.Name, method, err)
+		}
+	}
 	fillMetrics(&out, st, released)
 	return out, nil
+}
+
+// auditState runs the independent checker over a finished state. The gate
+// sits before fillMetrics on purpose: fillMetrics calls st.Timings(), a
+// full refresh that would mask a stale or corrupted incremental cache —
+// exactly the class of bug the audit exists to catch.
+func auditState(st *pipeline.State, released []int, method Method) error {
+	if method == MethodTILA {
+		// TILA moves segments without maintaining the incremental timing
+		// cache; bring it in sync so the audit checks the final assignment
+		// rather than flagging the intentional staleness.
+		st.Retime(released)
+	}
+	rep := verify.State(st, verify.Options{})
+	if rep.Clean() {
+		return nil
+	}
+	msg := rep.Summary()
+	if len(rep.Violations) > 0 {
+		msg += "; first: " + rep.Violations[0].String()
+	}
+	return fmt.Errorf("verification failed: %s", msg)
 }
 
 // Table2Row pairs the two methods on one benchmark.

@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/ispd08"
+)
+
+// TestTable2PipelineVerifies runs the Table-2 pipeline with the verify gate
+// enabled over shipped benchmarks: every method's finished state must pass
+// the independent checker with zero violations (Run returns an error
+// otherwise). The small suite runs in full; one full-suite instance guards
+// the larger configuration.
+func TestTable2PipelineVerifies(t *testing.T) {
+	suite := ispd08.SmallSuite
+	if testing.Short() {
+		suite = suite[:1]
+	}
+	cfg := Config{Verify: true}
+	for _, p := range suite {
+		for _, m := range []Method{MethodTILA, MethodSDP} {
+			if _, err := Run(p, m, cfg); err != nil {
+				t.Errorf("%s %s: %v", p.Name, m, err)
+			}
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	full, err := ispd08.ByName("adaptec1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodTILA, MethodSDP} {
+		if _, err := Run(full, m, cfg); err != nil {
+			t.Errorf("full-suite %s %s: %v", full.Name, m, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package ispd08
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validGR is a minimal well-formed ISPD'08 file (2 layers, one 2-pin net).
+const validGR = `grid 4 4 2
+vertical capacity: 0 10
+horizontal capacity: 10 0
+minimum width: 1 1
+minimum spacing: 1 1
+via spacing: 1 1
+0 0 10 10
+num net 1
+n0 0 2
+5 5 1
+25 15 2
+`
+
+// FuzzParse feeds arbitrary text to the ISPD'08 parser. Uploads reach
+// Parse unauthenticated through the server's POST /v1/jobs, so it must
+// never panic, and anything it accepts must be a structurally valid design.
+func FuzzParse(f *testing.F) {
+	f.Add(validGR)
+	// A generated benchmark round-tripped through Write seeds the corpus
+	// with a larger realistic file, adjustments included.
+	d, err := Generate(GenParams{Name: "fuzz-seed", W: 8, H: 8, Layers: 6, NumNets: 12, Capacity: 6, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	// Truncations and header mutations guide the fuzzer toward each
+	// parsing stage.
+	f.Add("grid 4 4 2\n")
+	f.Add(strings.Replace(validGR, "num net 1", "num net 99", 1))
+	f.Add(strings.Replace(validGR, "grid 4 4 2", "grid 9999999 2 2", 1))
+
+	f.Fuzz(func(t *testing.T, data string) {
+		d, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return // rejected input; only absence of panics matters
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Parse accepted a design failing Validate: %v", err)
+		}
+		g, stack := d.Grid, d.Stack
+		if g.W < 2 || g.H < 2 || g.W > MaxGridDim || g.H > MaxGridDim {
+			t.Fatalf("accepted implausible grid %dx%d", g.W, g.H)
+		}
+		if n := stack.NumLayers(); n < 2 || n > 16 {
+			t.Fatalf("accepted implausible layer count %d", n)
+		}
+		if len(d.Nets) == 0 || len(d.Nets) > MaxNets {
+			t.Fatalf("accepted implausible net count %d", len(d.Nets))
+		}
+		for _, net := range d.Nets {
+			for _, p := range net.Pins {
+				if !g.InBounds(p.Pos) {
+					t.Fatalf("net %q pin out of grid: %+v", net.Name, p)
+				}
+				if p.Layer < 0 || p.Layer >= stack.NumLayers() {
+					t.Fatalf("net %q pin layer %d out of range", net.Name, p.Layer)
+				}
+			}
+		}
+	})
+}

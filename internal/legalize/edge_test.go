@@ -1,0 +1,149 @@
+package legalize
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+	"repro/internal/pipeline"
+	"repro/internal/tech"
+	"repro/internal/tree"
+)
+
+// minimalDesign builds a hand-made design on the smallest legal stack: one
+// horizontal and one vertical layer, so every segment's layer is forced and
+// Repair has no alternative layer to move anything to.
+func minimalDesign(t *testing.T, w, h int, cap int32, nets []*netlist.Net) *netlist.Design {
+	t.Helper()
+	mk := func(name string, dir tech.Direction) tech.Layer {
+		return tech.Layer{Name: name, Dir: dir, UnitR: 4, UnitC: 1, ViaR: 2}
+	}
+	stack := &tech.Stack{
+		Layers:      []tech.Layer{mk("M1", tech.Horizontal), mk("M2", tech.Vertical)},
+		WireWidth:   1,
+		WireSpacing: 1,
+		ViaWidth:    1,
+		ViaSpacing:  1,
+		TileWidth:   40,
+	}
+	if err := stack.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := grid.New(w, h, stack)
+	g.SetUniformCapacity([]int32{cap, cap})
+	d := &netlist.Design{Name: "minimal", Grid: g, Stack: stack, Nets: nets}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func twoPinNet(id int, from, to geom.Point) *netlist.Net {
+	return &netlist.Net{
+		ID:   id,
+		Name: "n",
+		Pins: []netlist.Pin{{Pos: from, Layer: 0}, {Pos: to, Layer: 0}},
+	}
+}
+
+// TestRepairSingleLayerPerDirection: with one layer per direction nothing
+// can move; Repair must neither panic nor loop, and a forced overfull slot
+// is reported in Remaining rather than silently dropped.
+func TestRepairSingleLayerPerDirection(t *testing.T) {
+	// Zero capacity everywhere: every slot the router uses is overfull and
+	// there is no escape layer anywhere.
+	nets := []*netlist.Net{
+		twoPinNet(0, geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 0}),
+		twoPinNet(1, geom.Point{X: 0, Y: 0}, geom.Point{X: 3, Y: 0}),
+	}
+	d := minimalDesign(t, 6, 4, 0, nets)
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Repair(st.Design.Grid, st.Engine, st.Trees, []int{0, 1})
+	if len(res.Moves) != 0 {
+		t.Fatalf("moves on a single-layer-per-direction stack: %v", res.Moves)
+	}
+	if res.Remaining == 0 {
+		t.Fatal("overfull slot with no escape layer not reported in Remaining")
+	}
+}
+
+// TestRepairZeroCapacityEdge: a slot whose capacity was zeroed after
+// assignment must either be vacated (alternative layer with headroom) or
+// reported in Remaining; usage bookkeeping must survive intact.
+func TestRepairZeroCapacityEdge(t *testing.T) {
+	st, released := prepared(t, 11, 10)
+	g := st.Design.Grid
+
+	// Zero a slot actually occupied by a released segment.
+	var target grid.Edge
+	var layer = -1
+	for _, ti := range released {
+		tr := st.Trees[ti]
+		if tr == nil {
+			continue
+		}
+		for _, s := range tr.Segs {
+			if len(s.Edges) > 0 {
+				target, layer = s.Edges[0], s.Layer
+				break
+			}
+		}
+		if layer >= 0 {
+			break
+		}
+	}
+	if layer < 0 {
+		t.Fatal("no released segment with edges")
+	}
+	g.SetEdgeCap(target, layer, 0)
+
+	res := Repair(g, st.Engine, st.Trees, released)
+	if g.EdgeUse(target, layer) > 0 && res.Remaining == 0 {
+		t.Fatalf("zero-capacity slot still used (%d) yet Remaining = 0", g.EdgeUse(target, layer))
+	}
+
+	// Usage stays reproducible from the trees.
+	viaUse := g.TotalViaUse()
+	tree.ApplyAllUsage(g, st.Trees, -1)
+	if g.TotalViaUse() != 0 {
+		t.Fatal("usage inconsistent after repair around a zero-capacity edge")
+	}
+	tree.ApplyAllUsage(g, st.Trees, +1)
+	if g.TotalViaUse() != viaUse {
+		t.Fatal("usage not restored")
+	}
+}
+
+// TestRepairDegenerateOneNet: a single-net design — including the
+// single-pin corner case that routes to no segments at all — must pass
+// through Repair untouched.
+func TestRepairDegenerateOneNet(t *testing.T) {
+	d := minimalDesign(t, 6, 4, 4, []*netlist.Net{
+		twoPinNet(0, geom.Point{X: 1, Y: 1}, geom.Point{X: 4, Y: 1}),
+	})
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Repair(st.Design.Grid, st.Engine, st.Trees, []int{0})
+	if len(res.Moves) != 0 || res.Remaining != 0 {
+		t.Fatalf("repair disturbed a legal one-net design: %+v", res)
+	}
+
+	// Both pins on one tile: the route degenerates to a segment-free tree.
+	d2 := minimalDesign(t, 6, 4, 4, []*netlist.Net{
+		twoPinNet(0, geom.Point{X: 2, Y: 2}, geom.Point{X: 2, Y: 2}),
+	})
+	st2, err := pipeline.Prepare(d2, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := Repair(st2.Design.Grid, st2.Engine, st2.Trees, []int{0})
+	if len(res2.Moves) != 0 || res2.Remaining != 0 {
+		t.Fatalf("repair disturbed a single-pin design: %+v", res2)
+	}
+}

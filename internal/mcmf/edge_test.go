@@ -1,0 +1,103 @@
+package mcmf
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge-case behavior of the flow solver: zero capacities, unreachable
+// sinks, degenerate requests and negative costs must all resolve cleanly —
+// the flow-based post-mapping feeds it exactly these shapes on tiny or
+// congestion-free partitions.
+
+func TestZeroCapacityEdgeCarriesNoFlow(t *testing.T) {
+	g := New(3)
+	zero := g.AddEdge(0, 1, 0, 1)
+	g.AddEdge(1, 2, 5, 1)
+	flow, cost, err := g.MinCostFlow(0, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow through a zero-capacity edge: flow=%d cost=%g", flow, cost)
+	}
+	if g.Flow(zero) != 0 {
+		t.Fatalf("zero-capacity edge reports flow %d", g.Flow(zero))
+	}
+}
+
+func TestUnreachableSink(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 3, 1) // sink 3 has no incoming edges at all
+	flow, cost, err := g.MinCostFlow(0, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow to unreachable sink: flow=%d cost=%g", flow, cost)
+	}
+}
+
+func TestSourceEqualsSinkRejected(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1, 1)
+	if _, _, err := g.MinCostFlow(1, 1, -1); err == nil {
+		t.Fatal("source == sink accepted")
+	}
+}
+
+func TestMaxFlowZeroRequest(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 10, 2)
+	flow, cost, err := g.MinCostFlow(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 || cost != 0 || g.Flow(e) != 0 {
+		t.Fatalf("zero-unit request moved flow: flow=%d cost=%g edge=%d", flow, cost, g.Flow(e))
+	}
+}
+
+func TestNegativeCostsWithoutCycle(t *testing.T) {
+	// Two parallel routes, one with a negative-cost hop: the solver must
+	// prefer it and report the exact (negative-inclusive) total.
+	g := New(4)
+	g.AddEdge(0, 1, 1, -5)
+	g.AddEdge(1, 3, 1, 1)
+	g.AddEdge(0, 2, 1, 2)
+	g.AddEdge(2, 3, 1, 2)
+	flow, cost, err := g.MinCostFlow(0, 3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 2 {
+		t.Fatalf("max flow = %d, want 2", flow)
+	}
+	if math.Abs(cost-0) > 1e-12 { // (-5+1) + (2+2) = 0
+		t.Fatalf("cost = %g, want 0", cost)
+	}
+}
+
+func TestNegativeCycleDetected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1, -2)
+	g.AddEdge(1, 0, 1, -2) // reachable negative cycle 0→1→0
+	g.AddEdge(1, 2, 1, 1)
+	if _, _, err := g.MinCostFlow(0, 2, -1); err == nil {
+		t.Fatal("negative-cost cycle not detected")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(2)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("node out of range", func() { g.AddEdge(0, 2, 1, 1) })
+	mustPanic("negative capacity", func() { g.AddEdge(0, 1, -1, 1) })
+}

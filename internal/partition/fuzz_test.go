@@ -1,0 +1,82 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzPartition drives the quadtree splitter with arbitrary grids, budgets
+// and item placements, checking the invariants the optimizer relies on:
+// no item is lost or duplicated, every leaf sits inside the grid, adaptive
+// leaves respect the segment budget unless the single-tile deadlock guard
+// stopped refinement, and the leaf order is the documented scan order.
+func FuzzPartition(f *testing.F) {
+	f.Add(8, 8, 2, 3, true, []byte{0, 0, 1, 1, 7, 7, 3, 4, 3, 4})
+	f.Add(16, 12, 5, 10, true, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add(3, 3, 4, 1, false, []byte{0, 1, 2})
+	f.Add(1, 1, 1, 1, true, []byte{0, 0})
+
+	f.Fuzz(func(t *testing.T, w, h, k, maxSegs int, adaptive bool, data []byte) {
+		// Clamp to the domain the pipeline feeds Split: positive dimensions
+		// and budgets (Options only defaults zeros, not negatives).
+		w, h = 1+abs(w)%64, 1+abs(h)%64
+		k = 1 + abs(k)%9
+		maxSegs = 1 + abs(maxSegs)%24
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		items := make([]Item, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			items = append(items, Item{
+				Tree: i, Seg: i + 1,
+				Pos: geom.Point{X: int(data[i]) % w, Y: int(data[i+1]) % h},
+			})
+		}
+
+		leaves := Split(w, h, items, Options{K: k, MaxSegs: maxSegs, Adaptive: adaptive})
+
+		seen := make(map[[2]int]int)
+		total := 0
+		for li, leaf := range leaves {
+			if len(leaf.Items) == 0 {
+				t.Fatalf("leaf %d empty", li)
+			}
+			r := leaf.Rect
+			if r.MinX < 0 || r.MinY < 0 || r.MaxX >= w || r.MaxY >= h || r.MaxX < r.MinX || r.MaxY < r.MinY {
+				t.Fatalf("leaf %d rect %+v outside %dx%d grid", li, r, w, h)
+			}
+			if adaptive && len(leaf.Items) > maxSegs && r.Width() > 1 && r.Height() > 1 {
+				t.Fatalf("leaf %d holds %d items over budget %d in a splittable %+v", li, len(leaf.Items), maxSegs, r)
+			}
+			for _, it := range leaf.Items {
+				if !r.Contains(it.Pos) {
+					t.Fatalf("leaf %d contains item at %+v outside its rect %+v", li, it.Pos, r)
+				}
+				seen[[2]int{it.Tree, it.Seg}]++
+				total++
+			}
+			if li > 0 {
+				prev := leaves[li-1].Rect
+				if r.MinY < prev.MinY || (r.MinY == prev.MinY && r.MinX < prev.MinX) {
+					t.Fatalf("leaves out of scan order: %+v after %+v", r, prev)
+				}
+			}
+		}
+		if total != len(items) {
+			t.Fatalf("%d items in, %d out across leaves", len(items), total)
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("item %v placed %d times", id, n)
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -65,6 +65,10 @@ type JobSpec struct {
 	Steiner bool `json:"steiner,omitempty"`
 	// Legalize runs the overflow repair pass after optimization.
 	Legalize bool `json:"legalize,omitempty"`
+	// Verify audits the finished assignment (and every fresh SDP solve)
+	// with the independent reference checker; the report lands in the job
+	// result and the server's verify metrics.
+	Verify bool `json:"verify,omitempty"`
 	// TimeoutMS bounds this job's run; capped by the server's JobTimeout.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Options tunes the optimizer.
@@ -193,6 +197,25 @@ type JobResult struct {
 	LegalizeMoves     int   `json:"legalize_moves,omitempty"`
 	LegalizeRemaining int   `json:"legalize_remaining,omitempty"`
 	ElapsedMS         int64 `json:"elapsed_ms"`
+	// Verify is the independent checker's report, present when the spec
+	// asked for verification.
+	Verify *VerifySummary `json:"verify,omitempty"`
+}
+
+// VerifySummary is the JSON rendering of a verify.Report in a job result.
+type VerifySummary struct {
+	Clean bool `json:"clean"`
+	// Violations is the exact total; Counts breaks it down by kind and
+	// Details lists the first few human-readable entries.
+	Violations int            `json:"violations"`
+	Counts     map[string]int `json:"counts,omitempty"`
+	Details    []string       `json:"details,omitempty"`
+	// SDPSolves is how many partition solves the ride-along auditor saw.
+	SDPSolves int `json:"sdp_solves"`
+	// Overflow is the checker's own recount (the paper's OV# quantities) —
+	// reported, not gated.
+	Overflow grid.Overflow `json:"overflow"`
+	Summary  string        `json:"summary"`
 }
 
 // Job is one queued/running/finished optimization. All mutable fields are

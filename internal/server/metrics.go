@@ -23,6 +23,9 @@ type Metrics struct {
 	ADMMIters  atomic.Int64 // total ADMM iterations over all rounds
 	WarmStarts atomic.Int64 // total warm-started leaf solves
 
+	VerifyRuns       atomic.Int64 // jobs that ran the independent checker
+	VerifyViolations atomic.Int64 // total violations those checks found
+
 	latencyCount atomic.Int64
 	latencySumMS atomic.Int64
 	latencyHist  [len(latencyBuckets) + 1]atomic.Int64
@@ -61,6 +64,9 @@ type MetricsSnapshot struct {
 	ADMMIters  int64 `json:"admm_iters"`
 	WarmStarts int64 `json:"warm_starts"`
 
+	VerifyRuns       int64 `json:"verify_runs"`
+	VerifyViolations int64 `json:"verify_violations"`
+
 	SolveCount   int64        `json:"solve_count"`
 	SolveSumMS   int64        `json:"solve_sum_ms"`
 	SolveLatency []HistBucket `json:"solve_latency"`
@@ -70,17 +76,19 @@ type MetricsSnapshot struct {
 // not mutually consistent — fine for monitoring.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	s := MetricsSnapshot{
-		JobsAccepted:  m.Accepted.Load(),
-		JobsRejected:  m.Rejected.Load(),
-		JobsRunning:   m.Running.Load(),
-		JobsDone:      m.Done.Load(),
-		JobsFailed:    m.Failed.Load(),
-		JobsCancelled: m.Cancelled.Load(),
-		QueueDepth:    m.Queued.Load(),
-		ADMMIters:     m.ADMMIters.Load(),
-		WarmStarts:    m.WarmStarts.Load(),
-		SolveCount:    m.latencyCount.Load(),
-		SolveSumMS:    m.latencySumMS.Load(),
+		JobsAccepted:     m.Accepted.Load(),
+		JobsRejected:     m.Rejected.Load(),
+		JobsRunning:      m.Running.Load(),
+		JobsDone:         m.Done.Load(),
+		JobsFailed:       m.Failed.Load(),
+		JobsCancelled:    m.Cancelled.Load(),
+		QueueDepth:       m.Queued.Load(),
+		ADMMIters:        m.ADMMIters.Load(),
+		WarmStarts:       m.WarmStarts.Load(),
+		VerifyRuns:       m.VerifyRuns.Load(),
+		VerifyViolations: m.VerifyViolations.Load(),
+		SolveCount:       m.latencyCount.Load(),
+		SolveSumMS:       m.latencySumMS.Load(),
 	}
 	for i := range m.latencyHist {
 		b := HistBucket{Count: m.latencyHist[i].Load()}

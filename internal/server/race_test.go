@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// roundStormRunner emits many rounds with short pauses, so concurrent
+// status polls observe the job's progress mid-update.
+func roundStormRunner(rounds int, pause time.Duration) Runner {
+	return func(ctx context.Context, spec *JobSpec, onRound func(core.RoundStats)) (*JobResult, error) {
+		for i := 0; i < rounds; i++ {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(pause):
+			}
+			onRound(core.RoundStats{Score: float64(rounds - i), Partitions: i + 1, Accepted: true})
+		}
+		return &JobResult{Design: spec.Benchmark, Rounds: rounds}, nil
+	}
+}
+
+// TestJobStatusPollingRace hammers GET /v1/jobs/{id} while the job's worker
+// appends round stats, asserting the live progress is always internally
+// consistent: Rounds never decreases across polls, RoundLog always has
+// exactly Rounds entries, and successive snapshots agree on their common
+// prefix (each poll sees an atomic snapshot, never a torn append). Run
+// under -race this also proves the Job locking discipline.
+func TestJobStatusPollingRace(t *testing.T) {
+	const rounds = 40
+	_, ts := newTestServer(t, Config{Workers: 1, Runner: roundStormRunner(rounds, time.Millisecond)})
+	status, view := postJob(t, ts, benchSpec())
+	if status != 202 {
+		t.Fatalf("POST status = %d", status)
+	}
+
+	const pollers = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, pollers)
+	for p := 0; p < pollers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			var prevLog []core.RoundStats
+			for {
+				v := getJob(t, ts, view.ID)
+				if v.Progress.Rounds < last {
+					errc <- errorf("rounds went backwards: %d after %d", v.Progress.Rounds, last)
+					return
+				}
+				last = v.Progress.Rounds
+				if len(v.Progress.RoundLog) != v.Progress.Rounds {
+					errc <- errorf("torn snapshot: Rounds=%d but RoundLog has %d entries",
+						v.Progress.Rounds, len(v.Progress.RoundLog))
+					return
+				}
+				for i := range prevLog {
+					if v.Progress.RoundLog[i] != prevLog[i] {
+						errc <- errorf("round %d rewritten: %+v became %+v", i, prevLog[i], v.Progress.RoundLog[i])
+						return
+					}
+				}
+				prevLog = v.Progress.RoundLog
+				if v.Status.Terminal() {
+					if v.Status != StatusDone {
+						errc <- errorf("job ended %s: %s", v.Status, v.Error)
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	final := waitStatus(t, ts, view.ID, StatusDone)
+	if final.Progress.Rounds != rounds {
+		t.Fatalf("final rounds = %d, want %d", final.Progress.Rounds, rounds)
+	}
+}
+
+func errorf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/pipeline"
 	"repro/internal/timing"
+	"repro/internal/verify"
 )
 
 // Runner executes one job: build the design, optimize, report. The server
@@ -51,7 +52,13 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, onRound func(core.RoundSt
 		released = timing.SelectCritical(st.Timings(), ratio)
 	}
 
-	res, err := core.OptimizeCtx(ctx, st, released, spec.coreOptions(onRound))
+	copt := spec.coreOptions(onRound)
+	var auditor *verify.SDPAuditor
+	if spec.Verify {
+		auditor = verify.NewSDPAuditor(verify.SDPCheckOptions{})
+		copt.OnSDP = auditor.Hook()
+	}
+	res, err := core.OptimizeCtx(ctx, st, released, copt)
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +83,15 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, onRound func(core.RoundSt
 		lr := legalize.Repair(st.Design.Grid, st.Engine, st.Trees, released)
 		out.LegalizeMoves = len(lr.Moves)
 		out.LegalizeRemaining = lr.Remaining
+		// Repair moves segments without touching the timing cache; bring the
+		// cache back in sync so a verify audit checks the repaired state
+		// rather than flagging the intentional staleness.
+		st.Retime(released)
+	}
+	if spec.Verify {
+		rep := verify.State(st, verify.Options{})
+		auditor.Fill(rep)
+		out.Verify = summarizeVerify(rep)
 	}
 	out.Overflow = st.Design.Grid.CollectOverflow()
 	for _, t := range st.Trees {
@@ -117,4 +133,32 @@ func improvePct(before, after float64) float64 {
 		return 0
 	}
 	return 100 * (before - after) / before
+}
+
+// summarizeVerify renders a verify.Report into the job-result JSON shape,
+// capping the per-violation detail strings.
+func summarizeVerify(rep *verify.Report) *VerifySummary {
+	vs := &VerifySummary{
+		Clean:      rep.Clean(),
+		Violations: rep.TotalViolations(),
+		SDPSolves:  rep.SDPSolves,
+		Overflow:   rep.Overflow,
+		Summary:    rep.Summary(),
+	}
+	for k, n := range rep.Counts {
+		if n > 0 {
+			if vs.Counts == nil {
+				vs.Counts = map[string]int{}
+			}
+			vs.Counts[string(k)] = n
+		}
+	}
+	const maxDetails = 10
+	for i, v := range rep.Violations {
+		if i == maxDetails {
+			break
+		}
+		vs.Details = append(vs.Details, v.String())
+	}
+	return vs
 }

@@ -164,6 +164,10 @@ func (s *Server) run(workerID int, job *Job) {
 		job.status = StatusDone
 		job.result = result
 		s.metrics.Done.Add(1)
+		if result.Verify != nil {
+			s.metrics.VerifyRuns.Add(1)
+			s.metrics.VerifyViolations.Add(int64(result.Verify.Violations))
+		}
 	case errors.Is(err, context.Canceled):
 		job.status = StatusCancelled
 		job.err = err.Error()

@@ -1,0 +1,238 @@
+package verify
+
+import (
+	"repro/internal/grid"
+	"repro/internal/tech"
+	"repro/internal/tree"
+)
+
+// shadowUsage is the verifier's own from-scratch usage count, laid out like
+// the grid's arrays but filled independently from the trees.
+type shadowUsage struct {
+	w, h int
+	// useH[l][y*(w-1)+x], useV[l][y*w+x], via[lvl][y*w+x]
+	useH, useV [][]int32
+	via        [][]int32
+}
+
+func newShadowUsage(w, h, layers int) *shadowUsage {
+	s := &shadowUsage{w: w, h: h}
+	s.useH = make([][]int32, layers)
+	s.useV = make([][]int32, layers)
+	for l := 0; l < layers; l++ {
+		s.useH[l] = make([]int32, (w-1)*h)
+		s.useV[l] = make([]int32, w*(h-1))
+	}
+	s.via = make([][]int32, layers-1)
+	for lvl := range s.via {
+		s.via[lvl] = make([]int32, w*h)
+	}
+	return s
+}
+
+func (s *shadowUsage) edgeUse(e grid.Edge, l int) int32 {
+	if e.Horiz {
+		return s.useH[l][e.Y*(s.w-1)+e.X]
+	}
+	return s.useV[l][e.Y*s.w+e.X]
+}
+
+func (s *shadowUsage) addEdge(e grid.Edge, l int) {
+	if e.Horiz {
+		s.useH[l][e.Y*(s.w-1)+e.X]++
+	} else {
+		s.useV[l][e.Y*s.w+e.X]++
+	}
+}
+
+// checkUsageAndCapacity recounts wire and via usage over every tree,
+// compares the count against the grid's tracked bookkeeping (KindUsage on
+// drift), re-derives every via capacity from the stored edge capacities per
+// Eqn (1) (KindCapacity on mismatch), and recounts overflow — recounted
+// usage against stored capacities — into rep.Overflow.
+func checkUsageAndCapacity(rep *Report, g *grid.Grid, stack *tech.Stack, trees []*tree.Tree) {
+	L := stack.NumLayers()
+	sh := newShadowUsage(g.W, g.H, L)
+
+	layerOK := func(l int) bool { return l >= 0 && l < L }
+	for _, tr := range trees {
+		if tr == nil {
+			continue
+		}
+		for _, s := range tr.Segs {
+			// Segments flagged by the assignment check cannot be counted the
+			// way the grid counted them; skipping them here surfaces the
+			// discrepancy as usage drift on the slots the grid still holds.
+			if !layerOK(s.Layer) || stack.Dir(s.Layer) != s.Dir {
+				continue
+			}
+			for _, e := range s.Edges {
+				if g.ValidEdge(e) {
+					sh.addEdge(e, s.Layer)
+				}
+			}
+		}
+		for i := range tr.Nodes {
+			n := &tr.Nodes[i]
+			lo, hi := 1<<30, -1
+			touch := func(l int) {
+				if !layerOK(l) {
+					return
+				}
+				if l < lo {
+					lo = l
+				}
+				if l > hi {
+					hi = l
+				}
+			}
+			if n.UpSeg >= 0 && n.UpSeg < len(tr.Segs) {
+				touch(tr.Segs[n.UpSeg].Layer)
+			}
+			for _, sid := range n.DownSegs {
+				if sid >= 0 && sid < len(tr.Segs) {
+					touch(tr.Segs[sid].Layer)
+				}
+			}
+			if n.PinLayer >= 0 {
+				touch(n.PinLayer)
+			}
+			if hi > lo && g.InBounds(n.Pos) {
+				for lvl := lo; lvl < hi; lvl++ {
+					sh.via[lvl][n.Pos.Y*g.W+n.Pos.X]++
+				}
+			}
+		}
+	}
+
+	// Usage drift: every (edge, layer) and (tile, level) slot.
+	for l := 0; l < L; l++ {
+		horiz := stack.Dir(l) == tech.Horizontal
+		forEachEdge(g.W, g.H, horiz, func(e grid.Edge) {
+			if want, got := sh.edgeUse(e, l), g.EdgeUse(e, l); want != got {
+				rep.add(KindUsage, -1, "edge %v layer %d: tracked use %d, recount %d", e, l, got, want)
+			}
+		})
+	}
+	for lvl := 0; lvl < L-1; lvl++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				if want, got := sh.via[lvl][y*g.W+x], g.ViaUse(x, y, lvl); want != got {
+					rep.add(KindUsage, -1, "via (%d,%d) level %d: tracked use %d, recount %d", x, y, lvl, got, want)
+				}
+			}
+		}
+	}
+
+	checkViaCapDerivation(rep, g, stack)
+	rep.Overflow = recountOverflow(g, stack, sh)
+}
+
+// forEachEdge visits every edge of one orientation.
+func forEachEdge(w, h int, horiz bool, fn func(grid.Edge)) {
+	if horiz {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w-1; x++ {
+				fn(grid.Edge{X: x, Y: y, Horiz: true})
+			}
+		}
+		return
+	}
+	for y := 0; y < h-1; y++ {
+		for x := 0; x < w; x++ {
+			fn(grid.Edge{X: x, Y: y, Horiz: false})
+		}
+	}
+}
+
+// eqn1ViaCap is the verifier's own Eqn (1): via capacity of a tile from the
+// routing capacities of its two adjacent same-layer edges.
+func eqn1ViaCap(stack *tech.Stack, c0, c1 int) int32 {
+	denom := (stack.ViaWidth + stack.ViaSpacing) * (stack.ViaWidth + stack.ViaSpacing)
+	return int32((stack.WireWidth + stack.WireSpacing) * stack.TileWidth * float64(c0+c1) / denom)
+}
+
+// eqn1NV is the nv coefficient of constraint (4d): via sites blocked by one
+// routing track crossing the tile.
+func eqn1NV(stack *tech.Stack) int32 {
+	denom := (stack.ViaWidth + stack.ViaSpacing) * (stack.ViaWidth + stack.ViaSpacing)
+	return int32((stack.WireWidth + stack.WireSpacing) * stack.TileWidth / denom)
+}
+
+// adjacentEdges returns the two candidate edges next to tile (x,y) on layer
+// l in the layer's preferred direction (either may be off-grid at the
+// boundary).
+func adjacentEdges(stack *tech.Stack, x, y, l int) (grid.Edge, grid.Edge) {
+	if stack.Dir(l) == tech.Horizontal {
+		return grid.Edge{X: x - 1, Y: y, Horiz: true}, grid.Edge{X: x, Y: y, Horiz: true}
+	}
+	return grid.Edge{X: x, Y: y - 1, Horiz: false}, grid.Edge{X: x, Y: y, Horiz: false}
+}
+
+// checkViaCapDerivation re-derives every via capacity from the stored edge
+// capacities: Eqn (1) over the two adjacent edges of the via's lower layer,
+// boundary tiles reusing their single edge twice (the ISPD'08 adjustment).
+func checkViaCapDerivation(rep *Report, g *grid.Grid, stack *tech.Stack) {
+	for lvl := 0; lvl < stack.NumLayers()-1; lvl++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				e0, e1 := adjacentEdges(stack, x, y, lvl)
+				c0, c1 := -1, -1
+				if g.ValidEdge(e0) {
+					c0 = int(g.EdgeCap(e0, lvl))
+				}
+				if g.ValidEdge(e1) {
+					c1 = int(g.EdgeCap(e1, lvl))
+				}
+				switch {
+				case c0 < 0 && c1 < 0:
+					c0, c1 = 0, 0
+				case c0 < 0:
+					c0 = c1
+				case c1 < 0:
+					c1 = c0
+				}
+				want := eqn1ViaCap(stack, c0, c1)
+				if got := g.ViaCap(x, y, lvl); got != want {
+					rep.add(KindCapacity, -1, "via cap (%d,%d) level %d: stored %d, Eqn (1) derives %d from edge caps %d+%d", x, y, lvl, got, want, c0, c1)
+				}
+			}
+		}
+	}
+}
+
+// recountOverflow computes capacity overflow from the verifier's recounted
+// usage against the grid's stored capacities, including the wire-blocking
+// NV term of constraint (4d) on via levels.
+func recountOverflow(g *grid.Grid, stack *tech.Stack, sh *shadowUsage) grid.Overflow {
+	var ov grid.Overflow
+	for l := 0; l < stack.NumLayers(); l++ {
+		horiz := stack.Dir(l) == tech.Horizontal
+		forEachEdge(g.W, g.H, horiz, func(e grid.Edge) {
+			if u, c := sh.edgeUse(e, l), g.EdgeCap(e, l); u > c {
+				ov.EdgeViolations++
+				ov.EdgeExcess += int(u - c)
+			}
+		})
+	}
+	nv := eqn1NV(stack)
+	for lvl := 0; lvl < stack.NumLayers()-1; lvl++ {
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				u := sh.via[lvl][y*g.W+x]
+				e0, e1 := adjacentEdges(stack, x, y, lvl)
+				if g.ValidEdge(e0) {
+					u += nv * sh.edgeUse(e0, lvl)
+				}
+				if g.ValidEdge(e1) {
+					u += nv * sh.edgeUse(e1, lvl)
+				}
+				if c := g.ViaCap(x, y, lvl); u > c {
+					ov.ViaViolations++
+					ov.ViaExcess += int(u - c)
+				}
+			}
+		}
+	}
+	return ov
+}

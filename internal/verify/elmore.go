@@ -1,0 +1,232 @@
+package verify
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pipeline"
+	"repro/internal/tech"
+	"repro/internal/tree"
+)
+
+// naiveTiming is the verifier's own Elmore result for one net, recomputed
+// from the raw tree and stack with no incremental state.
+type naiveTiming struct {
+	cd        []float64
+	sinkDelay map[int]float64
+	critSink  int
+	tcp       float64
+	critPath  []int
+}
+
+// checkTimings cross-checks the pipeline's cached timing analysis — the
+// thing the incremental Retime path patches — against a from-scratch
+// recomputation per net: downstream caps, per-sink delays, Tcp, critical
+// sink, critical path.
+func checkTimings(rep *Report, st *pipeline.State, opt Options, sound []bool) {
+	ts := st.TimingsCached()
+	stack := st.Design.Stack
+	sinkCap := st.Engine.Params.SinkCap
+
+	for ni, tr := range st.Trees {
+		if tr == nil {
+			if ni < len(ts) && ts[ni] != nil {
+				rep.add(KindTiming, ni, "cached timing exists for a net with no tree")
+			}
+			continue
+		}
+		if ni >= len(ts) || ts[ni] == nil {
+			rep.add(KindTiming, ni, "no cached timing for a routed net")
+			continue
+		}
+		if !sound[ni] {
+			continue // structural violations already reported; links unsafe to walk
+		}
+		if !timingCheckable(stack, tr) {
+			continue // layer out of range, already an assignment violation
+		}
+		nt := ts[ni]
+		naive := recomputeElmore(stack, sinkCap, tr)
+		compareTiming(rep, ni, nt.Cd, nt.SinkDelay, nt.CritSink, nt.Tcp, nt.CritPath, naive, opt.TimingTol)
+	}
+}
+
+// timingCheckable reports whether every segment layer indexes the stack —
+// the recomputation (like the engine) reads Layers[s.Layer] directly.
+func timingCheckable(stack *tech.Stack, tr *tree.Tree) bool {
+	for _, s := range tr.Segs {
+		if s.Layer < 0 || s.Layer >= stack.NumLayers() {
+			return false
+		}
+	}
+	for i := range tr.Nodes {
+		if tr.Nodes[i].PinLayer >= stack.NumLayers() {
+			return false
+		}
+	}
+	return true
+}
+
+// recomputeElmore evaluates Eqns (2) and (3) over the tree from first
+// principles: recursive subtree capacitance, then one root-to-sink walk per
+// sink accumulating segment and via delays.
+func recomputeElmore(stack *tech.Stack, sinkCap float64, tr *tree.Tree) *naiveTiming {
+	// Subtree capacitance below each node: sink loads plus descendant wire.
+	nodeCap := make([]float64, len(tr.Nodes))
+	var subtreeCap func(nid int) float64
+	subtreeCap = func(nid int) float64 {
+		n := &tr.Nodes[nid]
+		c := float64(len(n.SinkPins)) * sinkCap
+		for _, sid := range n.DownSegs {
+			s := tr.Segs[sid]
+			c += wireCap(stack, s) + subtreeCap(s.ToNode)
+		}
+		nodeCap[nid] = c
+		return c
+	}
+	subtreeCap(tr.Root)
+
+	out := &naiveTiming{
+		cd:        make([]float64, len(tr.Segs)),
+		sinkDelay: make(map[int]float64, len(tr.SinkNode)),
+		critSink:  -1,
+	}
+	for _, s := range tr.Segs {
+		out.cd[s.ID] = nodeCap[s.ToNode]
+	}
+
+	// Ascending pin order so exact delay ties resolve like the engine's
+	// deterministic rule (strict > keeps the first maximum).
+	pins := make([]int, 0, len(tr.SinkNode))
+	for pi := range tr.SinkNode {
+		pins = append(pins, pi)
+	}
+	sort.Ints(pins)
+	for _, pi := range pins {
+		d := sinkPathDelay(stack, sinkCap, tr, out.cd, tr.SinkNode[pi])
+		out.sinkDelay[pi] = d
+		if d > out.tcp {
+			out.tcp = d
+			out.critSink = pi
+		}
+	}
+	if out.critSink >= 0 {
+		// Source-first critical path, walked independently via parent links.
+		var rev []int
+		for cur := tr.SinkNode[out.critSink]; cur != tr.Root; cur = tr.Nodes[cur].Parent {
+			rev = append(rev, tr.Nodes[cur].UpSeg)
+		}
+		for i := len(rev) - 1; i >= 0; i-- {
+			out.critPath = append(out.critPath, rev[i])
+		}
+	}
+	return out
+}
+
+func wireCap(stack *tech.Stack, s *tree.Segment) float64 {
+	return stack.Layers[s.Layer].UnitC * float64(len(s.Edges))
+}
+
+// viaR sums via resistances crossing layers [lo, hi).
+func viaR(stack *tech.Stack, lo, hi int) float64 {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	sum := 0.0
+	for l := lo; l < hi; l++ {
+		sum += stack.Layers[l].ViaR
+	}
+	return sum
+}
+
+// sinkPathDelay walks source→sink accumulating Eqn (2) per segment and
+// Eqn (3) per layer change: the source via drives the whole net below the
+// first segment, intermediate vias drive the smaller of the two adjoining
+// downstream caps, the sink via drives the sink load.
+func sinkPathDelay(stack *tech.Stack, sinkCap float64, tr *tree.Tree, cd []float64, nodeID int) float64 {
+	var path []int // sink-nearest first
+	for cur := nodeID; cur != tr.Root; cur = tr.Nodes[cur].Parent {
+		path = append(path, tr.Nodes[cur].UpSeg)
+	}
+	delay := 0.0
+	for k := len(path) - 1; k >= 0; k-- {
+		s := tr.Segs[path[k]]
+		var upLayer int
+		var viaCd float64
+		if k == len(path)-1 {
+			upLayer = tr.Nodes[tr.Root].PinLayer
+			viaCd = wireCap(stack, s) + cd[s.ID]
+		} else {
+			up := tr.Segs[path[k+1]]
+			upLayer = up.Layer
+			viaCd = math.Min(cd[up.ID], cd[s.ID])
+		}
+		if upLayer >= 0 {
+			delay += viaR(stack, upLayer, s.Layer) * viaCd
+		}
+		layer := stack.Layers[s.Layer]
+		wireLen := float64(len(s.Edges))
+		delay += layer.UnitR * wireLen * (layer.UnitC*wireLen/2 + cd[s.ID])
+	}
+	n := &tr.Nodes[nodeID]
+	if n.PinLayer >= 0 && n.UpSeg >= 0 {
+		delay += viaR(stack, tr.Segs[n.UpSeg].Layer, n.PinLayer) * sinkCap
+	}
+	return delay
+}
+
+// relDiff is the comparison metric for delays: absolute difference scaled by
+// the larger magnitude, floored at 1 so near-zero quantities compare
+// absolutely.
+func relDiff(a, b float64) float64 {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) / scale
+}
+
+// compareTiming diffs the cached analysis against the naive recomputation.
+func compareTiming(rep *Report, ni int, cachedCd []float64, cachedSink map[int]float64,
+	cachedCrit int, cachedTcp float64, cachedPath []int, naive *naiveTiming, tol float64) {
+	if len(cachedCd) != len(naive.cd) {
+		rep.add(KindTiming, ni, "cached Cd has %d entries, tree has %d segments", len(cachedCd), len(naive.cd))
+		return
+	}
+	for i := range naive.cd {
+		if relDiff(cachedCd[i], naive.cd[i]) > tol {
+			rep.add(KindTiming, ni, "segment %d downstream cap: cached %.6g, recomputed %.6g", i, cachedCd[i], naive.cd[i])
+		}
+	}
+	if len(cachedSink) != len(naive.sinkDelay) {
+		rep.add(KindTiming, ni, "cached analysis covers %d sinks, tree has %d", len(cachedSink), len(naive.sinkDelay))
+	}
+	for pi, want := range naive.sinkDelay {
+		got, ok := cachedSink[pi]
+		if !ok {
+			rep.add(KindTiming, ni, "sink %d missing from cached analysis", pi)
+			continue
+		}
+		if relDiff(got, want) > tol {
+			rep.add(KindTiming, ni, "sink %d delay: cached %.6g, recomputed %.6g", pi, got, want)
+		}
+	}
+	if relDiff(cachedTcp, naive.tcp) > tol {
+		rep.add(KindTiming, ni, "Tcp: cached %.6g, recomputed %.6g", cachedTcp, naive.tcp)
+	}
+	if cachedCrit != naive.critSink {
+		rep.add(KindTiming, ni, "critical sink: cached %d, recomputed %d", cachedCrit, naive.critSink)
+	}
+	if !equalInts(cachedPath, naive.critPath) {
+		rep.add(KindTiming, ni, "critical path: cached %v, recomputed %v", cachedPath, naive.critPath)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"repro/internal/lp"
+	"repro/internal/sdp"
+)
+
+// lpLowerBound bounds the SDP optimum from below by relaxing X ⪰ 0 to
+// PSD-necessary linear conditions over the cells the problem actually
+// references:
+//
+//	0 ≤ X_ii ≤ diagBound                       (diagonal bound of the lifting)
+//	|X_ij| ≤ (X_ii + X_jj)/2                   (2×2 principal minor, AM–GM)
+//
+// plus the problem's equality constraints. Every X feasible for the SDP
+// (with diagonals under diagBound, which CheckSDP enforces separately) maps
+// to a feasible LP point with the same objective, so LPmin ≤ SDPmin. The
+// second return is false when the simplex does not finish Optimal — the
+// bound is then unavailable and the caller skips the check.
+func lpLowerBound(p *sdp.Problem, diagBound float64) (float64, bool) {
+	// Collect every referenced upper-triangle cell; off-diagonal cells pull
+	// in both of their diagonals for the minor constraints.
+	type cell struct{ i, j int }
+	cells := map[cell]bool{}
+	note := func(m *sdp.SymMatrix) {
+		for _, e := range m.Entries {
+			cells[cell{e.I, e.J}] = true
+			if e.I != e.J {
+				cells[cell{e.I, e.I}] = true
+				cells[cell{e.J, e.J}] = true
+			}
+		}
+	}
+	note(&p.C)
+	for k := range p.Constraints {
+		note(&p.Constraints[k].A)
+	}
+
+	// Variables: one per diagonal cell; an off-diagonal value is free, so it
+	// splits into u − v with u, v ∈ [0, diagBound] (the minor constraint
+	// already implies |X_ij| ≤ diagBound, so the box loses nothing).
+	type vars struct{ u, v int }
+	idx := map[cell]vars{}
+	n := 0
+	for c := range cells {
+		if c.i == c.j {
+			idx[c] = vars{u: n, v: -1}
+			n++
+		} else {
+			idx[c] = vars{u: n, v: n + 1}
+			n += 2
+		}
+	}
+	prob := lp.NewProblem(n)
+	for c, v := range idx {
+		prob.SetUpper(v.u, diagBound)
+		if c.i != c.j {
+			prob.SetUpper(v.v, diagBound)
+		}
+	}
+
+	// entriesOf linearizes a SymMatrix row: off-diagonal cells weigh twice
+	// (the Frobenius inner product doubles them).
+	entriesOf := func(m *sdp.SymMatrix) []lp.Entry {
+		var out []lp.Entry
+		for _, e := range m.Entries {
+			v := idx[cell{e.I, e.J}]
+			w := e.Val
+			if e.I != e.J {
+				w *= 2
+				out = append(out, lp.Entry{Var: v.u, Coef: w}, lp.Entry{Var: v.v, Coef: -w})
+			} else {
+				out = append(out, lp.Entry{Var: v.u, Coef: w})
+			}
+		}
+		return out
+	}
+
+	for _, e := range entriesOf(&p.C) {
+		prob.AddObjective(e.Var, e.Coef)
+	}
+	for k := range p.Constraints {
+		prob.AddConstraint(entriesOf(&p.Constraints[k].A), lp.EQ, p.Constraints[k].RHS)
+	}
+
+	// Minor constraints: ±(u − v) − X_ii/2 − X_jj/2 ≤ 0.
+	for c, v := range idx {
+		if c.i == c.j {
+			continue
+		}
+		di := idx[cell{c.i, c.i}].u
+		dj := idx[cell{c.j, c.j}].u
+		for _, sign := range []float64{1, -1} {
+			prob.AddConstraint([]lp.Entry{
+				{Var: v.u, Coef: sign},
+				{Var: v.v, Coef: -sign},
+				{Var: di, Coef: -0.5},
+				{Var: dj, Coef: -0.5},
+			}, lp.LE, 0)
+		}
+	}
+
+	sol, err := prob.Solve()
+	if err != nil || sol.Status != lp.Optimal {
+		return 0, false
+	}
+	return sol.Objective, true
+}

@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/pipeline"
+	"repro/internal/sdp"
+	"repro/internal/timing"
+)
+
+// TestMutationDetection is the checker's self-test: seeded random
+// corruptions of the capacity, assignment and timing classes must shift the
+// report away from the pristine baseline — a checker that misses planted
+// bugs would certify nothing. Every trial also reverts the corruption and
+// re-audits, so a leaky revert cannot poison later trials into fake
+// detections.
+func TestMutationDetection(t *testing.T) {
+	st, _ := optimized(t, 9, 220)
+	base := State(st, Options{})
+	if !base.Clean() {
+		t.Fatalf("baseline not clean: %s", base.Summary())
+	}
+
+	trials := 120
+	if testing.Short() {
+		trials = 30
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, class := range []Class{ClassCapacity, ClassAssignment, ClassTiming} {
+		applied, detected := 0, 0
+		for i := 0; i < trials; i++ {
+			c, ok := CorruptState(rng, st, class)
+			if !ok {
+				continue
+			}
+			applied++
+			rep := State(st, Options{})
+			if !rep.Equivalent(base) {
+				detected++
+			} else {
+				t.Logf("%s: missed corruption: %s", class, c.Desc)
+			}
+			c.Revert()
+			if after := State(st, Options{}); !after.Clean() || !after.Equivalent(base) {
+				t.Fatalf("%s: revert of %q left state dirty: %s", class, c.Desc, after.Summary())
+			}
+		}
+		if applied < trials*9/10 {
+			t.Errorf("%s: only %d/%d corruptions applied", class, applied, trials)
+		}
+		if applied == 0 || float64(detected) < 0.99*float64(applied) {
+			t.Errorf("%s: detected %d/%d corruptions (< 99%%)", class, detected, applied)
+		}
+	}
+}
+
+// TestMutationDetectionSDP audits every real partition solve of a small run
+// and, inside the same hook, plants a corruption in a deep copy of the
+// result: the genuine solution must check clean and the corrupted one must
+// not. Running inside the hook avoids aliasing the solver's pooled
+// workspaces across solves.
+func TestMutationDetectionSDP(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "verify-sdp", W: 16, H: 16, Layers: 8, NumNets: 220, Capacity: 8, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := timing.SelectCritical(st.Timings(), 0.05)
+
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(7))
+	var solves, cleanFails, applied, detected int
+	var missed []string
+	hook := func(p *sdp.Problem, r *sdp.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		solves++
+		if vs := CheckSDP(p, r, SDPCheckOptions{}); len(vs) > 0 {
+			cleanFails++
+			t.Logf("genuine solve flagged: %v", vs[0])
+		}
+		corrupted, desc := CorruptSDP(rng, r)
+		applied++
+		if vs := CheckSDP(p, corrupted, SDPCheckOptions{}); len(vs) > 0 {
+			detected++
+		} else {
+			missed = append(missed, desc)
+		}
+	}
+	if _, err := core.Optimize(st, released, core.Options{SDPIters: 150, OnSDP: hook}); err != nil {
+		t.Fatal(err)
+	}
+	if solves == 0 {
+		t.Fatal("hook never fired")
+	}
+	if cleanFails > 0 {
+		t.Errorf("%d/%d genuine solves flagged as violations", cleanFails, solves)
+	}
+	if float64(detected) < 0.99*float64(applied) {
+		t.Errorf("detected %d/%d SDP corruptions (< 99%%); missed: %v", detected, applied, missed)
+	}
+}

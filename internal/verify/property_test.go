@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/pipeline"
+	"repro/internal/tila"
+	"repro/internal/timing"
+)
+
+// TestPropertyRandomInstances is the randomized end-to-end property check:
+// on random grids and netlists, both the CPLA SDP flow and the TILA
+// baseline must produce states the independent checker certifies clean, and
+// CPLA's critical-path delay must not exceed TILA's beyond a small epsilon
+// — the paper's headline claim, asserted per instance rather than on
+// averages. Instance parameters are drawn from a fixed seed, so failures
+// reproduce.
+func TestPropertyRandomInstances(t *testing.T) {
+	instances := 4
+	if testing.Short() {
+		instances = 2
+	}
+	rng := rand.New(rand.NewSource(2016))
+	for i := 0; i < instances; i++ {
+		layers := 8
+		if rng.Intn(2) == 0 {
+			layers = 6
+		}
+		params := ispd08.GenParams{
+			Name:     fmt.Sprintf("prop-%d", i),
+			W:        12 + rng.Intn(9),
+			H:        12 + rng.Intn(9),
+			Layers:   layers,
+			NumNets:  80 + rng.Intn(120),
+			Capacity: int32(6 + rng.Intn(6)),
+			Seed:     rng.Int63n(1 << 30),
+		}
+		t.Run(params.Name, func(t *testing.T) {
+			stCPLA := preparedFor(t, params)
+			stTILA := preparedFor(t, params)
+
+			relCPLA := timing.SelectCritical(stCPLA.Timings(), 0.05)
+			relTILA := timing.SelectCritical(stTILA.Timings(), 0.05)
+			if len(relCPLA) != len(relTILA) {
+				t.Fatalf("preparation not deterministic: released %d vs %d nets", len(relCPLA), len(relTILA))
+			}
+
+			if _, err := core.Optimize(stCPLA, relCPLA, core.Options{SDPIters: 150}); err != nil {
+				t.Fatal(err)
+			}
+			tila.Optimize(stTILA, relTILA, tila.Options{})
+			// TILA moves segments without maintaining the incremental cache.
+			stTILA.Retime(relTILA)
+
+			if rep := State(stCPLA, Options{}); !rep.Clean() {
+				t.Errorf("CPLA state dirty: %s\nfirst: %v", rep.Summary(), rep.Violations[0])
+			}
+			if rep := State(stTILA, Options{}); !rep.Clean() {
+				t.Errorf("TILA state dirty: %s\nfirst: %v", rep.Summary(), rep.Violations[0])
+			}
+
+			mCPLA := timing.CriticalMetrics(stCPLA.TimingsCached(), relCPLA)
+			mTILA := timing.CriticalMetrics(stTILA.TimingsCached(), relTILA)
+			if mCPLA.AvgTcp > mTILA.AvgTcp*1.02+1e-6 {
+				t.Errorf("CPLA Avg(Tcp) %.1f exceeds TILA %.1f beyond epsilon (%+v)",
+					mCPLA.AvgTcp, mTILA.AvgTcp, params)
+			}
+		})
+	}
+}
+
+func preparedFor(t *testing.T, params ispd08.GenParams) *pipeline.State {
+	t.Helper()
+	d, err := ispd08.Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,223 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/linalg"
+	"repro/internal/sdp"
+)
+
+// SDPCheckOptions tunes CheckSDP. Zero values pick defaults calibrated to
+// the pipeline's first-order solves: exact identities (objective recompute)
+// are held tight, iterative quantities (residual) get slack.
+type SDPCheckOptions struct {
+	// SymTol bounds asymmetry |X_ij − X_ji| relative to (1 + max|X|).
+	// 0 → 1e-8.
+	SymTol float64
+	// PSDTol bounds how negative the minimum eigenvalue may be, relative to
+	// (1 + max|X|). 0 → 1e-6.
+	PSDTol float64
+	// ResidualSlack is the absolute slack when comparing the solver's
+	// reported primal residual against an independent recomputation.
+	// 0 → 0.02.
+	ResidualSlack float64
+	// ResidualCeiling fails any solution whose true relative residual
+	// ||A(X)−b||/(1+||b||) exceeds it — converged or not, a solution this
+	// infeasible cannot rank layer choices. 0 → 0.5.
+	ResidualCeiling float64
+	// ObjTol is the relative tolerance on the reported objective against
+	// C•X recomputed from the returned X. This is an exact identity.
+	// 0 → 1e-6.
+	ObjTol float64
+	// DiagSlack is the relative slack on the per-diagonal upper bound.
+	// 0 → 0.05.
+	DiagSlack float64
+	// BoundSlack is the absolute-and-relative slack on the LP lower bound
+	// (the objective may undercut the bound by at most
+	// max(BoundSlack, BoundSlack·|bound|)). 0 → 0.1.
+	BoundSlack float64
+	// SkipLowerBound disables the LP lower-bound check (the one
+	// non-negligible-cost step: one simplex solve per audit).
+	SkipLowerBound bool
+}
+
+func (o SDPCheckOptions) withDefaults() SDPCheckOptions {
+	if o.SymTol == 0 {
+		o.SymTol = 1e-8
+	}
+	if o.PSDTol == 0 {
+		o.PSDTol = 1e-6
+	}
+	if o.ResidualSlack == 0 {
+		o.ResidualSlack = 0.02
+	}
+	if o.ResidualCeiling == 0 {
+		o.ResidualCeiling = 0.5
+	}
+	if o.ObjTol == 0 {
+		o.ObjTol = 1e-6
+	}
+	if o.DiagSlack == 0 {
+		o.DiagSlack = 0.05
+	}
+	if o.BoundSlack == 0 {
+		o.BoundSlack = 0.1
+	}
+	return o
+}
+
+// CheckSDP audits one solved partition relaxation: the returned X must be
+// symmetric and PSD (eigendecomposition via the Jacobi path, independent of
+// the solvers' QL projections), the reported primal residual and objective
+// must match an independent recomputation from the problem data, diagonals
+// must respect the lifting's bound, and the objective must not undercut an
+// LP lower bound over PSD-necessary conditions.
+func CheckSDP(p *sdp.Problem, res *sdp.Result, opt SDPCheckOptions) []Violation {
+	opt = opt.withDefaults()
+	bad := func(format string, args ...any) Violation {
+		return Violation{Kind: KindSDP, Net: -1, Msg: fmt.Sprintf(format, args...)}
+	}
+	var out []Violation
+
+	if res == nil || res.X == nil {
+		return append(out, bad("no solution matrix returned"))
+	}
+	x := res.X
+	if x.Rows != p.N || x.Cols != p.N {
+		return append(out, bad("X is %dx%d, problem dimension %d", x.Rows, x.Cols, p.N))
+	}
+	scale := 1 + x.MaxAbs()
+
+	// Symmetry.
+	asym := 0.0
+	for i := 0; i < p.N; i++ {
+		for j := i + 1; j < p.N; j++ {
+			if d := math.Abs(x.At(i, j) - x.At(j, i)); d > asym {
+				asym = d
+			}
+		}
+	}
+	if asym > opt.SymTol*scale {
+		out = append(out, bad("X asymmetric: max |X_ij - X_ji| = %.3g", asym))
+	}
+
+	// PSD via an independent eigendecomposition.
+	sym := x.Clone().Symmetrize()
+	vals, _, err := linalg.EigenSymJacobi(sym)
+	if err != nil {
+		out = append(out, bad("eigendecomposition failed: %v", err))
+	} else {
+		minEig := math.Inf(1)
+		for _, v := range vals {
+			minEig = math.Min(minEig, v)
+		}
+		if minEig < -opt.PSDTol*scale {
+			out = append(out, bad("X not PSD: min eigenvalue %.3g", minEig))
+		}
+	}
+
+	// Primal residual recomputed from the problem data.
+	normB := 0.0
+	maxAbsB := 0.0
+	sumSq := 0.0
+	for _, c := range p.Constraints {
+		normB += c.RHS * c.RHS
+		maxAbsB = math.Max(maxAbsB, math.Abs(c.RHS))
+		r := c.A.Dot(x) - c.RHS
+		sumSq += r * r
+	}
+	rel := math.Sqrt(sumSq) / (1 + math.Sqrt(normB))
+	if d := math.Abs(rel - res.PrimalRes); d > opt.ResidualSlack+0.1*math.Max(rel, res.PrimalRes) {
+		out = append(out, bad("reported primal residual %.3g, recomputed %.3g", res.PrimalRes, rel))
+	}
+	if rel > opt.ResidualCeiling {
+		out = append(out, bad("primal residual %.3g exceeds ceiling %.3g", rel, opt.ResidualCeiling))
+	}
+
+	// Objective is an exact identity of the returned X.
+	obj := p.C.Dot(x)
+	if relDiff(obj, res.Objective) > opt.ObjTol {
+		out = append(out, bad("reported objective %.6g, C•X recomputes to %.6g", res.Objective, obj))
+	}
+
+	// Diagonal bounds of the CPLA lifting: Y00 = 1 and the diag-coupling
+	// rows pin selection diagonals into [0,1]; slack diagonals are bounded
+	// by their row's RHS. Hence every diagonal sits in [0, max(1, max|b|)].
+	diagBound := math.Max(1, maxAbsB)
+	for i := 0; i < p.N; i++ {
+		d := x.At(i, i)
+		if d < -opt.PSDTol*scale || d > (1+opt.DiagSlack)*diagBound {
+			out = append(out, bad("diagonal X_%d,%d = %.3g outside [0, %.3g]", i, i, d, diagBound))
+		}
+	}
+
+	// LP lower bound: minimize the same objective over PSD-necessary linear
+	// conditions. Any feasible X maps to a feasible LP point with equal
+	// objective, so the SDP optimum cannot undercut the LP optimum.
+	if !opt.SkipLowerBound {
+		if bound, ok := lpLowerBound(p, diagBound*(1+opt.DiagSlack)); ok {
+			slack := math.Max(opt.BoundSlack, opt.BoundSlack*math.Abs(bound))
+			// First-order solves are slightly infeasible, so give the
+			// residual its share of slack too.
+			slack += rel * (1 + math.Sqrt(normB))
+			if res.Objective < bound-slack {
+				out = append(out, bad("objective %.6g undercuts LP lower bound %.6g", res.Objective, bound))
+			}
+		}
+	}
+	return out
+}
+
+// SDPAuditor accumulates CheckSDP results across the concurrent partition
+// solves of an optimization run. Install Hook as core.Options.OnSDP, then
+// Fill the final report. Memoized byte-identical re-solves skip the solver
+// entirely and therefore do not reach the hook; the original solve of each
+// distinct problem is always audited.
+type SDPAuditor struct {
+	opt SDPCheckOptions
+
+	mu         sync.Mutex
+	solves     int
+	violations []Violation
+}
+
+// NewSDPAuditor builds an auditor with the given check options.
+func NewSDPAuditor(opt SDPCheckOptions) *SDPAuditor {
+	return &SDPAuditor{opt: opt}
+}
+
+// Hook returns the callback to install as core.Options.OnSDP. Safe for
+// concurrent use by parallel leaf solvers.
+func (a *SDPAuditor) Hook() func(p *sdp.Problem, res *sdp.Result) {
+	return func(p *sdp.Problem, res *sdp.Result) {
+		vs := CheckSDP(p, res, a.opt)
+		a.mu.Lock()
+		a.solves++
+		a.violations = append(a.violations, vs...)
+		a.mu.Unlock()
+	}
+}
+
+// Solves returns how many solves were audited.
+func (a *SDPAuditor) Solves() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.solves
+}
+
+// Violations returns a copy of the accumulated violations.
+func (a *SDPAuditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.violations...)
+}
+
+// Fill merges the auditor's findings into a report.
+func (a *SDPAuditor) Fill(rep *Report) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep.SDPSolves += a.solves
+	rep.Merge(a.violations...)
+}

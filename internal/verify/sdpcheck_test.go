@@ -1,0 +1,114 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/sdp"
+)
+
+// tinyProblem is min 2·X01 s.t. X00 = X11 = 1, X ⪰ 0. The true optimum is
+// X01 = −1 (objective −2), and the 2×2-minor LP relaxation is tight here:
+// |X01| ≤ (X00+X11)/2 = 1.
+func tinyProblem() *sdp.Problem {
+	p := &sdp.Problem{N: 2}
+	p.C.Add(0, 1, 1)
+	var c0, c1 sdp.Constraint
+	c0.A.Add(0, 0, 1)
+	c0.RHS = 1
+	c1.A.Add(1, 1, 1)
+	c1.RHS = 1
+	p.Constraints = []sdp.Constraint{c0, c1}
+	return p
+}
+
+// optimalResult builds the exact optimum of tinyProblem.
+func optimalResult() *sdp.Result {
+	x := linalg.NewMatrix(2, 2)
+	x.Set(0, 0, 1)
+	x.Set(1, 1, 1)
+	x.Set(0, 1, -1)
+	x.Set(1, 0, -1)
+	return &sdp.Result{X: x, Objective: -2, PrimalRes: 0, Converged: true}
+}
+
+func TestCheckSDPAcceptsOptimum(t *testing.T) {
+	if vs := CheckSDP(tinyProblem(), optimalResult(), SDPCheckOptions{}); len(vs) > 0 {
+		t.Fatalf("exact optimum flagged: %v", vs)
+	}
+}
+
+func TestCheckSDPRejectsDegenerateInputs(t *testing.T) {
+	p := tinyProblem()
+	if vs := CheckSDP(p, nil, SDPCheckOptions{}); len(vs) == 0 {
+		t.Error("nil result accepted")
+	}
+	if vs := CheckSDP(p, &sdp.Result{}, SDPCheckOptions{}); len(vs) == 0 {
+		t.Error("result with nil X accepted")
+	}
+	wrong := optimalResult()
+	wrong.X = linalg.NewMatrix(3, 3)
+	if vs := CheckSDP(p, wrong, SDPCheckOptions{}); len(vs) == 0 {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestCheckSDPRejectsEachDefect(t *testing.T) {
+	p := tinyProblem()
+	cases := []struct {
+		name   string
+		mutate func(r *sdp.Result)
+	}{
+		{"asymmetric X", func(r *sdp.Result) { r.X.Set(0, 1, 0.5) }},
+		{"indefinite X", func(r *sdp.Result) {
+			// X01 = -2 violates the 2x2 minor: eigenvalues 3, -1.
+			r.X.Set(0, 1, -2)
+			r.X.Set(1, 0, -2)
+			r.Objective = -4
+		}},
+		{"residual lie", func(r *sdp.Result) {
+			r.X.Set(0, 0, 3) // A0•X = 3 ≠ 1, yet PrimalRes claims 0
+			r.X.Set(1, 1, 3)
+		}},
+		{"objective lie", func(r *sdp.Result) { r.Objective = -5 }},
+		{"diagonal bound", func(r *sdp.Result) { r.X.Set(1, 1, 50) }},
+	}
+	for _, tc := range cases {
+		r := optimalResult()
+		tc.mutate(r)
+		if vs := CheckSDP(p, r, SDPCheckOptions{}); len(vs) == 0 {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLPLowerBoundTightOnMinor(t *testing.T) {
+	p := tinyProblem()
+	bound, ok := lpLowerBound(p, 1.05)
+	if !ok {
+		t.Fatal("LP lower bound infeasible on a feasible problem")
+	}
+	// The relaxation is exact here up to the diagonal slack: the bound must
+	// stay below the SDP optimum but within the slack of it.
+	if bound > -2+1e-6 {
+		t.Fatalf("bound %.6g above SDP optimum -2", bound)
+	}
+	if bound < -2.2 {
+		t.Fatalf("bound %.6g far below the tight value -2.1", bound)
+	}
+}
+
+func TestCheckSDPSolvedProblem(t *testing.T) {
+	// An actual solver run on the tiny problem must pass the full audit.
+	res, err := sdp.Solve(tinyProblem(), sdp.Options{MaxIters: 4000, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckSDP(tinyProblem(), res, SDPCheckOptions{}); len(vs) > 0 {
+		t.Fatalf("ADMM solution flagged: %v", vs)
+	}
+	if math.Abs(res.Objective-(-2)) > 1e-3 {
+		t.Fatalf("ADMM objective %.6g far from -2", res.Objective)
+	}
+}

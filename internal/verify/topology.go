@@ -1,0 +1,214 @@
+package verify
+
+import (
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/tech"
+	"repro/internal/tree"
+)
+
+// checkTree audits one routing tree's structure and layer assignment from
+// scratch. It deliberately re-derives every property from the raw node and
+// segment records rather than calling tree.Validate, which shares code with
+// the builders under audit.
+func checkTree(rep *Report, g *grid.Grid, stack *tech.Stack, ni int, tr *tree.Tree) {
+	nNodes, nSegs := len(tr.Nodes), len(tr.Segs)
+	nodeOK := func(id int) bool { return id >= 0 && id < nNodes }
+	segOK := func(id int) bool { return id >= 0 && id < nSegs }
+
+	if !nodeOK(tr.Root) {
+		rep.add(KindTopology, ni, "root node %d out of range [0,%d)", tr.Root, nNodes)
+		return
+	}
+	if root := &tr.Nodes[tr.Root]; root.Parent != -1 || root.UpSeg != -1 {
+		rep.add(KindTopology, ni, "root node %d has parent %d / up-segment %d", tr.Root, root.Parent, root.UpSeg)
+	}
+
+	for i, s := range tr.Segs {
+		if s.ID != i {
+			rep.add(KindTopology, ni, "segment at index %d carries ID %d", i, s.ID)
+			continue
+		}
+		checkSegStructure(rep, g, ni, tr, s, nodeOK, segOK)
+		checkSegAssignment(rep, stack, ni, s)
+	}
+
+	checkNodeLinks(rep, ni, tr, nodeOK, segOK)
+	checkReachability(rep, ni, tr, segOK)
+	checkSinkBinding(rep, ni, tr, nodeOK)
+}
+
+// checkSegStructure verifies one segment's edge chain and tree links.
+func checkSegStructure(rep *Report, g *grid.Grid, ni int, tr *tree.Tree, s *tree.Segment,
+	nodeOK, segOK func(int) bool) {
+	if !nodeOK(s.FromNode) || !nodeOK(s.ToNode) {
+		rep.add(KindTopology, ni, "segment %d endpoints %d→%d out of range", s.ID, s.FromNode, s.ToNode)
+		return
+	}
+	if len(s.Edges) == 0 {
+		rep.add(KindTopology, ni, "segment %d has no edges", s.ID)
+		return
+	}
+
+	// The edges must be a contiguous collinear run from FromNode's tile to
+	// ToNode's tile, every edge on the grid and oriented like the segment.
+	cur := tr.Nodes[s.FromNode].Pos
+	for k, e := range s.Edges {
+		if e.Dir() != s.Dir {
+			rep.add(KindTopology, ni, "segment %d edge %d orientation %v != segment direction %v", s.ID, k, e.Dir(), s.Dir)
+			return
+		}
+		if !g.ValidEdge(e) {
+			rep.add(KindTopology, ni, "segment %d edge %d (%v) off the grid", s.ID, k, e)
+			return
+		}
+		near, far := geom.Point{X: e.X, Y: e.Y}, e.Other()
+		switch cur {
+		case near:
+			cur = far
+		case far:
+			cur = near
+		default:
+			rep.add(KindTopology, ni, "segment %d edge %d (%v) not incident to walk position %v", s.ID, k, e, cur)
+			return
+		}
+	}
+	if to := tr.Nodes[s.ToNode].Pos; cur != to {
+		rep.add(KindTopology, ni, "segment %d edge chain ends at %v, ToNode sits at %v", s.ID, cur, to)
+	}
+
+	// Parent/child symmetry, and the parent link must agree with the tree's
+	// node records.
+	if s.Parent != -1 {
+		if !segOK(s.Parent) {
+			rep.add(KindTopology, ni, "segment %d parent %d out of range", s.ID, s.Parent)
+		} else if !containsInt(tr.Segs[s.Parent].Children, s.ID) {
+			rep.add(KindTopology, ni, "segment %d missing from parent %d's children", s.ID, s.Parent)
+		}
+	}
+	if up := tr.Nodes[s.FromNode].UpSeg; up != s.Parent {
+		rep.add(KindTopology, ni, "segment %d parent %d != FromNode %d's up-segment %d", s.ID, s.Parent, s.FromNode, up)
+	}
+	for _, c := range s.Children {
+		if !segOK(c) {
+			rep.add(KindTopology, ni, "segment %d child %d out of range", s.ID, c)
+		} else if tr.Segs[c].Parent != s.ID {
+			rep.add(KindTopology, ni, "segment %d child %d points back at %d", s.ID, c, tr.Segs[c].Parent)
+		}
+	}
+}
+
+// checkSegAssignment verifies the "exactly one legal layer" invariant: the
+// layer index exists in the stack and its preferred direction matches the
+// segment's orientation.
+func checkSegAssignment(rep *Report, stack *tech.Stack, ni int, s *tree.Segment) {
+	if s.Layer < 0 || s.Layer >= stack.NumLayers() {
+		rep.add(KindAssignment, ni, "segment %d on layer %d, stack has %d layers", s.ID, s.Layer, stack.NumLayers())
+		return
+	}
+	if stack.Dir(s.Layer) != s.Dir {
+		rep.add(KindAssignment, ni, "segment %d (%v) assigned %v layer %d", s.ID, s.Dir, stack.Dir(s.Layer), s.Layer)
+	}
+}
+
+// checkNodeLinks verifies every node's up/down segment records against the
+// segment endpoints.
+func checkNodeLinks(rep *Report, ni int, tr *tree.Tree, nodeOK, segOK func(int) bool) {
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if n.ID != i {
+			rep.add(KindTopology, ni, "node at index %d carries ID %d", i, n.ID)
+			continue
+		}
+		if i == tr.Root {
+			continue
+		}
+		if !segOK(n.UpSeg) {
+			rep.add(KindTopology, ni, "node %d up-segment %d out of range", i, n.UpSeg)
+			continue
+		}
+		up := tr.Segs[n.UpSeg]
+		if up.ToNode != i {
+			rep.add(KindTopology, ni, "node %d's up-segment %d ends at node %d", i, n.UpSeg, up.ToNode)
+		}
+		if !nodeOK(n.Parent) || up.FromNode != n.Parent {
+			rep.add(KindTopology, ni, "node %d parent %d != up-segment %d's source node %d", i, n.Parent, n.UpSeg, up.FromNode)
+		}
+		for _, sid := range n.DownSegs {
+			if !segOK(sid) {
+				rep.add(KindTopology, ni, "node %d down-segment %d out of range", i, sid)
+			} else if tr.Segs[sid].FromNode != i {
+				rep.add(KindTopology, ni, "node %d down-segment %d starts at node %d", i, sid, tr.Segs[sid].FromNode)
+			}
+		}
+	}
+}
+
+// checkReachability walks DownSegs from the root and demands every node is
+// reached exactly once — the tree is connected and acyclic.
+func checkReachability(rep *Report, ni int, tr *tree.Tree, segOK func(int) bool) {
+	seen := make([]bool, len(tr.Nodes))
+	queue := []int{tr.Root}
+	seen[tr.Root] = true
+	visited := 1
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, sid := range tr.Nodes[id].DownSegs {
+			if !segOK(sid) {
+				continue // already reported by checkNodeLinks
+			}
+			to := tr.Segs[sid].ToNode
+			if to < 0 || to >= len(tr.Nodes) {
+				continue
+			}
+			if seen[to] {
+				rep.add(KindTopology, ni, "node %d reached twice from the root (cycle or shared child)", to)
+				continue
+			}
+			seen[to] = true
+			visited++
+			queue = append(queue, to)
+		}
+	}
+	if visited != len(tr.Nodes) {
+		rep.add(KindTopology, ni, "only %d of %d nodes reachable from the root", visited, len(tr.Nodes))
+	}
+}
+
+// checkSinkBinding demands every sink pin of the net is bound to a node at
+// the pin's tile.
+func checkSinkBinding(rep *Report, ni int, tr *tree.Tree, nodeOK func(int) bool) {
+	for pi := 1; pi < len(tr.Net.Pins); pi++ {
+		nid, ok := tr.SinkNode[pi]
+		if !ok {
+			rep.add(KindTopology, ni, "sink pin %d not bound to any node", pi)
+			continue
+		}
+		rep.SinksChecked++
+		if !nodeOK(nid) {
+			rep.add(KindTopology, ni, "sink pin %d bound to node %d out of range", pi, nid)
+			continue
+		}
+		if tr.Nodes[nid].Pos != tr.Net.Pins[pi].Pos {
+			rep.add(KindTopology, ni, "sink pin %d at %v bound to node %d at %v", pi, tr.Net.Pins[pi].Pos, nid, tr.Nodes[nid].Pos)
+		}
+		if !containsInt(tr.Nodes[nid].SinkPins, pi) {
+			rep.add(KindTopology, ni, "sink pin %d missing from node %d's pin list", pi, nid)
+		}
+	}
+	for pi := range tr.SinkNode {
+		if pi < 1 || pi >= len(tr.Net.Pins) {
+			rep.add(KindTopology, ni, "sink binding for nonexistent pin %d", pi)
+		}
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

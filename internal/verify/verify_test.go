@@ -1,0 +1,205 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/ispd08"
+	"repro/internal/pipeline"
+	"repro/internal/tech"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// optimized prepares a small synthetic design and runs the SDP engine over
+// its critical nets, returning the state and the released set. Generation
+// and preparation are deterministic per seed.
+func optimized(t testing.TB, seed int64, nets int) (*pipeline.State, []int) {
+	t.Helper()
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "verify-test", W: 16, H: 16, Layers: 8, NumNets: nets, Capacity: 8, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := timing.SelectCritical(st.Timings(), 0.05)
+	if _, err := core.Optimize(st, released, core.Options{SDPIters: 150}); err != nil {
+		t.Fatal(err)
+	}
+	return st, released
+}
+
+// layerWithDir finds a layer running in the given direction.
+func layerWithDir(t *testing.T, stack *tech.Stack, dir tech.Direction) int {
+	t.Helper()
+	for l := 0; l < stack.NumLayers(); l++ {
+		if stack.Dir(l) == dir {
+			return l
+		}
+	}
+	t.Fatalf("no %v layer in stack", dir)
+	return -1
+}
+
+func TestCleanAfterOptimize(t *testing.T) {
+	st, _ := optimized(t, 1, 220)
+	rep := State(st, Options{})
+	if !rep.Clean() {
+		t.Fatalf("optimized state not clean: %s\nfirst: %v", rep.Summary(), rep.Violations[0])
+	}
+	if rep.NetsChecked != len(st.Design.Nets) {
+		t.Errorf("NetsChecked = %d, want %d", rep.NetsChecked, len(st.Design.Nets))
+	}
+	if rep.SegsChecked == 0 || rep.SinksChecked == 0 {
+		t.Errorf("empty audit: segs=%d sinks=%d", rep.SegsChecked, rep.SinksChecked)
+	}
+	if !rep.Equivalent(rep) {
+		t.Error("report not equivalent to itself")
+	}
+}
+
+func TestDetectsPhantomEdgeUsage(t *testing.T) {
+	st, _ := optimized(t, 2, 150)
+	l := layerWithDir(t, st.Design.Stack, tech.Horizontal)
+	st.Design.Grid.AddEdgeUse(grid.Edge{X: 0, Y: 0, Horiz: true}, l, +1)
+	defer st.Design.Grid.AddEdgeUse(grid.Edge{X: 0, Y: 0, Horiz: true}, l, -1)
+	rep := State(st, Options{})
+	if rep.Counts[KindUsage] == 0 {
+		t.Fatalf("phantom edge use undetected: %s", rep.Summary())
+	}
+}
+
+func TestDetectsPhantomViaUsage(t *testing.T) {
+	st, _ := optimized(t, 2, 150)
+	st.Design.Grid.AddViaUse(1, 1, 0, +1)
+	defer st.Design.Grid.AddViaUse(1, 1, 0, -1)
+	rep := State(st, Options{})
+	if rep.Counts[KindUsage] == 0 {
+		t.Fatalf("phantom via use undetected: %s", rep.Summary())
+	}
+}
+
+func TestDetectsCapacityTamper(t *testing.T) {
+	st, _ := optimized(t, 3, 150)
+	g := st.Design.Grid
+	l := layerWithDir(t, st.Design.Stack, tech.Horizontal)
+	e := grid.Edge{X: 0, Y: 0, Horiz: true}
+	old := g.EdgeCap(e, l)
+	g.SetEdgeCap(e, l, old+7) // without re-deriving via capacities
+	defer g.SetEdgeCap(e, l, old)
+	rep := State(st, Options{})
+	if rep.Counts[KindCapacity] == 0 {
+		t.Fatalf("capacity tamper undetected: %s", rep.Summary())
+	}
+}
+
+func TestDetectsWrongDirectionLayer(t *testing.T) {
+	st, _ := optimized(t, 4, 150)
+	tr, si := anyRoutedSeg(t, st)
+	s := tr.Segs[si]
+	old := s.Layer
+	s.Layer = layerWithDir(t, st.Design.Stack, otherDir(st.Design.Stack.Dir(old)))
+	defer func() { s.Layer = old }()
+	rep := State(st, Options{})
+	if rep.Counts[KindAssignment] == 0 {
+		t.Fatalf("wrong-direction layer undetected: %s", rep.Summary())
+	}
+}
+
+func TestDetectsTopologyCorruption(t *testing.T) {
+	st, _ := optimized(t, 5, 150)
+	tr, _ := anyRoutedSeg(t, st)
+	// Orphan a non-root node: its up-segment still claims it as a child.
+	for i := range tr.Nodes {
+		n := &tr.Nodes[i]
+		if n.Parent >= 0 {
+			old := n.Parent
+			n.Parent = -1
+			defer func() { n.Parent = old }()
+			break
+		}
+	}
+	rep := State(st, Options{})
+	if rep.Counts[KindTopology] == 0 {
+		t.Fatalf("topology corruption undetected: %s", rep.Summary())
+	}
+}
+
+func TestDetectsTimingLie(t *testing.T) {
+	st, _ := optimized(t, 6, 150)
+	timings := st.TimingsCached()
+	for _, nt := range timings {
+		if nt == nil || nt.CritSink < 0 {
+			continue
+		}
+		old := nt.Tcp
+		nt.Tcp = old*1.1 + 1
+		defer func() { nt.Tcp = old }()
+		break
+	}
+	rep := State(st, Options{})
+	if rep.Counts[KindTiming] == 0 {
+		t.Fatalf("timing lie undetected: %s", rep.Summary())
+	}
+}
+
+func TestViolationRecordingCapped(t *testing.T) {
+	st, _ := optimized(t, 7, 150)
+	g := st.Design.Grid
+	l := layerWithDir(t, st.Design.Stack, tech.Horizontal)
+	// Inject phantom usage on several edges; counts stay exact while the
+	// recorded details are capped.
+	for x := 0; x < 5; x++ {
+		g.AddEdgeUse(grid.Edge{X: x, Y: 0, Horiz: true}, l, +1)
+		defer g.AddEdgeUse(grid.Edge{X: x, Y: 0, Horiz: true}, l, -1)
+	}
+	rep := State(st, Options{MaxPerKind: 2})
+	if rep.Counts[KindUsage] < 5 {
+		t.Fatalf("counts not exact: %d < 5", rep.Counts[KindUsage])
+	}
+	recorded := 0
+	for _, v := range rep.Violations {
+		if v.Kind == KindUsage {
+			recorded++
+		}
+	}
+	if recorded > 2 {
+		t.Fatalf("recorded %d usage violations, cap was 2", recorded)
+	}
+	if rep.TotalViolations() < 5 {
+		t.Fatalf("TotalViolations = %d, want >= 5", rep.TotalViolations())
+	}
+}
+
+func TestEquivalentDistinguishesReports(t *testing.T) {
+	st, _ := optimized(t, 8, 120)
+	base := State(st, Options{})
+	l := layerWithDir(t, st.Design.Stack, tech.Horizontal)
+	st.Design.Grid.AddEdgeUse(grid.Edge{X: 0, Y: 0, Horiz: true}, l, +1)
+	corrupted := State(st, Options{})
+	st.Design.Grid.AddEdgeUse(grid.Edge{X: 0, Y: 0, Horiz: true}, l, -1)
+	if corrupted.Equivalent(base) {
+		t.Fatal("corrupted report equivalent to clean baseline")
+	}
+	again := State(st, Options{})
+	if !again.Equivalent(base) {
+		t.Fatal("reverted state not equivalent to baseline")
+	}
+}
+
+// anyRoutedSeg returns a tree with at least one segment.
+func anyRoutedSeg(t *testing.T, st *pipeline.State) (*tree.Tree, int) {
+	t.Helper()
+	for _, cand := range st.Trees {
+		if cand != nil && len(cand.Segs) > 0 {
+			return cand, 0
+		}
+	}
+	t.Fatal("no routed tree with segments")
+	return nil, -1
+}

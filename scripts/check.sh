@@ -2,11 +2,18 @@
 # check.sh — the repo's fast verification gate: formatting, a full build
 # (both binaries included), vet, and the race-enabled tests of the packages
 # where concurrency lives: the CPLA hot path (parallel leaf solves, warm
-# cache) and the cplad job server (queue, cancellation, drain). -short skips
+# cache), the cplad job server (queue, cancellation, drain) and the
+# independent checker (SDP audit hook fires from leaf workers). -short skips
 # the heavy single-threaded convergence properties and the full-stack server
-# e2e; the concurrent paths still run under the detector. Run from the repo
-# root (or via `make check`).
+# e2e; the concurrent paths still run under the detector. The same run
+# collects statement coverage of those gate packages and fails if the total
+# falls below the recorded baseline. Run from the repo root (or via
+# `make check`).
 set -eu
+
+# Short-mode statement coverage of the gate packages measured at 82.9%;
+# fail if it decays past the safety margin.
+cover_min=80.0
 
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -17,4 +24,14 @@ fi
 
 go build ./...
 go vet ./...
-go test -race -short -timeout 15m ./internal/core/ ./internal/sdp/ ./internal/server/
+cover_out=$(mktemp)
+trap 'rm -f "$cover_out"' EXIT
+go test -race -short -timeout 15m -coverprofile="$cover_out" \
+	./internal/core/ ./internal/sdp/ ./internal/server/ ./internal/verify/
+
+cover_total=$(go tool cover -func="$cover_out" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+echo "coverage: ${cover_total}% (baseline ${cover_min}%)"
+if awk -v got="$cover_total" -v min="$cover_min" 'BEGIN { exit !(got < min) }'; then
+	echo "coverage ${cover_total}% below baseline ${cover_min}%" >&2
+	exit 1
+fi

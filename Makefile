@@ -1,4 +1,4 @@
-.PHONY: check test bench serve fuzz
+.PHONY: check test bench bench-kernels serve fuzz
 
 # Fast verification gate: gofmt, full build, go vet, race-enabled tests of
 # the CPLA hot-path and server packages.
@@ -25,3 +25,9 @@ bench:
 	go test -bench BenchmarkSolve -benchmem -run NONE ./internal/sdp/
 	go test -bench BenchmarkOptimizeRound -benchmem -run NONE ./internal/core/
 	go test -bench BenchmarkTable2SDP -benchmem -run NONE .
+
+# Dense-kernel and ADMM hot-loop benchmarks: re-measures the projection,
+# matmul and solver benchmarks and rewrites the "after" section and
+# allocation-gate baselines of BENCH_kernels.json ("before" is preserved).
+bench-kernels:
+	go run ./cmd/benchkernels

@@ -13,6 +13,7 @@
 //	cpla -bench adaptec1 -steiner -legalize -clock 20000
 //	cpla -bench adaptec1 -timeout 30s            # bounded run; exit 3 on deadline
 //	cpla -bench adaptec1 -verify                 # audit the result; exit 4 on violations
+//	cpla -bench adaptec1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -21,29 +22,75 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	cpla "repro"
 	"repro/internal/verify"
 )
 
+var (
+	bench      = flag.String("bench", "", "synthetic suite benchmark name (adaptec1 … newblue7)")
+	grFile     = flag.String("gr", "", "ISPD'08 .gr benchmark file")
+	engine     = flag.String("engine", "sdp", "optimizer: sdp|ilp|tila|tila-dp|tila-flow")
+	ratio      = flag.Float64("ratio", 0.005, "critical net release ratio")
+	budget     = flag.Float64("budget", 0, "release nets with Tcp above this budget instead of by ratio")
+	maxSegs    = flag.Int("maxsegs", 0, "partition segment budget (0 = paper default 10)")
+	k          = flag.Int("k", 0, "uniform KxK division (0 = default 5)")
+	rounds     = flag.Int("rounds", 0, "max optimization rounds (0 = default 3)")
+	mapping    = flag.String("mapping", "alg1", "SDP rounding: alg1|greedy|flow")
+	solver     = flag.String("solver", "admm", "SDP backend: admm|ipm")
+	steiner    = flag.Bool("steiner", false, "use Steiner-guided 2-D routing")
+	doLegalize = flag.Bool("legalize", false, "run the overflow repair pass after optimization")
+	clock      = flag.Float64("clock", 0, "report WNS/TNS against this required arrival time")
+	timeout    = flag.Duration("timeout", 0, "bound the whole run (prepare + optimize); cancelled runs exit non-zero")
+	doVerify   = flag.Bool("verify", false, "audit the final assignment with the independent checker (and every SDP solve, on the sdp engine); exit 4 on violations")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+)
+
+// main parses flags, brackets run with the profilers, and exits with run's
+// code. run returns instead of calling os.Exit so the deferred profile
+// writers flush on every exit path (bad args, timeout, verify violations).
 func main() {
-	bench := flag.String("bench", "", "synthetic suite benchmark name (adaptec1 … newblue7)")
-	grFile := flag.String("gr", "", "ISPD'08 .gr benchmark file")
-	engine := flag.String("engine", "sdp", "optimizer: sdp|ilp|tila|tila-dp|tila-flow")
-	ratio := flag.Float64("ratio", 0.005, "critical net release ratio")
-	budget := flag.Float64("budget", 0, "release nets with Tcp above this budget instead of by ratio")
-	maxSegs := flag.Int("maxsegs", 0, "partition segment budget (0 = paper default 10)")
-	k := flag.Int("k", 0, "uniform KxK division (0 = default 5)")
-	rounds := flag.Int("rounds", 0, "max optimization rounds (0 = default 3)")
-	mapping := flag.String("mapping", "alg1", "SDP rounding: alg1|greedy|flow")
-	solver := flag.String("solver", "admm", "SDP backend: admm|ipm")
-	steiner := flag.Bool("steiner", false, "use Steiner-guided 2-D routing")
-	doLegalize := flag.Bool("legalize", false, "run the overflow repair pass after optimization")
-	clock := flag.Float64("clock", 0, "report WNS/TNS against this required arrival time")
-	timeout := flag.Duration("timeout", 0, "bound the whole run (prepare + optimize); cancelled runs exit non-zero")
-	doVerify := flag.Bool("verify", false, "audit the final assignment with the independent checker (and every SDP solve, on the sdp engine); exit 4 on violations")
 	flag.Parse()
+	os.Exit(profiledRun())
+}
+
+// profiledRun wraps run with the optional CPU and heap profilers.
+func profiledRun() int {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	return run()
+}
+
+func run() int {
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -55,7 +102,7 @@ func main() {
 	design, err := load(*bench, *grFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("design %s: %dx%d grid, %d layers, %d nets\n",
@@ -65,7 +112,7 @@ func main() {
 	popt.Route.Steiner = *steiner
 	sys, err := cpla.PrepareCtx(ctx, design, popt)
 	if err != nil {
-		fail(err, *timeout)
+		return fail(err, *timeout)
 	}
 	var released []int
 	if *budget > 0 {
@@ -110,7 +157,7 @@ func main() {
 		case "alg1":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown mapping %q\n", *mapping)
-			os.Exit(2)
+			return 2
 		}
 		switch *solver {
 		case "ipm":
@@ -118,14 +165,14 @@ func main() {
 		case "admm":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
-			os.Exit(2)
+			return 2
 		}
 		if _, err := sys.OptimizeCPLACtx(ctx, released, opt); err != nil {
-			fail(err, *timeout)
+			return fail(err, *timeout)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		os.Exit(2)
+		return 2
 	}
 	if *doLegalize {
 		lr := sys.Legalize(released)
@@ -154,9 +201,10 @@ func main() {
 			for _, v := range rep.Violations {
 				fmt.Fprintln(os.Stderr, v.String())
 			}
-			os.Exit(4)
+			return 4
 		}
 	}
+	return 0
 }
 
 func load(bench, grFile string) (*cpla.Design, error) {
@@ -181,16 +229,16 @@ func load(bench, grFile string) (*cpla.Design, error) {
 	return nil, fmt.Errorf("specify -bench <name> (one of %v) or -gr <file>", cpla.BenchmarkNames())
 }
 
-// fail prints the error and exits non-zero: 3 for a run stopped by
+// fail prints the error and returns the exit code: 3 for a run stopped by
 // -timeout (so wrappers can tell a deadline from a genuine failure), 1
 // otherwise.
-func fail(err error, timeout time.Duration) {
+func fail(err error, timeout time.Duration) int {
 	fmt.Fprintln(os.Stderr, err)
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "run cancelled after -timeout %v\n", timeout)
-		os.Exit(3)
+		return 3
 	}
-	os.Exit(1)
+	return 1
 }
 
 func pct(before, after float64) float64 {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	cplad -addr :8080 -workers 4 -queue 32
+//	cplad -addr :8080 -pprof                # adds /debug/pprof/ endpoints
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"benchmark":"adaptec1"}'
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +37,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job run-time cap")
 	maxUpload := flag.Int64("max-upload", 8<<20, "request body limit in bytes (ISPD'08 uploads)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before hard-cancelling")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default: profiling leaks timing information, keep it inside trusted networks)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -47,9 +50,24 @@ func main() {
 	})
 	srv.Start()
 
+	handler := srv.Handler()
+	if *enablePprof {
+		// Mount the pprof handlers next to the API: /debug/pprof/ goes to
+		// the profiler, everything else to the job server as before.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Info("pprof endpoints enabled", "path", "/debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

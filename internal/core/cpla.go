@@ -207,6 +207,19 @@ type RoundStats struct {
 	ADMMIters int
 	// WarmStarts counts leaves seeded from a previous round's ADMM state.
 	WarmStarts int
+	// PSDFastPath / PSDFullEig count hot-loop PSD projections served by the
+	// partial-spectrum rank-k fast path vs the full eigendecomposition,
+	// summed over this round's ADMM leaf solves.
+	PSDFastPath int
+	PSDFullEig  int
+	// PSDFallbacks counts Jacobi retries after a QL convergence failure plus
+	// partial-path aborts (inverse iteration stalls) — both recovered, never
+	// fatal to the leaf solve.
+	PSDFallbacks int
+	// AvgRankFrac is the mean corrected-rank fraction k/n over this round's
+	// fast-path projections (0 when none ran). Small values mean the fast
+	// path is doing rank-k work instead of O(n³) full decompositions.
+	AvgRankFrac float64
 }
 
 // Result summarizes an Optimize run.
@@ -319,6 +332,7 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 			st.Trees[ni].ApplyUsage(g, -1)
 		}
 		stats := RoundStats{Partitions: len(leaves)}
+		var proj sdp.SolveStats
 		for _, pr := range proposals {
 			if pr.err != nil {
 				stats.SolveErrors++
@@ -331,10 +345,15 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 			if pr.stats.warm {
 				stats.WarmStarts++
 			}
+			proj.Accumulate(pr.stats.proj)
 			if pr.stats.cache != nil {
 				warmCache[pr.key] = pr.stats.cache
 			}
 		}
+		stats.PSDFastPath = proj.FastPath
+		stats.PSDFullEig = proj.FullEig
+		stats.PSDFallbacks = proj.JacobiFallbacks + proj.PartialAborts
+		stats.AvgRankFrac = proj.AvgRankFrac()
 		res.SolveErrors += stats.SolveErrors
 		for _, ni := range work {
 			st.Trees[ni].ApplyUsage(g, +1)
@@ -450,6 +469,7 @@ type leafStats struct {
 	iters int
 	warm  bool
 	cache *leafCache
+	proj  sdp.SolveStats // PSD-projection path telemetry (ADMM backend only)
 }
 
 // solveLeaf builds and solves one partition, returning the chosen layer per

@@ -138,7 +138,7 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cached *leafCache) (
 			Tol:      opt.SDPTol,
 		}, warm)
 		if err == nil {
-			ls = leafStats{iters: res.Iters, warm: res.Warm, cache: &leafCache{sig: sig, state: ws.State()}}
+			ls = leafStats{iters: res.Iters, warm: res.Warm, cache: &leafCache{sig: sig, state: ws.State()}, proj: res.Stats}
 		}
 		sdpWorkspaces.Put(ws)
 	}

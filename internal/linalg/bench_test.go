@@ -77,3 +77,115 @@ func BenchmarkMatMul64(b *testing.B) {
 		x.Mul(y)
 	}
 }
+
+// benchThinSpectrum builds an n×n symmetric matrix with exactly neg
+// negative eigenvalues — the shape the ADMM hot loop produces near
+// convergence, where the partial-spectrum fast path engages.
+func benchThinSpectrum(n, neg int) *Matrix {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, n)
+	for i := range vals {
+		if i < neg {
+			vals[i] = -(0.2 + rng.Float64())
+		} else {
+			vals[i] = 0.2 + rng.Float64()
+		}
+	}
+	_, q, err := EigenSym(randomMatrix(rng, n, n).Symmetrize())
+	if err != nil {
+		panic(err)
+	}
+	m := NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			f := vals[k] * q.At(i, k)
+			for j := 0; j < n; j++ {
+				m.Add(i, j, f*q.At(j, k))
+			}
+		}
+	}
+	return m.Symmetrize()
+}
+
+// BenchmarkProjectPSDPartial96 measures the partial-spectrum fast path on a
+// 96×96 matrix with 4 negative eigenvalues (rank-4 correction).
+func BenchmarkProjectPSDPartial96(b *testing.B) {
+	a := benchThinSpectrum(96, 4)
+	ws := &EigenWorkspace{}
+	dst := NewMatrix(96, 96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ProjectPSDInto(dst, a, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ws.Stats.FastPath != ws.Stats.Projections {
+		b.Fatalf("fast path engaged %d/%d times", ws.Stats.FastPath, ws.Stats.Projections)
+	}
+}
+
+// BenchmarkProjectPSDFull96 measures the full-spectrum path (invoked
+// directly — the two-sided fast path otherwise handles every spectrum at
+// this size) on the worst-case balanced spectrum, as the baseline the
+// partial path is compared against.
+func BenchmarkProjectPSDFull96(b *testing.B) {
+	a := benchThinSpectrum(96, 48)
+	ws := &EigenWorkspace{}
+	ws.ensure(96)
+	dst := NewMatrix(96, 96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := projectPSDFullInto(dst, a, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProjectPSDPartialBalanced96 measures the fast path on the same
+// balanced spectrum (k = n/2, its most expensive regime).
+func BenchmarkProjectPSDPartialBalanced96(b *testing.B) {
+	a := benchThinSpectrum(96, 48)
+	ws := &EigenWorkspace{}
+	dst := NewMatrix(96, 96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ProjectPSDInto(dst, a, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ws.Stats.FastPath != ws.Stats.Projections {
+		b.Fatalf("fast path engaged %d/%d times", ws.Stats.FastPath, ws.Stats.Projections)
+	}
+}
+
+// BenchmarkMinEigenvalue96 measures the values-only Sturm-bisection bound
+// used by the verifier's PSD certificate.
+func BenchmarkMinEigenvalue96(b *testing.B) {
+	a := benchThinSpectrum(96, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinEigenvalue(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulInto128 measures the (pool-aware) dense product without the
+// allocation of Mul.
+func BenchmarkMulInto128(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x := randomMatrix(rng, 128, 128)
+	y := randomMatrix(rng, 128, 128)
+	dst := NewMatrix(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}

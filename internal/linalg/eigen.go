@@ -124,7 +124,11 @@ func ProjectPSD(a *Matrix) (*Matrix, error) {
 // ProjectPSDInto writes the PSD projection of the symmetric matrix a into
 // dst (which must be a's shape and must not alias a), using ws for every
 // eigendecomposition scratch buffer — allocation-free once ws has warmed up
-// at this dimension. Falls back to the Jacobi method if QL fails.
+// at this dimension. Matrices whose negative (or positive) eigenspace is
+// thin take the partial-spectrum rank-k fast path (eigen_partial.go); the
+// rest run the full QL decomposition, falling back to the Jacobi method in
+// the rare event QL hits its iteration cap. Path decisions accumulate in
+// ws.Stats.
 func ProjectPSDInto(dst, a *Matrix, ws *EigenWorkspace) error {
 	if a.Rows != a.Cols {
 		return errors.New("linalg: ProjectPSDInto requires a square matrix")
@@ -135,54 +139,106 @@ func ProjectPSDInto(dst, a *Matrix, ws *EigenWorkspace) error {
 	if dst == a {
 		return errors.New("linalg: ProjectPSDInto destination aliases input")
 	}
+	n := a.Rows
+	if n == 0 {
+		dst.Zero()
+		return nil
+	}
+	ws.ensure(n)
+	ws.Stats.Projections++
+	if n >= partialMinDim && projectPSDPartialInto(dst, a, ws) {
+		return nil
+	}
+	return projectPSDFullInto(dst, a, ws)
+}
+
+// projectPSDFullInto is the full-spectrum projection: complete QL
+// eigendecomposition (Jacobi on QL failure) and a rebuild from the positive
+// eigenpairs. It is the fallback when the partial path declines or aborts,
+// and the reference the fast path is benchmarked against.
+func projectPSDFullInto(dst, a *Matrix, ws *EigenWorkspace) error {
+	n := a.Rows
+	ws.Stats.FullEig++
 	vals, vecs, err := eigenSymQLWS(a, ws)
 	if err != nil {
-		// Rare: fall back to the unconditionally convergent (allocating)
-		// Jacobi path.
+		// Rare: retry via the unconditionally convergent (allocating)
+		// Jacobi path instead of failing the whole solve.
+		ws.Stats.JacobiFallbacks++
 		vals, vecs, err = EigenSymJacobi(a)
 		if err != nil {
 			return err
 		}
 	}
-	n := a.Rows
 	dst.Zero()
-	if n == 0 {
-		return nil
-	}
-	ws.ensure(n)
-	v := ws.col
+	// Gather the positive eigenpairs into contiguous rows of ws.vt (their
+	// values into ws.col), then rebuild row-parallel: element (i,j)
+	// accumulates lam·v[i]·v[j] over eigenpairs in the same ascending order
+	// regardless of chunking, so the result is bit-identical to the serial
+	// rebuild.
+	npos := 0
 	for k := 0; k < n; k++ {
-		lam := vals[k]
-		if lam <= 0 {
-			continue
-		}
-		// dst += lam · v_k v_kᵀ, with the column flattened for locality.
-		for i := 0; i < n; i++ {
-			v[i] = vecs.At(i, k)
-		}
-		for i := 0; i < n; i++ {
-			f := lam * v[i]
-			if f == 0 {
-				continue
+		if vals[k] > 0 {
+			row := ws.vt.Row(npos)
+			for i := 0; i < n; i++ {
+				row[i] = vecs.At(i, k)
 			}
-			oi := dst.Row(i)
-			for j, vj := range v {
-				oi[j] += f * vj
-			}
+			ws.col[npos] = vals[k]
+			npos++
 		}
+	}
+	chunk := 1 + kernelMinFlops/(npos*n+1)
+	if canParallel(n, chunk) {
+		parallelRows(n, chunk, func(lo, hi int) {
+			spectralRebuildRows(dst, ws.vt, ws.col, npos, lo, hi)
+		})
+	} else {
+		spectralRebuildRows(dst, ws.vt, ws.col, npos, 0, n)
 	}
 	dst.Symmetrize()
 	return nil
 }
 
-// MinEigenvalue returns the smallest eigenvalue of the symmetric matrix a.
-func MinEigenvalue(a *Matrix) (float64, error) {
-	vals, _, err := EigenSym(a)
-	if err != nil {
-		return 0, err
+// spectralRebuildRows accumulates rows [lo, hi) of Σ lam_k·v_k·v_kᵀ into
+// dst, with the eigenvectors stored as the first npos rows of vt and their
+// eigenvalues in lam[:npos].
+func spectralRebuildRows(dst, vt *Matrix, lam []float64, npos, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		oi := dst.Row(i)
+		for k := 0; k < npos; k++ {
+			vk := vt.Row(k)
+			f := lam[k] * vk[i]
+			if f == 0 {
+				continue
+			}
+			axpyInto(oi, f, vk)
+		}
 	}
-	if len(vals) == 0 {
+}
+
+// MinEigenvalue returns the smallest eigenvalue of the symmetric matrix a.
+// It is values-only: one Householder tridiagonalization (no eigenvector
+// accumulation) followed by Sturm-count bisection — O(n³)/3 with no QL
+// iteration and no convergence failure mode. EigenSymJacobi remains
+// available as an independent full-decomposition cross-check.
+func MinEigenvalue(a *Matrix) (float64, error) {
+	if a.Rows != a.Cols {
+		return 0, errors.New("linalg: MinEigenvalue requires a square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
 		return 0, nil
 	}
-	return vals[0], nil
+	var ws EigenWorkspace
+	ws.ensure(n)
+	z := ws.z.CopyFrom(a).Symmetrize()
+	tred1(z, ws.d, ws.e, ws.hh)
+	lo, hi := gershgorinBounds(ws.d, ws.e)
+	if lo == hi {
+		return lo, nil
+	}
+	// The Gershgorin interval contains the whole spectrum, so the endpoint
+	// counts are known: 0 below lo, n below hi.
+	var lam [1]float64
+	bisectEigenvalues(ws.d, ws.e, 0, 1, lo, hi, 0, n, lam[:], ws.c0[:1], ws.c1[:1], ws.idx[:1], ws.idx2[:1])
+	return lam[0], nil
 }

@@ -1,0 +1,627 @@
+package linalg
+
+import "math"
+
+// This file implements the partial-spectrum PSD projection fast path.
+//
+// The full projection (eigen_ql.go) pays a complete tred2/tql2
+// eigendecomposition — O(n³) with full eigenvector accumulation — per call.
+// But the ADMM dual iterates this projection runs on converge to matrices
+// whose negative eigenspace is low-rank (its rank is the rank of the primal
+// solution X), so almost all of that work reconstructs the part of the
+// spectrum the projection keeps unchanged. The fast path instead:
+//
+//  1. tridiagonalizes once with Householder reflectors, WITHOUT accumulating
+//     the orthogonal transform (tred1) — the reflectors stay in the matrix
+//     rows for later back-transformation;
+//  2. counts negative eigenvalues with one Sturm-sequence pass on the
+//     tridiagonal (sturmCount) — O(n);
+//  3. when the thinner spectral side k = min(#neg, #pos) is small relative
+//     to n, extracts exactly those k eigenpairs (bisection for the values,
+//     shifted inverse iteration with cluster re-orthogonalization for the
+//     vectors), back-transforms them through the reflectors, and applies a
+//     rank-k update:
+//
+//     X₊ = X − Σ_{λᵢ<0} λᵢ·vᵢvᵢᵀ        (negative side thinner)
+//     X₊ =     Σ_{λᵢ>0} λᵢ·vᵢvᵢᵀ        (positive side thinner)
+//
+// Both forms equal the full reprojection V·diag(max(λ,0))·Vᵀ exactly in
+// real arithmetic: splitting X = Σλᵢvᵢvᵢᵀ over the orthonormal eigenbasis,
+// subtracting the negative terms leaves exactly the clamped sum. Only
+// floating-point rounding distinguishes them, which is why the fast path
+// guards itself with a per-eigenpair residual check and falls back to the
+// full QL path whenever inverse iteration cannot certify machine-precision
+// eigenpairs (clustered eigenvalues) or the thin side is not thin.
+
+// ProjStats counts PSD-projection path decisions. A workspace accumulates
+// them across calls; sdp.Workspace snapshots the delta per solve.
+type ProjStats struct {
+	// Projections is the total number of ProjectPSDInto calls.
+	Projections int
+	// FastPath counts projections served by the partial-spectrum rank-k
+	// path (including rank-0 trivial cases: already PSD, or no positive
+	// spectrum at all).
+	FastPath int
+	// FullEig counts projections that ran a full eigendecomposition.
+	FullEig int
+	// JacobiFallbacks counts full-path QL iteration-cap failures that were
+	// retried (successfully or not) via the unconditionally convergent
+	// Jacobi method instead of failing the solve.
+	JacobiFallbacks int
+	// PartialAborts counts fast-path attempts abandoned mid-flight
+	// (inverse-iteration stall or residual check failure) that fell back to
+	// the full path.
+	PartialAborts int
+	// RankSum / DimSum accumulate the corrected rank k and the matrix
+	// dimension n over fast-path projections, so RankSum/DimSum is the
+	// average k/n the fast path actually saw.
+	RankSum int
+	DimSum  int
+}
+
+// AvgRankFrac returns the average k/n over fast-path projections (0 when
+// the fast path never ran).
+func (s ProjStats) AvgRankFrac() float64 {
+	if s.DimSum == 0 {
+		return 0
+	}
+	return float64(s.RankSum) / float64(s.DimSum)
+}
+
+// Accumulate adds o's counters into s.
+func (s *ProjStats) Accumulate(o ProjStats) {
+	s.Projections += o.Projections
+	s.FastPath += o.FastPath
+	s.FullEig += o.FullEig
+	s.JacobiFallbacks += o.JacobiFallbacks
+	s.PartialAborts += o.PartialAborts
+	s.RankSum += o.RankSum
+	s.DimSum += o.DimSum
+}
+
+const (
+	// partialMinDim is the smallest dimension the fast path attempts: below
+	// it the full QL decomposition is already cheap and the bisection and
+	// inverse-iteration overhead is not worth the bookkeeping.
+	partialMinDim = 16
+)
+
+// partialMaxRank is the k/n heuristic: the fast path runs when the thinner
+// spectral side has at most n/2 eigenvalues — which the two-sided selection
+// always satisfies (kneg + kpos = n), so in practice every projection at or
+// above partialMinDim is attempted. The arithmetic still favors the partial
+// path at k = n/2: bisection + inverse iteration + back-transform + rank-k
+// update cost about (2/3)n³ + k·n² ≲ 1.2n³ against the ~4n³ of tql2 with
+// eigenvector accumulation. Inverse-iteration stalls on crowded spectra
+// abort to the full path (residual-certified), so the cap is a safety
+// valve rather than the common exit.
+func partialMaxRank(n int) int { return n / 2 }
+
+// tred1 reduces the symmetric matrix stored in z to tridiagonal form with
+// diagonal d and subdiagonal e (e[0] unused; e[i] couples i−1 and i),
+// WITHOUT accumulating the orthogonal transformation. The scaled Householder
+// vector of step i remains in row i of z (columns 0..i−2 plus the modified
+// i−1 entry) and its h = |u|²/2 value in hh[i]; backTransform applies them
+// to tridiagonal eigenvectors. This is the reduction phase of tred2 with
+// the accumulation stores removed — roughly half its cost.
+func tred1(z *Matrix, d, e, hh []float64) {
+	n := z.Rows
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+				hh[i] = 0
+			} else {
+				zi := z.Row(i)
+				for k := 0; k <= l; k++ {
+					zi[k] /= scale
+					h += zi[k] * zi[k]
+				}
+				f := zi[l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				zi[l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * zi[k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * zi[k]
+					}
+					e[j] = g / h
+					f += e[j] * zi[j]
+				}
+				hq := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = zi[j]
+					g = e[j] - hq*f
+					e[j] = g
+					zj := z.Row(j)
+					for k := 0; k <= j; k++ {
+						zj[k] -= f*e[k] + g*zi[k]
+					}
+				}
+				hh[i] = h
+			}
+		} else {
+			e[i] = z.At(i, l)
+			hh[i] = 0
+		}
+	}
+	hh[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		d[i] = z.At(i, i)
+	}
+}
+
+// backTransform applies the tred1 Householder reflectors (rows of z, h
+// values in hh) to the tridiagonal-basis eigenvector y in place, yielding
+// the eigenvector of the original matrix: y ← P_{n−1}···P_1·y with
+// P_i = I − uᵢuᵢᵀ/hᵢ, exactly the product tred2's accumulation builds.
+func backTransform(z *Matrix, hh []float64, y []float64) {
+	n := z.Rows
+	for i := 1; i < n; i++ {
+		h := hh[i]
+		if h == 0 {
+			continue
+		}
+		zi := z.Row(i)
+		g := 0.0
+		for k := 0; k < i; k++ {
+			g += zi[k] * y[k]
+		}
+		g /= h
+		for k := 0; k < i; k++ {
+			y[k] -= g * zi[k]
+		}
+	}
+}
+
+// sturmCount returns the number of eigenvalues of the tridiagonal (d, e)
+// strictly below x, by counting negative pivots of the LDLᵀ recurrence of
+// T − x·I (Sturm sequence). O(n), no allocation.
+func sturmCount(d, e []float64, x float64) int {
+	cnt := 0
+	q := 1.0
+	for i := range d {
+		ei2 := 0.0
+		if i > 0 {
+			ei2 = e[i] * e[i]
+		}
+		if q == 0 {
+			// Exact zero pivot: nudge it so the recurrence continues; the
+			// perturbation is far below bisection resolution.
+			q = 0x1p-1022
+		}
+		q = d[i] - x - ei2/q
+		if q < 0 {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// gershgorinBounds returns an interval containing every eigenvalue of the
+// tridiagonal (d, e).
+func gershgorinBounds(d, e []float64) (lo, hi float64) {
+	n := len(d)
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(e[i])
+		}
+		if i+1 < n {
+			r += math.Abs(e[i+1])
+		}
+		lo = math.Min(lo, d[i]-r)
+		hi = math.Max(hi, d[i]+r)
+	}
+	return lo, hi
+}
+
+// sturmNewton evaluates the Sturm recurrence at x, returning the
+// negative-pivot count together with the last quotient q and its derivative
+// dq with respect to x. q equals det(T − x)/det(T₁ − x) (T₁ the leading
+// principal submatrix), so its zeros are eigenvalues of T and x − q/dq is a
+// Newton step toward the nearest one. clean reports that no tiny-pivot
+// replacement fired, i.e. q and dq are trustworthy for that step.
+func sturmNewton(d, e []float64, x float64) (cnt int, q, dq float64, clean bool) {
+	clean = true
+	q = 1.0
+	dq = 0.0
+	for i := range d {
+		ei2 := 0.0
+		if i > 0 {
+			ei2 = e[i] * e[i]
+		}
+		if q == 0 {
+			q = 0x1p-1022
+			clean = false
+		}
+		// d/dx of (d_i − x − e_i²/q) = −1 + e_i²·q′/q².
+		dq = -1 + ei2*dq/(q*q)
+		q = d[i] - x - ei2/q
+		if q < 0 {
+			cnt++
+		}
+	}
+	if math.IsInf(dq, 0) || math.IsNaN(dq) {
+		clean = false
+	}
+	return cnt, q, dq, clean
+}
+
+// bisectEigenvalue returns the (j+1)-th smallest eigenvalue of the
+// tridiagonal (d, e) over [lo, hi], which must bracket it
+// (count(lo) ≤ j < count(hi)). Thin wrapper over bisectEigenvalues with a
+// single-entry bracket table and unknown endpoint counts.
+func bisectEigenvalue(d, e []float64, j int, lo, hi float64) float64 {
+	var lam, loB, hiB [1]float64
+	var clB, chB [1]int
+	bisectEigenvalues(d, e, j, 1, lo, hi, -1, -1, lam[:], loB[:], hiB[:], clB[:], chB[:])
+	return lam[0]
+}
+
+// bisectEigenvalues computes eigenvalues first..first+k−1 (ascending index)
+// of the tridiagonal (d, e) into lam[:k]. All k brackets start at [lo, hi]
+// with the endpoint Sturm counts cl = count(lo) and ch = count(hi) when the
+// caller knows them (−1 otherwise); loB/hiB/clB/chB are length-k scratch.
+//
+// Two accelerations over one-at-a-time bisection:
+//
+//  1. Simultaneous refinement: every Sturm evaluation at x carries the full
+//     count, which tightens the bracket of EVERY pending eigenvalue, not
+//     just the one being refined. By the time eigenvalue j is reached, the
+//     evaluations spent on 0..j−1 have usually shrunk its bracket to a few
+//     final halvings.
+//  2. Safeguarded Newton: once a bracket's endpoint counts prove it holds
+//     exactly one eigenvalue, Newton steps on the last Sturm quotient
+//     (x − q/dq) converge quadratically to machine precision. Steps are
+//     trusted only when the recurrence ran without tiny-pivot patches and
+//     the iterate stays inside the bracket; consecutive Newton steps are
+//     capped so a crawling sequence (pole interference, clustered spectra)
+//     always interleaves a halving and keeps the bisection worst case.
+func bisectEigenvalues(d, e []float64, first, k int, lo, hi float64, cl, ch int, lam, loB, hiB []float64, clB, chB []int) {
+	for j := 0; j < k; j++ {
+		loB[j], hiB[j] = lo, hi
+		clB[j], chB[j] = cl, ch
+	}
+	for j := 0; j < k; j++ {
+		gidx := first + j
+		x := 0.5 * (loB[j] + hiB[j])
+		newtonRun := 0
+		for iter := 0; iter < 200; iter++ {
+			if x <= loB[j] || x >= hiB[j] {
+				break // interval exhausted at fp resolution
+			}
+			cnt, q, dq, clean := sturmNewton(d, e, x)
+			// One evaluation refines every pending bracket.
+			for jj := j; jj < k; jj++ {
+				if cnt > first+jj {
+					if x < hiB[jj] {
+						hiB[jj], chB[jj] = x, cnt
+					}
+				} else if x > loB[jj] {
+					loB[jj], clB[jj] = x, cnt
+				}
+			}
+			width := hiB[j] - loB[j]
+			scale := math.Max(math.Abs(loB[j]), math.Abs(hiB[j]))
+			tol := 4e-16*scale + 1e-300
+			if width <= tol {
+				break
+			}
+			// Newton candidate, trusted only when the recurrence was clean
+			// and the bracket provably contains exactly eigenvalue gidx; a
+			// step that leaves the bracket falls back to the midpoint.
+			if clean && newtonRun < 8 && clB[j] == gidx && chB[j] == gidx+1 {
+				step := q / dq
+				xn := x - step
+				if xn > loB[j] && xn < hiB[j] {
+					if math.Abs(step) <= tol {
+						loB[j], hiB[j] = xn, xn // converged to fp resolution
+						break
+					}
+					x = xn
+					newtonRun++
+					continue
+				}
+			}
+			newtonRun = 0
+			x = 0.5 * (loB[j] + hiB[j])
+		}
+		lam[j] = 0.5 * (loB[j] + hiB[j])
+	}
+}
+
+// tridiagSolveShifted solves (T − lam·I)·x = b for the tridiagonal (d, e)
+// by Gaussian elimination with partial pivoting, overwriting b with x.
+// c0/c1/c2 are length-n scratch (U's diagonal and two superdiagonals —
+// pivoting introduces one fill-in band). Exactly singular pivots are
+// replaced by ±eps·anorm, the standard inverse-iteration trick: the solve
+// then blows up along the eigenvector, which is precisely what we want.
+func tridiagSolveShifted(d, e []float64, lam, anorm float64, b, c0, c1, c2 []float64) {
+	n := len(d)
+	tiny := 2.3e-16 * math.Max(anorm, 1)
+	for i := 0; i < n; i++ {
+		c0[i] = d[i] - lam
+		if i+1 < n {
+			c1[i] = e[i+1]
+		} else {
+			c1[i] = 0
+		}
+		c2[i] = 0
+	}
+	for i := 0; i < n-1; i++ {
+		sub := e[i+1] // T[i+1][i]; columns left of i are already eliminated
+		if math.Abs(sub) > math.Abs(c0[i]) {
+			// Swap rows i and i+1.
+			c0[i], sub = sub, c0[i]
+			c1[i], c0[i+1] = c0[i+1], c1[i]
+			c2[i], c1[i+1] = c1[i+1], c2[i]
+			b[i], b[i+1] = b[i+1], b[i]
+		}
+		if c0[i] == 0 {
+			c0[i] = tiny
+		}
+		m := sub / c0[i]
+		c0[i+1] -= m * c1[i]
+		c1[i+1] -= m * c2[i]
+		b[i+1] -= m * b[i]
+	}
+	if c0[n-1] == 0 {
+		c0[n-1] = tiny
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		if i+1 < n {
+			s -= c1[i] * b[i+1]
+		}
+		if i+2 < n {
+			s -= c2[i] * b[i+2]
+		}
+		b[i] = s / c0[i]
+	}
+}
+
+// invIterStart fills b with a deterministic quasi-random start vector for
+// inverse-iteration attempt `attempt` (varied on retries so a start vector
+// accidentally orthogonal to the target eigenvector cannot stall twice).
+func invIterStart(b []float64, attempt int) {
+	for i := range b {
+		u := (uint64(i+1) + uint64(attempt)*0x9E3779B97F4A7C15) * 2654435761
+		b[i] = 1 + 0.5*(float64(u>>40)/float64(1<<24)-0.5)
+	}
+}
+
+// tridiagEigenvector computes the eigenvector of the tridiagonal (d, e) for
+// the (bisection-accurate) eigenvalue lam by shifted inverse iteration,
+// writing the unit-norm result into v. prev holds the rows of already
+// accepted eigenvectors of this batch; v is re-orthogonalized against all
+// of them every iteration so clustered eigenvalues yield an orthonormal
+// basis instead of k copies of the same vector. Returns false when the
+// iteration stalls or cannot certify the residual ‖(T−lam)v‖ ≤ resTol —
+// the caller then abandons the whole fast path.
+func tridiagEigenvector(d, e []float64, lam, anorm float64, v []float64, prev [][]float64, c0, c1, c2 []float64) bool {
+	resTol := 1e-12 * (1 + anorm)
+	for attempt := 0; attempt < 3; attempt++ {
+		invIterStart(v, attempt)
+		normalize(v)
+		const maxIter = 5
+		for it := 0; it < maxIter; it++ {
+			tridiagSolveShifted(d, e, lam, anorm, v, c0, c1, c2)
+			for _, p := range prev {
+				axpyNeg(Dot(p, v), p, v)
+			}
+			nrm := Norm2(v)
+			if nrm == 0 || math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+				break // degenerate start; retry with a fresh vector
+			}
+			scaleVec(v, 1/nrm)
+			if it == 0 {
+				continue // polish at least once before checking
+			}
+			if tridiagResidual(d, e, lam, v) <= resTol {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tridiagResidual returns ‖(T − lam·I)·v‖∞ for unit-norm v.
+func tridiagResidual(d, e []float64, lam float64, v []float64) float64 {
+	n := len(v)
+	res := 0.0
+	for i := 0; i < n; i++ {
+		r := (d[i] - lam) * v[i]
+		if i > 0 {
+			r += e[i] * v[i-1]
+		}
+		if i+1 < n {
+			r += e[i+1] * v[i+1]
+		}
+		if a := math.Abs(r); a > res {
+			res = a
+		}
+	}
+	return res
+}
+
+func normalize(v []float64) {
+	if n := Norm2(v); n != 0 {
+		scaleVec(v, 1/n)
+	}
+}
+
+func scaleVec(v []float64, a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// axpyNeg computes y -= a*x without the length re-check of AXPY (callers
+// guarantee matching lengths in the hot loop).
+func axpyNeg(a float64, x, y []float64) {
+	for i, v := range x {
+		y[i] -= a * v
+	}
+}
+
+// projectPSDPartialInto attempts the partial-spectrum projection of the
+// symmetric matrix a into dst. It returns true when the fast path handled
+// the projection (stats updated accordingly); false means the caller must
+// run the full eigendecomposition path — either the thin spectral side was
+// not thin enough (no stats recorded beyond the attempt) or inverse
+// iteration could not certify the eigenpairs (PartialAborts incremented).
+func projectPSDPartialInto(dst, a *Matrix, ws *EigenWorkspace) bool {
+	n := a.Rows
+	z := ws.z.CopyFrom(a).Symmetrize()
+	d, e, hh := ws.d, ws.e, ws.hh
+	tred1(z, d, e, hh)
+
+	kneg := sturmCount(d, e, 0)
+	kpos := n - kneg
+	negSide := kneg <= kpos
+	k := kneg
+	if !negSide {
+		k = kpos
+	}
+	if k > partialMaxRank(n) {
+		return false
+	}
+
+	// Rank-0 trivial cases: already PSD (projection is the identity on the
+	// symmetrized input), or no positive spectrum at all.
+	if k == 0 {
+		if negSide {
+			dst.CopyFrom(a).Symmetrize()
+		} else {
+			dst.Zero()
+		}
+		ws.Stats.FastPath++
+		ws.Stats.DimSum += n
+		return true
+	}
+
+	gLo, gHi := gershgorinBounds(d, e)
+	anorm := math.Max(math.Abs(gLo), math.Abs(gHi))
+	lam := ws.vals[:k]
+	first := 0 // ascending eigenvalue index of the first extracted pair
+	if !negSide {
+		first = n - k
+	}
+	// Eigenvalues. When k is a sizable fraction of n, the values-only QL
+	// iteration (tql1, O(n²) for the whole spectrum) on a copy of the
+	// tridiagonal beats per-eigenvalue bisection (~dozens of O(n) Sturm
+	// passes each); for a handful of eigenvalues, Sturm bisection wins.
+	// The side split hands bisection exact endpoint counts for free —
+	// count(gLo)=0, count(0)=kneg, count(gHi)=n — so the Newton isolation
+	// test passes without probing evaluations. ws.c0/c1/idx/idx2 are free
+	// until the inverse-iteration stage below.
+	gotVals := false
+	if k >= maxInt(2, n/16) {
+		copy(ws.c0, d)
+		copy(ws.c1, e)
+		if tql1(ws.c0[:n], ws.c1[:n]) == nil {
+			copy(lam, ws.c0[first:first+k])
+			gotVals = true
+		}
+	}
+	if !gotVals {
+		if negSide {
+			bisectEigenvalues(d, e, 0, k, gLo, 0, 0, kneg, lam, ws.c0, ws.c1, ws.idx, ws.idx2)
+		} else {
+			bisectEigenvalues(d, e, first, k, 0, gHi, kneg, n, lam, ws.c0, ws.c1, ws.idx, ws.idx2)
+		}
+	}
+
+	// Inverse iteration per eigenvalue; eigenvectors live in rows of ws.vt
+	// (contiguous, so orthogonalization, back-transform and the rank-k
+	// update all stream memory).
+	vecs := ws.rows[:k]
+	for j := 0; j < k; j++ {
+		vecs[j] = ws.vt.Row(j)
+		if !tridiagEigenvector(d, e, lam[j], anorm, vecs[j], vecs[:j], ws.c0, ws.c1, ws.c2) {
+			ws.Stats.PartialAborts++
+			return false
+		}
+	}
+
+	// Back-transform through the Householder reflectors — the remaining
+	// O(k·n²) dense stage, parallel over eigenvectors.
+	if canParallel(k, 1) {
+		parallelRows(k, 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				backTransform(z, hh, vecs[j])
+			}
+		})
+	} else {
+		for j := 0; j < k; j++ {
+			backTransform(z, hh, vecs[j])
+		}
+	}
+
+	// Rank-k assembly, parallel over rows of dst.
+	if negSide {
+		dst.CopyFrom(a).Symmetrize()
+	} else {
+		dst.Zero()
+	}
+	chunk := 1 + kernelMinFlops/(k*n+1)
+	if canParallel(n, chunk) {
+		parallelRows(n, chunk, func(lo, hi int) {
+			rankUpdateRows(dst, vecs, lam, negSide, lo, hi)
+		})
+	} else {
+		rankUpdateRows(dst, vecs, lam, negSide, 0, n)
+	}
+	dst.Symmetrize()
+
+	ws.Stats.FastPath++
+	ws.Stats.RankSum += k
+	ws.Stats.DimSum += n
+	return true
+}
+
+// rankUpdateRows applies the rank-k spectral correction to rows [lo, hi) of
+// dst: dst −= Σ lam_j·v_j·v_jᵀ on the negative side (neg true, lam_j < 0,
+// so the update adds the clamped mass back), dst += Σ lam_j·v_j·v_jᵀ on
+// the positive side.
+func rankUpdateRows(dst *Matrix, vecs [][]float64, lam []float64, neg bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		oi := dst.Row(i)
+		for j := range vecs {
+			vj := vecs[j]
+			f := lam[j] * vj[i]
+			if neg {
+				f = -f
+			}
+			if f == 0 {
+				continue
+			}
+			axpyInto(oi, f, vj)
+		}
+	}
+}
+
+// axpyInto computes dst += f*v over the full row.
+func axpyInto(dst []float64, f float64, v []float64) {
+	for j, vj := range v {
+		dst[j] += f * vj
+	}
+}

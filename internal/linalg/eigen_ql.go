@@ -7,16 +7,26 @@ import (
 
 // EigenWorkspace owns the scratch arrays of the QL eigendecomposition and
 // the PSD projection (tridiagonal reduction matrix, d/e work arrays, sort
-// permutation, output eigenpairs, and a column buffer). The zero value is
-// ready to use; buffers grow on demand and are reused across calls, so a
-// steady-state EigenSymWS / ProjectPSDInto call allocates nothing.
+// permutation, output eigenpairs, a column buffer, plus the partial-
+// spectrum fast path's reflector h values, shifted-solve bands and
+// eigenvector rows). The zero value is ready to use; buffers grow on
+// demand and are reused across calls, so a steady-state EigenSymWS /
+// ProjectPSDInto call allocates nothing.
 type EigenWorkspace struct {
-	z    *Matrix
-	d, e []float64
-	idx  []int
-	vals []float64
-	vecs *Matrix
-	col  []float64
+	z          *Matrix
+	d, e       []float64
+	idx, idx2  []int
+	vals       []float64
+	vecs       *Matrix
+	col        []float64
+	hh         []float64   // tred1 Householder h values
+	c0, c1, c2 []float64   // tridiagSolveShifted band scratch
+	vt         *Matrix     // eigenvector rows (partial path, full rebuild)
+	rows       [][]float64 // row views into vt (partial path)
+
+	// Stats accumulates projection-path telemetry across calls; callers
+	// owning the workspace may reset it between solves.
+	Stats ProjStats
 }
 
 // ensure sizes every buffer for dimension n.
@@ -24,11 +34,18 @@ func (w *EigenWorkspace) ensure(n int) {
 	if w.z == nil || w.z.Rows != n {
 		w.z = NewMatrix(n, n)
 		w.vecs = NewMatrix(n, n)
+		w.vt = NewMatrix(n, n)
 		w.d = make([]float64, n)
 		w.e = make([]float64, n)
 		w.idx = make([]int, n)
+		w.idx2 = make([]int, n)
 		w.vals = make([]float64, n)
 		w.col = make([]float64, n)
+		w.hh = make([]float64, n)
+		w.c0 = make([]float64, n)
+		w.c1 = make([]float64, n)
+		w.c2 = make([]float64, n)
+		w.rows = make([][]float64, n)
 	}
 }
 
@@ -218,6 +235,83 @@ func tql2(z *Matrix, d, e []float64) error {
 			e[l] = g
 			e[m] = 0
 		}
+	}
+	return nil
+}
+
+// tql1 is tql2 without eigenvector accumulation: it overwrites d with ALL
+// eigenvalues of the tridiagonal (d, e) in ascending order, destroying e.
+// Each implicit-shift QL sweep touches only the active tridiagonal tail and
+// pays no O(n) column rotations, so the whole spectrum costs O(n²) — the
+// eigenvalue backend of the partial projection whenever the extracted rank
+// is a sizable fraction of n (see projectPSDPartialInto).
+func tql1(d, e []float64) error {
+	n := len(d)
+	if n == 0 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-16*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 64 {
+				return errors.New("linalg: QL iteration did not converge")
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			broke := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					broke = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if broke {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	// QL leaves d nearly sorted; insertion sort finishes the job.
+	for i := 1; i < n; i++ {
+		v := d[i]
+		j := i - 1
+		for ; j >= 0 && d[j] > v; j-- {
+			d[j+1] = d[j]
+		}
+		d[j+1] = v
 	}
 	return nil
 }

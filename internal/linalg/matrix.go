@@ -103,29 +103,14 @@ func (m *Matrix) T() *Matrix {
 
 // Mul returns m * other.
 func (m *Matrix) Mul(other *Matrix) *Matrix {
-	if m.Cols != other.Rows {
-		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
-	}
-	out := NewMatrix(m.Rows, other.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mi := m.Row(i)
-		oi := out.Row(i)
-		for k := 0; k < m.Cols; k++ {
-			a := mi[k]
-			if a == 0 {
-				continue
-			}
-			ok := other.Row(k)
-			for j := range oi {
-				oi[j] += a * ok[j]
-			}
-		}
-	}
-	return out
+	return MulInto(NewMatrix(m.Rows, other.Cols), m, other)
 }
 
 // MulInto computes dst = a * b without allocating; dst must not alias a or
-// b. Returns dst.
+// b. Returns dst. Products large enough to amortize the fan-out are split
+// row-wise across the shared kernel pool (pool.go); each output row's
+// accumulation order is unchanged, so results are bit-identical at any
+// parallelism level.
 func MulInto(dst, a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: MulInto shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -137,7 +122,20 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 		panic("linalg: MulInto destination aliases an operand")
 	}
 	dst.Zero()
-	for i := 0; i < a.Rows; i++ {
+	chunk := 1 + kernelMinFlops/(a.Cols*b.Cols+1)
+	if canParallel(a.Rows, chunk) {
+		parallelRows(a.Rows, chunk, func(lo, hi int) {
+			mulRows(dst, a, b, lo, hi)
+		})
+	} else {
+		mulRows(dst, a, b, 0, a.Rows)
+	}
+	return dst
+}
+
+// mulRows computes rows [lo, hi) of dst = a * b.
+func mulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ai := a.Row(i)
 		di := dst.Row(i)
 		for k := 0; k < a.Cols; k++ {
@@ -151,7 +149,6 @@ func MulInto(dst, a, b *Matrix) *Matrix {
 			}
 		}
 	}
-	return dst
 }
 
 // MulVec returns m * v.

@@ -110,6 +110,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// SolveStats is the per-solve PSD-projection telemetry: how many hot-loop
+// projections ran, how many took the partial-spectrum fast path vs the full
+// eigendecomposition, fallback counts, and the accumulated corrected-rank
+// fractions (see linalg.ProjStats).
+type SolveStats = linalg.ProjStats
+
 // Result reports the solve outcome.
 type Result struct {
 	X         *linalg.Matrix
@@ -120,6 +126,8 @@ type Result struct {
 	Converged bool
 	// Warm reports whether the solve was seeded from a previous State.
 	Warm bool
+	// Stats holds the PSD-projection path telemetry for this solve.
+	Stats SolveStats
 }
 
 // Solve runs the dual ADMM from a cold start in a one-shot workspace. It

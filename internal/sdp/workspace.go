@@ -162,6 +162,7 @@ func (w *Workspace) SolveCtx(ctx context.Context, p *Problem, opt Options, warm 
 	}
 
 	w.ensure(n, m)
+	w.eig.Stats = linalg.ProjStats{} // per-solve projection telemetry
 	cDense := p.C.DenseInto(w.cDense)
 	b := w.b
 	for i, c := range p.Constraints {
@@ -236,6 +237,7 @@ func (w *Workspace) SolveCtx(ctx context.Context, p *Problem, opt Options, warm 
 				X: x.Clone(), Objective: p.C.Dot(x),
 				PrimalRes: priRes, DualRes: duaRes,
 				Iters: iter, Converged: true, Warm: warmStarted,
+				Stats: w.eig.Stats,
 			}, nil
 		}
 
@@ -254,6 +256,7 @@ func (w *Workspace) SolveCtx(ctx context.Context, p *Problem, opt Options, warm 
 		X: x.Clone(), Objective: p.C.Dot(x),
 		PrimalRes: priRes, DualRes: duaRes,
 		Iters: opt.MaxIters, Converged: false, Warm: warmStarted,
+		Stats: w.eig.Stats,
 	}, nil
 }
 

@@ -35,3 +35,8 @@ if awk -v got="$cover_total" -v min="$cover_min" 'BEGIN { exit !(got < min) }'; 
 	echo "coverage ${cover_total}% below baseline ${cover_min}%" >&2
 	exit 1
 fi
+
+# Allocation-regression gate: the PSD projection fast path and the pooled
+# matmul must stay allocation-free in steady state (baselines recorded in
+# BENCH_kernels.json by `make bench-kernels`).
+go run ./cmd/benchkernels -gate

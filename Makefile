@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-kernels serve fuzz
+.PHONY: check test bench bench-kernels bench-incr serve fuzz
 
 # Fast verification gate: gofmt, full build, go vet, race-enabled tests of
 # the CPLA hot-path and server packages.
@@ -14,11 +14,13 @@ serve:
 	go run ./cmd/cplad -addr :8080
 
 # Bounded fuzzing of the untrusted-input surfaces: the ISPD'08 parser
-# (reachable by upload via POST /v1/jobs) and the quadtree partitioner.
+# (reachable by upload via POST /v1/jobs), the quadtree partitioner, and
+# the ECO delta engine (random delta scripts checked against cold replays).
 # Seed corpora live under each package's testdata/fuzz/.
 fuzz:
 	go test ./internal/ispd08/ -run=NONE -fuzz=FuzzParse -fuzztime=30s
 	go test ./internal/partition/ -run=NONE -fuzz=FuzzPartition -fuzztime=30s
+	go test ./internal/incr/ -run=NONE -fuzz=FuzzDeltas -fuzztime=30s
 
 # The allocation-sensitive benchmarks recorded in BENCH_sdp.json.
 bench:

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	cpla "repro"
+	"repro/internal/incr"
+)
+
+// runECO replays a JSON-lines delta script through an incremental session:
+// the base solve first, then one re-solve per script line, printing each
+// delta's critical-path metrics, measured dirty-leaf ratio and wall time.
+// A line is one delta object or an array forming one batch; blank lines and
+// #-comments are skipped. Exit codes: 1 bad script or failed solve, 3
+// cancelled by -timeout, 4 a verify audit found violations.
+func runECO(ctx context.Context, script string) int {
+	batches, err := loadScript(script)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	gen := func() (*cpla.Design, error) { return load(*bench, *grFile) }
+	cfg := incr.Config{
+		Prepare: cpla.DefaultPrepareOptions(),
+		Core:    cpla.CPLAOptions{MaxSegs: *maxSegs, K: *k, MaxRounds: *rounds},
+		Ratio:   *ratio,
+		Verify:  *doVerify,
+	}
+	cfg.Prepare.Route.Steiner = *steiner
+	switch *mapping {
+	case "greedy":
+		cfg.Core.Mapping = cpla.MappingGreedy
+	case "flow":
+		cfg.Core.Mapping = cpla.MappingFlow
+	case "alg1":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mapping %q\n", *mapping)
+		return 2
+	}
+	if *solver == "ipm" {
+		cfg.Core.SDPSolver = cpla.SolverIPM
+	}
+
+	start := time.Now()
+	s, err := incr.New(ctx, gen, cfg)
+	if err != nil {
+		return fail(err, *timeout)
+	}
+	base := s.Base()
+	fmt.Printf("base   : released %d, Avg(Tcp)=%.1f Max(Tcp)=%.1f (%.1fms)\n",
+		base.Released, base.After.AvgTcp, base.After.MaxTcp, base.WallMS)
+
+	dirtyVerify := false
+	for i, batch := range batches {
+		res, err := s.Apply(ctx, batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "delta %d: %v\n", i+1, err)
+			return fail(err, *timeout)
+		}
+		kinds := make([]string, len(batch))
+		for j, d := range batch {
+			kinds[j] = d.Kind()
+		}
+		fmt.Printf("delta %-2d [%s]: Avg(Tcp)=%.1f Max(Tcp)=%.1f dirty=%d/%d leaves (ratio %.2f, %d/%d memo) %.1fms",
+			i+1, strings.Join(kinds, ","),
+			res.After.AvgTcp, res.After.MaxTcp,
+			res.PredictedDirtyLeaves, res.PredictedLeaves,
+			res.DirtyLeafRatio, res.MemoHits, res.LeafSolves, res.WallMS)
+		if res.Verify != "" {
+			fmt.Printf(" verify=%s", res.Verify)
+			if !res.VerifyClean {
+				dirtyVerify = true
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("eco    : %d delta batches in %.2fs total\n", len(batches), time.Since(start).Seconds())
+	if dirtyVerify {
+		return 4
+	}
+	return 0
+}
+
+// loadScript parses a JSON-lines delta script: each non-blank, non-comment
+// line is one batch — a single delta object or an array of deltas.
+func loadScript(path string) ([][]incr.Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var batches [][]incr.Delta
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var batch []incr.Delta
+		if strings.HasPrefix(line, "[") {
+			if err := json.Unmarshal([]byte(line), &batch); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
+		} else {
+			var d incr.Delta
+			dec := json.NewDecoder(strings.NewReader(line))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&d); err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
+			batch = []incr.Delta{d}
+		}
+		batches = append(batches, batch)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("%s: no deltas in script", path)
+	}
+	return batches, nil
+}

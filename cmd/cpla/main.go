@@ -13,6 +13,7 @@
 //	cpla -bench adaptec1 -steiner -legalize -clock 20000
 //	cpla -bench adaptec1 -timeout 30s            # bounded run; exit 3 on deadline
 //	cpla -bench adaptec1 -verify                 # audit the result; exit 4 on violations
+//	cpla -bench adaptec1 -eco deltas.jsonl       # replay an ECO delta script incrementally
 //	cpla -bench adaptec1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -46,6 +47,7 @@ var (
 	clock      = flag.Float64("clock", 0, "report WNS/TNS against this required arrival time")
 	timeout    = flag.Duration("timeout", 0, "bound the whole run (prepare + optimize); cancelled runs exit non-zero")
 	doVerify   = flag.Bool("verify", false, "audit the final assignment with the independent checker (and every SDP solve, on the sdp engine); exit 4 on violations")
+	ecoScript  = flag.String("eco", "", "replay a JSON-lines ECO delta script through an incremental session (one delta object or array per line; # comments)")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 )
@@ -97,6 +99,10 @@ func run() int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *ecoScript != "" {
+		return runECO(ctx, *ecoScript)
 	}
 
 	design, err := load(*bench, *grFile)

@@ -13,6 +13,14 @@
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -s -X DELETE localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/metrics
+//
+// ECO sessions hold a solved design resident and re-solve delta batches
+// incrementally (see README "ECO sessions"):
+//
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"benchmark":"adaptec1"}'
+//	curl -s -X POST localhost:8080/v1/sessions/<id>/deltas \
+//	    -d '{"deltas":[{"reroute":{"net":12}}]}'
+//	curl -s localhost:8080/v1/sessions/<id>
 package main
 
 import (
@@ -36,6 +44,8 @@ func main() {
 	queue := flag.Int("queue", 16, "queued-job bound; submissions beyond it get 429")
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job run-time cap")
 	maxUpload := flag.Int64("max-upload", 8<<20, "request body limit in bytes (ISPD'08 uploads)")
+	maxSessions := flag.Int("max-sessions", 8, "concurrent ECO session bound; creations beyond it get 429")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle ECO sessions are evicted after this long")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before hard-cancelling")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default: profiling leaks timing information, keep it inside trusted networks)")
 	flag.Parse()
@@ -46,6 +56,8 @@ func main() {
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
 		MaxUploadBytes: *maxUpload,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 		Logger:         log,
 	})
 	srv.Start()

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/sdp"
+)
+
+// defaultCacheEntries bounds a SolveCache created with NewSolveCache(0):
+// generous next to the few hundred leaves a large instance produces per
+// round, small next to the fractional solutions it stores.
+const defaultCacheEntries = 4096
+
+// solveKey identifies one exact leaf problem: the leaf's (tree, seg) item
+// set fingerprint plus the full content signature of the SDP built from it.
+type solveKey struct {
+	leaf, sig uint64
+}
+
+// SolveCache memoizes partition-leaf solves. Two tiers, both keyed by the
+// leaf item-set fingerprint (leafKey):
+//
+//   - Exact solutions, additionally keyed by the problem's full content
+//     signature. A byte-identical recurring problem reuses the previous
+//     fractional solution outright; the solver is deterministic, so this
+//     is bitwise-neutral no matter how far apart the two solves are.
+//   - The leaf's latest ADMM state, donating its Gram Cholesky factor
+//     (value-identical) or, with Options.WarmStart, the full iterate.
+//
+// A nil *SolveCache is valid and caches nothing. OptimizeCtx creates a
+// private cache per call when Options.Cache is nil — the historical
+// cross-round-only behavior; the ECO session engine shares one cache
+// across deltas so unchanged partitions skip their solves entirely.
+// All methods are safe for concurrent use.
+type SolveCache struct {
+	mu     sync.Mutex
+	max    int
+	frac   map[solveKey][][]float64
+	order  []solveKey // FIFO eviction over frac
+	states map[uint64]*sdp.State
+	sorder []uint64 // FIFO eviction over states
+}
+
+// NewSolveCache creates a cache holding at most maxEntries memoized
+// solutions (0 → a default of 4096).
+func NewSolveCache(maxEntries int) *SolveCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheEntries
+	}
+	return &SolveCache{
+		max:    maxEntries,
+		frac:   make(map[solveKey][][]float64),
+		states: make(map[uint64]*sdp.State),
+	}
+}
+
+// lookup returns the memoized fractional solution for the exact problem,
+// or nil on a miss.
+func (c *SolveCache) lookup(leaf, sig uint64) [][]float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frac[solveKey{leaf, sig}]
+}
+
+// state returns the leaf's latest ADMM state, or nil.
+func (c *SolveCache) state(leaf uint64) *sdp.State {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states[leaf]
+}
+
+// store records one fresh solve: the exact solution under (leaf, sig) and
+// the ADMM state as the leaf's latest.
+func (c *SolveCache) store(leaf uint64, rec *leafCache) {
+	if c == nil || rec == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rec.xFrac != nil {
+		k := solveKey{leaf, rec.sig}
+		if _, ok := c.frac[k]; !ok {
+			if len(c.order) >= c.max {
+				delete(c.frac, c.order[0])
+				c.order = c.order[1:]
+			}
+			c.order = append(c.order, k)
+		}
+		c.frac[k] = rec.xFrac
+	}
+	if rec.state != nil {
+		if _, ok := c.states[leaf]; !ok {
+			if len(c.sorder) >= c.max {
+				delete(c.states, c.sorder[0])
+				c.sorder = c.sorder[1:]
+			}
+			c.sorder = append(c.sorder, leaf)
+		}
+		c.states[leaf] = rec.state
+	}
+}
+
+// Len returns the number of memoized exact solutions.
+func (c *SolveCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frac)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sdp"
+	"repro/internal/timing"
+)
+
+// TestSolveCacheEviction exercises the FIFO bound directly.
+func TestSolveCacheEviction(t *testing.T) {
+	c := NewSolveCache(2)
+	for i := uint64(0); i < 3; i++ {
+		c.store(i, &leafCache{sig: i, xFrac: [][]float64{{float64(i)}}, state: &sdp.State{}})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after eviction", c.Len())
+	}
+	if c.lookup(0, 0) != nil {
+		t.Fatal("oldest entry not evicted")
+	}
+	if c.lookup(2, 2) == nil {
+		t.Fatal("newest entry missing")
+	}
+	// Re-storing an existing key must not grow the cache or evict.
+	c.store(2, &leafCache{sig: 2, xFrac: [][]float64{{9}}})
+	if c.Len() != 2 || c.lookup(1, 1) == nil {
+		t.Fatal("re-store evicted a live entry")
+	}
+}
+
+// TestSolveCacheNilSafe pins the nil-receiver contract the solver relies on.
+func TestSolveCacheNilSafe(t *testing.T) {
+	var c *SolveCache
+	if c.lookup(1, 1) != nil || c.state(1) != nil || c.Len() != 0 {
+		t.Fatal("nil cache must be empty")
+	}
+	c.store(1, &leafCache{sig: 1}) // must not panic
+}
+
+// TestPersistentCacheBitwiseNeutral is the contract the ECO session engine
+// builds on: re-running Optimize on an identical fresh state with the
+// previous run's cache must serve leaf solves from the memo and still
+// produce byte-identical metrics and layers (warm starts off).
+func TestPersistentCacheBitwiseNeutral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs three full optimizations")
+	}
+	run := func(cache *SolveCache) (*Result, [][]int) {
+		st := prepare(t, 12, 200)
+		released := timing.SelectCritical(st.Timings(), 0.05)
+		res, err := Optimize(st, released, Options{SDPIters: 100, MaxRounds: 3, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		layers := make([][]int, len(st.Trees))
+		for ni, tr := range st.Trees {
+			if tr != nil {
+				layers[ni] = tr.SnapshotLayers()
+			}
+		}
+		return res, layers
+	}
+
+	cold, coldLayers := run(nil)
+	cache := NewSolveCache(0)
+	first, firstLayers := run(cache)
+	second, secondLayers := run(cache)
+
+	for name, pair := range map[string][2]*Result{
+		"cache-first": {cold, first},
+		"cache-hit":   {cold, second},
+	} {
+		a, b := pair[0], pair[1]
+		if math.Float64bits(a.After.AvgTcp) != math.Float64bits(b.After.AvgTcp) ||
+			math.Float64bits(a.After.MaxTcp) != math.Float64bits(b.After.MaxTcp) {
+			t.Errorf("%s: metrics differ: %+v vs %+v", name, a.After, b.After)
+		}
+		if a.Rounds != b.Rounds {
+			t.Errorf("%s: rounds differ: %d vs %d", name, a.Rounds, b.Rounds)
+		}
+	}
+	for _, pair := range [][2][][]int{{coldLayers, firstLayers}, {coldLayers, secondLayers}} {
+		for ni := range pair[0] {
+			a, b := pair[0][ni], pair[1][ni]
+			if len(a) != len(b) {
+				t.Fatalf("net %d: layer count differs", ni)
+			}
+			for si := range a {
+				if a[si] != b[si] {
+					t.Fatalf("net %d seg %d: layer %d vs %d", ni, si, a[si], b[si])
+				}
+			}
+		}
+	}
+
+	// The second run's first round must have hit the memo for every leaf the
+	// first run solved (the partitioning is identical on identical states).
+	if len(second.RoundLog) == 0 || second.RoundLog[0].MemoHits == 0 {
+		t.Fatalf("no memo hits on the cached re-run: %+v", second.RoundLog)
+	}
+	if first.RoundLog[0].MemoHits != 0 {
+		t.Fatalf("fresh cache reported %d memo hits in round 1", first.RoundLog[0].MemoHits)
+	}
+}

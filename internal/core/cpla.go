@@ -133,6 +133,13 @@ type Options struct {
 	// layer choices, so results can differ from a cold run within the
 	// solver tolerance.
 	WarmStart bool
+	// Cache, when non-nil, memoizes partition-leaf solves across Optimize
+	// calls (see SolveCache). Nil gives each call a private cache — the
+	// historical cross-round-only acceleration. Reuse is bitwise-neutral:
+	// only byte-identical problems skip the solver, and recurring leaves
+	// otherwise donate a Cholesky factor that is value-identical to
+	// recomputing it (or the full iterate with WarmStart).
+	Cache *SolveCache
 	// OnRound, when non-nil, receives each round's RoundStats right after
 	// the accept/revert decision — live progress for callers monitoring a
 	// long run (the cplad job server streams these into job status). Called
@@ -207,6 +214,11 @@ type RoundStats struct {
 	ADMMIters int
 	// WarmStarts counts leaves seeded from a previous round's ADMM state.
 	WarmStarts int
+	// MemoHits counts leaves whose exact problem was served from the solve
+	// cache without running the solver (each also counts as a WarmStart).
+	// With a persistent Options.Cache, Partitions − MemoHits is the number
+	// of genuinely dirty leaves this round.
+	MemoHits int
 	// PSDFastPath / PSDFullEig count hot-loop PSD projections served by the
 	// partial-spectrum rank-k fast path vs the full eigendecomposition,
 	// summed over this round's ADMM leaf solves.
@@ -272,11 +284,15 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 
 	prevScore := releasedScore(timings, work)
 
-	// Warm-start cache: partition leaves keyed by their (tree, seg) item
-	// set. When the same leaf recurs in a later round, its previous record
+	// Solve cache: partition leaves keyed by their (tree, seg) item set.
+	// When the same leaf recurs — in a later round, or in a later call when
+	// the caller supplies a persistent cache — its previous record
 	// accelerates the solve (see Options.WarmStart for the tiers). Written
 	// serially between rounds, read-only while workers run.
-	warmCache := map[uint64]*leafCache{}
+	cache := opt.Cache
+	if cache == nil {
+		cache = NewSolveCache(0)
+	}
 
 	var cancelErr error
 	for round := 0; round < opt.MaxRounds; round++ {
@@ -311,7 +327,7 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				key := leafKey(leaf)
-				layers, ls, err := solveLeaf(ctx, in, st.Trees, leaf, opt, warmCache[key])
+				layers, ls, err := solveLeaf(ctx, in, st.Trees, leaf, opt, cache, key)
 				proposals[li] = proposal{leaf: leaf, layers: layers, key: key, stats: ls, err: err}
 			}(li, leaf)
 		}
@@ -345,10 +361,11 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 			if pr.stats.warm {
 				stats.WarmStarts++
 			}
-			proj.Accumulate(pr.stats.proj)
-			if pr.stats.cache != nil {
-				warmCache[pr.key] = pr.stats.cache
+			if pr.stats.memo {
+				stats.MemoHits++
 			}
+			proj.Accumulate(pr.stats.proj)
+			cache.store(pr.key, pr.stats.cache)
 		}
 		stats.PSDFastPath = proj.FastPath
 		stats.PSDFullEig = proj.FullEig
@@ -468,14 +485,15 @@ type leafCache struct {
 type leafStats struct {
 	iters int
 	warm  bool
+	memo  bool // exact solution served from the cache, solver skipped
 	cache *leafCache
 	proj  sdp.SolveStats // PSD-projection path telemetry (ADMM backend only)
 }
 
 // solveLeaf builds and solves one partition, returning the chosen layer per
-// leaf item. A non-nil cached record accelerates the ADMM backend; ctx
-// cancellation aborts the underlying solver mid-iteration.
-func solveLeaf(ctx context.Context, in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Options, cached *leafCache) ([]int, leafStats, error) {
+// leaf item. The cache accelerates the ADMM backend under the leaf's key;
+// ctx cancellation aborts the underlying solver mid-iteration.
+func solveLeaf(ctx context.Context, in *buildInput, trees []*tree.Tree, leaf *partition.Leaf, opt Options, cache *SolveCache, key uint64) ([]int, leafStats, error) {
 	items := make([]item, len(leaf.Items))
 	for i, it := range leaf.Items {
 		items[i] = item{treeIdx: it.Tree, segID: it.Seg}
@@ -489,7 +507,7 @@ func solveLeaf(ctx context.Context, in *buildInput, trees []*tree.Tree, leaf *pa
 	case EngineILP:
 		xFrac, err = solveILP(ctx, p, opt)
 	default:
-		xFrac, ls, err = solveSDP(ctx, p, opt, cached)
+		xFrac, ls, err = solveSDP(ctx, p, opt, cache, key)
 	}
 	if err != nil {
 		return nil, ls, err

@@ -76,7 +76,7 @@ func validChoice(t *testing.T, p *problem, choice []int) {
 
 func TestAllMappingsProduceValidChoices(t *testing.T) {
 	p := buildOneProblem(t)
-	xFrac, _, err := solveSDP(context.Background(), p, Options{}.withDefaults(), nil)
+	xFrac, _, err := solveSDP(context.Background(), p, Options{}.withDefaults(), nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestPartitionSummaryOnRealRun(t *testing.T) {
 func TestIPMBackendOnPartitionProblem(t *testing.T) {
 	p := buildOneProblem(t)
 	opt := Options{SDPSolver: SolverIPM}.withDefaults()
-	xFrac, _, err := solveSDP(context.Background(), p, opt, nil)
+	xFrac, _, err := solveSDP(context.Background(), p, opt, nil, 0)
 	if err != nil {
 		t.Fatalf("IPM backend failed: %v", err)
 	}

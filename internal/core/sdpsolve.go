@@ -29,7 +29,7 @@ var sdpWorkspaces = sync.Pool{New: func() any { return sdp.NewWorkspace() }}
 // entries (nonnegative because PSD diagonals are); the via-capacity terms
 // (4d) are folded into the objective as congestion penalties on the via
 // cost entries, as the paper prescribes.
-func solveSDP(ctx context.Context, p *problem, opt Options, cached *leafCache) ([][]float64, leafStats, error) {
+func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, key uint64) ([][]float64, leafStats, error) {
 	numX := p.numXVars()
 	off := p.xOffsets()
 	nSlack := len(p.edges)
@@ -115,22 +115,19 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cached *leafCache) (
 		// convergence on the larger partitions.
 		res, err = sdp.SolveIPMCtx(ctx, prob, sdp.Options{MaxIters: 120, Tol: 1e-4})
 	} else {
-		// Cross-round acceleration tiers. A byte-identical recurring
+		// Cross-solve acceleration tiers. A byte-identical recurring
 		// problem reuses the previous fractional solution outright (the
 		// solver is deterministic, so this cannot change the result).
-		// Otherwise the previous ADMM state either seeds the iterates
+		// Otherwise the leaf's latest ADMM state either seeds the iterates
 		// (opt.WarmStart) or only donates its Gram Cholesky factor, which
 		// is value-identical to recomputing it.
 		sig := sdp.ProblemSignature(prob)
-		if cached != nil && cached.sig == sig && cached.xFrac != nil {
-			return cached.xFrac, leafStats{warm: true, cache: cached}, nil
+		if xf := cache.lookup(key, sig); xf != nil {
+			return xf, leafStats{warm: true, memo: true}, nil
 		}
-		var warm *sdp.State
-		if cached != nil {
-			warm = cached.state
-			if !opt.WarmStart {
-				warm = warm.FactorOnly()
-			}
+		warm := cache.state(key)
+		if !opt.WarmStart {
+			warm = warm.FactorOnly()
 		}
 		ws := sdpWorkspaces.Get().(*sdp.Workspace)
 		res, err = ws.SolveCtx(ctx, prob, sdp.Options{

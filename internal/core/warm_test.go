@@ -113,20 +113,21 @@ func TestWarmMatchesColdMapping(t *testing.T) {
 		}
 		p := buildProblem(in, st.Trees, pitems)
 
-		cold, ls, err := solveSDP(context.Background(), p, opt, nil)
+		cold, ls, err := solveSDP(context.Background(), p, opt, nil, 0)
 		if err != nil {
 			t.Fatalf("leaf %d cold: %v", li, err)
 		}
 		if ls.iters >= opt.SDPIters || ls.cache == nil {
 			continue // not converged; warm equality only promised at convergence
 		}
-		// Clear the memoized solution so the warm path actually re-solves
-		// from the seeded iterate rather than returning the cache verbatim.
-		cached := ls.cache
-		cached.xFrac = nil
+		// Seed a cache with only the ADMM state (no memoized solution) so
+		// the warm path actually re-solves from the seeded iterate rather
+		// than returning the cache verbatim.
+		cache := NewSolveCache(0)
+		cache.store(1, &leafCache{sig: ls.cache.sig, state: ls.cache.state})
 		wopt := opt
 		wopt.WarmStart = true
-		warm, wls, err := solveSDP(context.Background(), p, wopt, cached)
+		warm, wls, err := solveSDP(context.Background(), p, wopt, cache, 1)
 		if err != nil {
 			t.Fatalf("leaf %d warm: %v", li, err)
 		}

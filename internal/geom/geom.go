@@ -49,6 +49,12 @@ func (r Rect) Contains(p Point) bool {
 	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
 }
 
+// Intersects reports whether the two rectangles share at least one tile.
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinX <= o.MaxX && o.MinX <= r.MaxX &&
+		r.MinY <= o.MaxY && o.MinY <= r.MaxY
+}
+
 // Width returns the number of tiles spanned horizontally.
 func (r Rect) Width() int { return r.MaxX - r.MinX + 1 }
 

@@ -49,6 +49,55 @@ func TestRectContains(t *testing.T) {
 	}
 }
 
+func TestRectIntersects(t *testing.T) {
+	r := NewRect(Point{2, 2}, Point{5, 5})
+	for _, tc := range []struct {
+		o    Rect
+		want bool
+	}{
+		{NewRect(Point{3, 3}, Point{4, 4}), true},  // contained
+		{NewRect(Point{0, 0}, Point{9, 9}), true},  // containing
+		{NewRect(Point{5, 5}, Point{8, 8}), true},  // corner touch
+		{NewRect(Point{0, 0}, Point{2, 2}), true},  // opposite corner touch
+		{NewRect(Point{6, 2}, Point{8, 5}), false}, // right of
+		{NewRect(Point{2, 6}, Point{5, 8}), false}, // above
+		{NewRect(Point{0, 0}, Point{1, 9}), false}, // left strip
+	} {
+		if got := r.Intersects(tc.o); got != tc.want {
+			t.Errorf("Intersects(%+v) = %v, want %v", tc.o, got, tc.want)
+		}
+		if got := tc.o.Intersects(r); got != tc.want {
+			t.Errorf("Intersects not symmetric for %+v", tc.o)
+		}
+	}
+}
+
+// Property: Intersects agrees with tile-by-tile overlap.
+func TestQuickIntersectsMatchesTiles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rr := func() Rect {
+			return NewRect(
+				Point{rng.Intn(10), rng.Intn(10)},
+				Point{rng.Intn(10), rng.Intn(10)},
+			)
+		}
+		a, b := rr(), rr()
+		brute := false
+		for y := a.MinY; y <= a.MaxY; y++ {
+			for x := a.MinX; x <= a.MaxX; x++ {
+				if b.Contains(Point{x, y}) {
+					brute = true
+				}
+			}
+		}
+		return a.Intersects(b) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBoundingBox(t *testing.T) {
 	pts := []Point{{3, 4}, {1, 9}, {7, 2}}
 	bb := BoundingBox(pts)

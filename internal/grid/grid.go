@@ -165,6 +165,25 @@ func (g *Grid) ScaleRegionCapacity(rect geom.Rect, factor float64) {
 	g.DeriveViaCapacities()
 }
 
+// ScaleLayerCapacity multiplies the capacity of every edge on layer l by
+// factor (rounding down), modelling a pitch derate of that metal layer.
+// Via capacities are re-derived afterwards.
+func (g *Grid) ScaleLayerCapacity(l int, factor float64) {
+	if l < 0 || l >= g.NumLayers() {
+		panic(fmt.Sprintf("grid: layer %d out of range", l))
+	}
+	var caps []int32
+	if g.Stack.Dir(l) == tech.Horizontal {
+		caps = g.capH[l]
+	} else {
+		caps = g.capV[l]
+	}
+	for i, c := range caps {
+		caps[i] = int32(float64(c) * factor)
+	}
+	g.DeriveViaCapacities()
+}
+
 // DeriveViaCapacities recomputes every tile/level via capacity from the
 // current edge capacities using Eqn (1). The two adjacent edges on the
 // via's lower layer l are used, matching the paper.

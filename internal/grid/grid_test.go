@@ -152,6 +152,36 @@ func TestScaleRegionCapacity(t *testing.T) {
 	}
 }
 
+func TestScaleLayerCapacity(t *testing.T) {
+	g := testGrid(t)
+	g.ScaleLayerCapacity(0, 0.5)
+	if got := g.EdgeCap(Edge{X: 2, Y: 2, Horiz: true}, 0); got != 5 {
+		t.Fatalf("layer-0 cap = %d, want 5", got)
+	}
+	// Other layers untouched.
+	if got := g.EdgeCap(Edge{X: 2, Y: 2, Horiz: true}, 2); got != 10 {
+		t.Fatalf("layer-2 cap = %d, want 10", got)
+	}
+	if got := g.EdgeCap(Edge{X: 2, Y: 2, Horiz: false}, 1); got != 10 {
+		t.Fatalf("layer-1 cap = %d, want 10", got)
+	}
+	// Via capacities between M1 and M2 must reflect the derate: Eqn (1)
+	// with c0=c1=5 on the lower layer → half the original 400.
+	if got := g.ViaCap(3, 3, 0); got != 200 {
+		t.Fatalf("via cap after derate = %d, want 200", got)
+	}
+}
+
+func TestScaleLayerCapacityOutOfRangePanics(t *testing.T) {
+	g := testGrid(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.ScaleLayerCapacity(8, 0.5)
+}
+
 func TestResetUsage(t *testing.T) {
 	g := testGrid(t)
 	g.AddEdgeUse(Edge{X: 0, Y: 0, Horiz: true}, 0, 5)

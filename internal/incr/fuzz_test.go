@@ -1,0 +1,109 @@
+package incr
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/netlist"
+)
+
+// fuzzGen is a deliberately tiny instance so each fuzz iteration — one
+// session with up to four delta batches plus one cold replay — stays fast.
+func fuzzGen(seed int64) DesignFunc {
+	return func() (*netlist.Design, error) {
+		return ispd08.Generate(ispd08.GenParams{
+			Name: "incr-fuzz", W: 10, H: 10, Layers: 6, NumNets: 40, Capacity: 6, Seed: seed,
+		})
+	}
+}
+
+// FuzzDeltas decodes arbitrary bytes into a short delta script, drives a
+// session with it, and checks the equivalence contract: the session state
+// must match a cold replay of the recorded history, byte for byte. Invalid
+// deltas are expected to be rejected transactionally; the contract is then
+// checked against whatever subset committed.
+func FuzzDeltas(f *testing.F) {
+	f.Add(int64(1), []byte{0, 3, 1, 2, 2, 4, 5, 120, 3, 0})
+	f.Add(int64(2), []byte{1, 0, 0, 9, 9, 50, 2, 1, 200})
+	f.Add(int64(3), []byte{3, 5, 6, 7, 0, 1})
+	f.Add(int64(4), []byte{2, 0, 0, 1, 1, 1, 255})
+
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if seed < 0 {
+			seed = -seed
+		}
+		g := fuzzGen(seed%4 + 1)
+		cfg := Config{
+			Core:  core.Options{SDPIters: 40, MaxRounds: 1},
+			Ratio: 0.1,
+		}
+		ctx := context.Background()
+		s, err := New(ctx, g, cfg)
+		if err != nil {
+			t.Skip("base instance unroutable with this seed")
+		}
+		nn := len(s.Released())
+		if nn == 0 {
+			t.Skip("nothing released")
+		}
+
+		next := func() (byte, bool) {
+			if len(script) == 0 {
+				return 0, false
+			}
+			b := script[0]
+			script = script[1:]
+			return b, true
+		}
+		batches := 0
+		for batches < 4 {
+			op, ok := next()
+			if !ok {
+				break
+			}
+			var d Delta
+			switch op % 4 {
+			case 0:
+				b, _ := next()
+				d.Reroute = &RerouteSpec{Net: int(b) % 60} // 40 nets: some out of range
+			case 1:
+				x1, _ := next()
+				y1, _ := next()
+				x2, _ := next()
+				y2, _ := next()
+				fb, _ := next()
+				d.AdjustCapacity = &AdjustCapacitySpec{
+					MinX: int(x1) % 10, MinY: int(y1) % 10,
+					MaxX: int(x2) % 12, MaxY: int(y2) % 12,
+					Factor: float64(fb) / 128,
+				}
+			case 2:
+				lb, _ := next()
+				fb, _ := next()
+				d.DeratePitch = &DeratePitchSpec{Layer: int(lb) % 8, Factor: float64(fb) / 128}
+			case 3:
+				cnt, _ := next()
+				var nets []int
+				for j := 0; j < int(cnt%4); j++ {
+					b, _ := next()
+					nets = append(nets, int(b)%50)
+				}
+				d.SetCritical = &SetCriticalSpec{Nets: nets}
+			}
+			batches++
+			if _, err := s.Apply(ctx, []Delta{d}); err != nil {
+				continue // rejected: must have left the session untouched
+			}
+		}
+
+		st, released, res, err := ColdReplay(ctx, g, cfg, s.History())
+		if err != nil {
+			t.Fatalf("cold replay of accepted history failed: %v", err)
+		}
+		if d := Divergence(s, st, released, res); d != "" {
+			t.Fatalf("session diverges from cold replay: %s", d)
+		}
+	})
+}

@@ -1,0 +1,413 @@
+package incr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/netlist"
+	"repro/internal/partition"
+	"repro/internal/pipeline"
+	"repro/internal/route"
+	"repro/internal/timing"
+	"repro/internal/tree"
+	"repro/internal/verify"
+)
+
+// DesignFunc regenerates the session's pristine design. It must be
+// deterministic: ColdReplay calls it to rebuild the reference instance the
+// equivalence contract is checked against.
+type DesignFunc func() (*netlist.Design, error)
+
+// Config tunes a session. The zero value gives the standard pipeline and
+// CPLA defaults.
+type Config struct {
+	// Prepare configures routing, initial assignment and timing — shared
+	// between the session and its cold-replay reference.
+	Prepare pipeline.Options
+	// Core configures the CPLA optimizer. Core.Cache is ignored: the
+	// session installs its own persistent cache. With Core.WarmStart the
+	// equivalence to ColdReplay is within solver tolerance instead of
+	// byte-identical (see core.Options.WarmStart).
+	Core core.Options
+	// Ratio is the critical release ratio used when no SetCritical delta
+	// is in effect (0 → 0.005, the paper's default).
+	Ratio float64
+	// CacheEntries bounds the persistent solve cache (0 → default).
+	CacheEntries int
+	// Verify audits the released and rerouted nets with the independent
+	// checker after every solve; findings land in DeltaResult.Verify.
+	Verify bool
+}
+
+func (c Config) ratio() float64 {
+	if c.Ratio == 0 {
+		return 0.005
+	}
+	return c.Ratio
+}
+
+// DeltaResult reports one session solve — the base solve or a delta batch.
+type DeltaResult struct {
+	// Applied is the number of deltas in the batch (0 for the base solve).
+	Applied int `json:"applied"`
+	// Released is the size of the released critical set.
+	Released int `json:"released"`
+	// Before/After are the released nets' metrics around the solve.
+	Before timing.Metrics `json:"before"`
+	After  timing.Metrics `json:"after"`
+	// Rounds is the number of CPLA rounds executed.
+	Rounds int `json:"rounds"`
+	// LeafSolves counts leaf-solve slots over the solve's rounds; MemoHits
+	// are the slots served verbatim from the persistent cache.
+	LeafSolves int `json:"leaf_solves"`
+	MemoHits   int `json:"memo_hits"`
+	// DirtyLeafRatio = (LeafSolves − MemoHits) / LeafSolves: the measured
+	// fraction of leaf problems that actually changed and were re-solved.
+	DirtyLeafRatio float64 `json:"dirty_leaf_ratio"`
+	// PredictedDirtyLeaves / PredictedLeaves is the a-priori geometric
+	// dirty set over the round-1 partitioning: leaves overlapping the
+	// mutated regions, closed over net spans.
+	PredictedDirtyLeaves int `json:"predicted_dirty_leaves"`
+	PredictedLeaves      int `json:"predicted_leaves"`
+	// Overflow is the grid's capacity-violation summary after the solve.
+	Overflow grid.Overflow `json:"overflow"`
+	// Verify holds the scoped audit summary when Config.Verify is set.
+	Verify      string `json:"verify,omitempty"`
+	VerifyClean bool   `json:"verify_clean,omitempty"`
+	// WallMS is the solve's wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Session owns a solved pipeline state and applies ECO deltas to it. All
+// methods are safe for concurrent use; Apply serializes callers.
+type Session struct {
+	mu    sync.Mutex
+	cfg   Config
+	gen   DesignFunc
+	st    *pipeline.State
+	cache *core.SolveCache
+	// critical is the pinned released set (nil → ratio selection), always
+	// normalized (sorted, deduped).
+	critical []int
+	released []int
+	history  []Delta
+	base     *DeltaResult
+	last     *DeltaResult
+}
+
+// New builds a session: generate the design, prepare the pipeline, run the
+// base solve. The returned session's base result seeds the solve cache, so
+// the first delta already reuses unchanged leaves.
+func New(ctx context.Context, gen DesignFunc, cfg Config) (*Session, error) {
+	d, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	st, err := pipeline.PrepareCtx(ctx, d, cfg.Prepare)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:   cfg,
+		gen:   gen,
+		st:    st,
+		cache: core.NewSolveCache(cfg.CacheEntries),
+	}
+	res, err := s.resolve(ctx, 0, nil, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	s.base = res
+	return s, nil
+}
+
+// Apply mutates the session by one delta batch and re-solves. The batch is
+// transactional: every delta is resolved and validated against staged
+// copies before anything commits, so a rejected batch leaves the session
+// untouched. Auto reroutes (empty Edges) resolve against the other nets'
+// staged routes and the capacities in effect at the start of the batch;
+// the resolved edges are recorded in the history.
+func (s *Session) Apply(ctx context.Context, deltas []Delta) (*DeltaResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(deltas) == 0 {
+		return nil, errors.New("incr: empty delta batch")
+	}
+	st := s.st
+	g := st.Design.Grid
+
+	// Pass 1 — resolve and validate without mutating session state.
+	routes := append([]*route.Route(nil), st.Routes.Routes...)
+	trees := append([]*tree.Tree(nil), st.Trees...)
+	resolved := make([]Delta, len(deltas))
+	var dirtyRects []geom.Rect
+	var changed []int
+	wholeGrid := false
+	critical := s.critical
+	criticalSet := false
+	for i, d := range deltas {
+		switch {
+		case d.Reroute != nil:
+			ni := d.Reroute.Net
+			if ni < 0 || ni >= len(st.Design.Nets) {
+				return nil, fmt.Errorf("incr: delta %d: net %d out of range", i, ni)
+			}
+			if routes[ni] == nil {
+				return nil, fmt.Errorf("incr: delta %d: net %d is degenerate, nothing to reroute", i, ni)
+			}
+			var rt *route.Route
+			if len(d.Reroute.Edges) == 0 {
+				var err error
+				rt, err = route.RerouteNet(st.Design, routes, ni, s.cfg.Prepare.Route)
+				if err != nil {
+					return nil, fmt.Errorf("incr: delta %d: %w", i, err)
+				}
+			} else {
+				edges, err := toEdges(g, d.Reroute.Edges)
+				if err != nil {
+					return nil, fmt.Errorf("incr: delta %d: %w", i, err)
+				}
+				rt = &route.Route{Net: st.Design.Nets[ni], Edges: edges}
+			}
+			nt, err := tree.Build(rt, st.Design.Stack)
+			if err == nil {
+				err = nt.Validate(st.Design.Stack)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("incr: delta %d: reroute of net %d: %w", i, ni, err)
+			}
+			dirtyRects = append(dirtyRects, routeBBox(routes[ni]), routeBBox(rt))
+			routes[ni] = rt
+			trees[ni] = nt
+			changed = append(changed, ni)
+			resolved[i] = Delta{Reroute: &RerouteSpec{Net: ni, Edges: fromEdges(rt.Edges)}}
+		case d.AdjustCapacity != nil:
+			a := *d.AdjustCapacity
+			r := a.Rect()
+			if a.Factor < 0 {
+				return nil, fmt.Errorf("incr: delta %d: negative capacity factor", i)
+			}
+			if r.MinX > r.MaxX || r.MinY > r.MaxY {
+				return nil, fmt.Errorf("incr: delta %d: inverted rectangle %+v", i, r)
+			}
+			dirtyRects = append(dirtyRects, r)
+			resolved[i] = Delta{AdjustCapacity: &a}
+		case d.DeratePitch != nil:
+			p := *d.DeratePitch
+			if p.Layer < 0 || p.Layer >= g.NumLayers() {
+				return nil, fmt.Errorf("incr: delta %d: layer %d out of range", i, p.Layer)
+			}
+			if p.Factor < 0 {
+				return nil, fmt.Errorf("incr: delta %d: negative derate factor", i)
+			}
+			wholeGrid = true
+			resolved[i] = Delta{DeratePitch: &p}
+		case d.SetCritical != nil:
+			nets, err := normalizeNets(st.Design, func(ni int) bool { return trees[ni] != nil }, d.SetCritical.Nets)
+			if err != nil {
+				return nil, fmt.Errorf("incr: delta %d: %w", i, err)
+			}
+			critical = nets
+			criticalSet = true
+			// The release set defines every leaf problem's content.
+			wholeGrid = true
+			resolved[i] = Delta{SetCritical: &SetCriticalSpec{Nets: nets}}
+		default:
+			return nil, fmt.Errorf("incr: delta %d sets no operation", i)
+		}
+	}
+
+	// Pass 2 — commit; nothing below can fail.
+	for _, d := range resolved {
+		switch {
+		case d.AdjustCapacity != nil:
+			g.ScaleRegionCapacity(d.AdjustCapacity.Rect(), d.AdjustCapacity.Factor)
+		case d.DeratePitch != nil:
+			g.ScaleLayerCapacity(d.DeratePitch.Layer, d.DeratePitch.Factor)
+		}
+	}
+	st.Routes.Routes = routes
+	st.Trees = trees
+	if criticalSet {
+		s.critical = critical
+	}
+	s.history = append(s.history, resolved...)
+
+	return s.resolve(ctx, len(deltas), changed, dirtyRects, wholeGrid)
+}
+
+// resolve re-solves the session from its mutated inputs. It repeats the
+// exact cold sequence — reset usage, deterministic initial assignment,
+// full timing refresh, release selection, CPLA rounds — so the result can
+// only differ from ColdReplay through cache reuse, and every reuse tier is
+// bitwise-neutral with warm starts off. Callers hold s.mu.
+func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects []geom.Rect, whole bool) (*DeltaResult, error) {
+	start := time.Now()
+	st := s.st
+	g := st.Design.Grid
+
+	g.ResetUsage()
+	assign.AssignAll(g, st.Trees, s.cfg.Prepare.Assign)
+	timings := st.Timings()
+	released := s.critical
+	if released == nil {
+		released = timing.SelectCritical(timings, s.cfg.ratio())
+	}
+	s.released = released
+
+	total, dirty := s.predictDirty(released, rects, whole)
+	if applied == 0 {
+		dirty = total // the base solve computes everything
+	}
+
+	opt := s.cfg.Core
+	opt.Cache = s.cache
+	r, err := core.OptimizeCtx(ctx, st, released, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	dr := &DeltaResult{
+		Applied:              applied,
+		Released:             len(released),
+		Before:               r.Before,
+		After:                r.After,
+		Rounds:               r.Rounds,
+		PredictedLeaves:      total,
+		PredictedDirtyLeaves: dirty,
+		Overflow:             g.CollectOverflow(),
+	}
+	for _, rs := range r.RoundLog {
+		dr.LeafSolves += rs.Partitions
+		dr.MemoHits += rs.MemoHits
+	}
+	if dr.LeafSolves > 0 {
+		dr.DirtyLeafRatio = float64(dr.LeafSolves-dr.MemoHits) / float64(dr.LeafSolves)
+	}
+	if s.cfg.Verify {
+		audit := append(append([]int(nil), released...), changed...)
+		rep := verify.Nets(st, audit, verify.Options{})
+		dr.Verify = rep.Summary()
+		dr.VerifyClean = rep.Clean()
+	}
+	dr.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	s.last = dr
+	return dr, nil
+}
+
+// predictDirty computes the a-priori geometric dirty-leaf set: partition
+// the released working set exactly as round 1 will, seed with the leaves
+// overlapping the mutated rectangles, then close over net spans — a leaf
+// problem embeds per-net frozen state (downstream caps, criticality
+// weights), so touching one leaf of a net dirties every leaf holding that
+// net's segments. The measured DirtyLeafRatio is the ground truth; this is
+// the prediction the paper's incremental framing reasons with.
+func (s *Session) predictDirty(released []int, rects []geom.Rect, whole bool) (total, dirty int) {
+	var items []partition.Item
+	for _, ni := range released {
+		tr := s.st.Trees[ni]
+		if tr == nil {
+			continue
+		}
+		for _, seg := range tr.Segs {
+			mid := seg.Edges[len(seg.Edges)/2]
+			items = append(items, partition.Item{
+				Tree: ni, Seg: seg.ID,
+				Pos: geom.Point{X: mid.X, Y: mid.Y},
+			})
+		}
+	}
+	g := s.st.Design.Grid
+	leaves := partition.Split(g.W, g.H, items, partition.Options{
+		K: s.cfg.Core.K, MaxSegs: s.cfg.Core.MaxSegs, Adaptive: !s.cfg.Core.NoAdaptive,
+	})
+	total = len(leaves)
+	if whole {
+		return total, total
+	}
+
+	dirtySet := make(map[*partition.Leaf]bool)
+	var queue []*partition.Leaf
+	mark := func(l *partition.Leaf) {
+		if !dirtySet[l] {
+			dirtySet[l] = true
+			queue = append(queue, l)
+		}
+	}
+	for _, r := range rects {
+		for _, l := range partition.LeavesOverlapping(leaves, r) {
+			mark(l)
+		}
+	}
+	netLeaves := map[int][]*partition.Leaf{}
+	for _, l := range leaves {
+		for _, it := range l.Items {
+			netLeaves[it.Tree] = append(netLeaves[it.Tree], l)
+		}
+	}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for _, it := range l.Items {
+			for _, ol := range netLeaves[it.Tree] {
+				mark(ol)
+			}
+		}
+	}
+	return total, len(dirtySet)
+}
+
+// routeBBox returns the bounding rectangle of a route's edges.
+func routeBBox(rt *route.Route) geom.Rect {
+	bb := geom.Rect{MinX: rt.Edges[0].X, MinY: rt.Edges[0].Y, MaxX: rt.Edges[0].X, MaxY: rt.Edges[0].Y}
+	for _, e := range rt.Edges {
+		bb = bb.Expand(geom.Point{X: e.X, Y: e.Y})
+		bb = bb.Expand(e.Other())
+	}
+	return bb
+}
+
+// Base returns the base solve's result.
+func (s *Session) Base() *DeltaResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base
+}
+
+// Last returns the most recent solve's result.
+func (s *Session) Last() *DeltaResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// History returns a copy of the resolved delta history — the exact script
+// ColdReplay needs to reproduce the session's current instance.
+func (s *Session) History() []Delta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Delta(nil), s.history...)
+}
+
+// State exposes the session's live pipeline state for inspection (routes,
+// trees, timings). Callers must treat it as read-only: mutating it behind
+// the session's back voids the cold-replay equivalence contract.
+func (s *Session) State() *pipeline.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// Released returns a copy of the current released net set.
+func (s *Session) Released() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.released...)
+}

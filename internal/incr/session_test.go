@@ -1,0 +1,240 @@
+package incr
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/netlist"
+)
+
+// testGen returns a deterministic design factory for a small instance —
+// large enough to release several nets across multiple partition leaves,
+// small enough that every differential test runs a handful of full solves
+// in seconds.
+func testGen(seed int64) DesignFunc {
+	return func() (*netlist.Design, error) {
+		return ispd08.Generate(ispd08.GenParams{
+			Name: "incr-test", W: 18, H: 18, Layers: 8, NumNets: 150, Capacity: 8, Seed: seed,
+		})
+	}
+}
+
+func testCfg() Config {
+	return Config{
+		Core:  core.Options{SDPIters: 80, MaxRounds: 2},
+		Ratio: 0.05,
+	}
+}
+
+// requireEquivalent replays the session's history cold and fails on any
+// divergence — the differential harness every delta test funnels through.
+func requireEquivalent(t *testing.T, s *Session, g DesignFunc, cfg Config) {
+	t.Helper()
+	st, released, res, err := ColdReplay(context.Background(), g, cfg, s.History())
+	if err != nil {
+		t.Fatalf("cold replay: %v", err)
+	}
+	if d := Divergence(s, st, released, res); d != "" {
+		t.Fatalf("session diverges from cold replay: %s", d)
+	}
+}
+
+func TestBaseSolveMatchesCold(t *testing.T) {
+	g, cfg := testGen(5), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Base()
+	if base == nil || base.Released == 0 {
+		t.Fatalf("base solve released nothing: %+v", base)
+	}
+	if base.LeafSolves == 0 || base.PredictedDirtyLeaves != base.PredictedLeaves {
+		t.Fatalf("base solve should be fully dirty: %+v", base)
+	}
+	requireEquivalent(t, s, g, cfg)
+}
+
+func TestRerouteDeltaMatchesCold(t *testing.T) {
+	g, cfg := testGen(5), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto-reroute a released net: the dirty surface every ECO flow hits.
+	ni := s.Released()[0]
+	res, err := s.Apply(context.Background(), []Delta{{Reroute: &RerouteSpec{Net: ni}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("applied = %d", res.Applied)
+	}
+	// The history must carry the resolved edges, never an empty auto spec.
+	hist := s.History()
+	if len(hist) != 1 || hist[0].Reroute == nil || len(hist[0].Reroute.Edges) == 0 {
+		t.Fatalf("history not resolved: %+v", hist)
+	}
+	requireEquivalent(t, s, g, cfg)
+}
+
+func TestCapacityDeltasMatchCold(t *testing.T) {
+	g, cfg := testGen(7), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Apply(context.Background(), []Delta{
+		{AdjustCapacity: &AdjustCapacitySpec{MinX: 3, MinY: 3, MaxX: 9, MaxY: 9, Factor: 0.5}},
+		{DeratePitch: &DeratePitchSpec{Layer: 2, Factor: 0.75}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEquivalent(t, s, g, cfg)
+}
+
+func TestSetCriticalMatchesCold(t *testing.T) {
+	g, cfg := testGen(9), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin a different critical set (reversed + duplicated to exercise
+	// normalization), then revert to ratio selection.
+	rel := s.Released()
+	pinned := []int{rel[len(rel)-1], rel[0], rel[0]}
+	res, err := s.Apply(context.Background(), []Delta{{SetCritical: &SetCriticalSpec{Nets: pinned}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Released != 2 {
+		t.Fatalf("released = %d, want 2 after dedupe", res.Released)
+	}
+	requireEquivalent(t, s, g, cfg)
+
+	if _, err := s.Apply(context.Background(), []Delta{{SetCritical: &SetCriticalSpec{}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Released()) == 2 {
+		t.Fatal("empty SetCritical did not revert to ratio selection")
+	}
+	requireEquivalent(t, s, g, cfg)
+}
+
+func TestMultiBatchMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs five full solves")
+	}
+	g, cfg := testGen(11), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]Delta{
+		{{Reroute: &RerouteSpec{Net: s.Released()[0]}}},
+		{{AdjustCapacity: &AdjustCapacitySpec{MinX: 0, MinY: 0, MaxX: 8, MaxY: 17, Factor: 0.6}},
+			{Reroute: &RerouteSpec{Net: s.Released()[1]}}},
+		{{DeratePitch: &DeratePitchSpec{Layer: 4, Factor: 0.5}}},
+	}
+	for bi, b := range batches {
+		if _, err := s.Apply(context.Background(), b); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+	}
+	// One cold replay of the concatenated history covers the whole session:
+	// each resolve fully resets to the deterministic cold starting point, so
+	// only the cumulative deltas matter.
+	requireEquivalent(t, s, g, cfg)
+}
+
+func TestDeltaSolveReusesCache(t *testing.T) {
+	g, cfg := testGen(5), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny local capacity nick: most leaf problems recur byte-identical
+	// and must be served from the session cache.
+	res, err := s.Apply(context.Background(), []Delta{
+		{AdjustCapacity: &AdjustCapacitySpec{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1, Factor: 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemoHits == 0 {
+		t.Fatalf("no memo hits on a local delta: %+v", res)
+	}
+	if res.DirtyLeafRatio >= 1 {
+		t.Fatalf("dirty ratio %v, want < 1", res.DirtyLeafRatio)
+	}
+	if res.PredictedLeaves == 0 {
+		t.Fatalf("no predicted partitioning: %+v", res)
+	}
+	if res.PredictedDirtyLeaves > res.PredictedLeaves {
+		t.Fatalf("predicted dirty %d exceeds total %d", res.PredictedDirtyLeaves, res.PredictedLeaves)
+	}
+}
+
+func TestApplyIsTransactional(t *testing.T) {
+	g, cfg := testGen(13), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Last()
+	// Valid first delta, invalid second: nothing may commit.
+	_, err = s.Apply(context.Background(), []Delta{
+		{AdjustCapacity: &AdjustCapacitySpec{MinX: 2, MinY: 2, MaxX: 5, MaxY: 5, Factor: 0.5}},
+		{DeratePitch: &DeratePitchSpec{Layer: 99, Factor: 0.5}},
+	})
+	if err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if len(s.History()) != 0 {
+		t.Fatalf("rejected batch left history: %+v", s.History())
+	}
+	if s.Last() != before {
+		t.Fatal("rejected batch re-solved")
+	}
+	// The untouched session still matches a cold solve of empty history.
+	requireEquivalent(t, s, g, cfg)
+
+	for _, bad := range [][]Delta{
+		nil,
+		{{}},
+		{{Reroute: &RerouteSpec{Net: -1}}},
+		{{Reroute: &RerouteSpec{Net: 1 << 20}}},
+		{{AdjustCapacity: &AdjustCapacitySpec{MinX: 5, MaxX: 2, Factor: 1}}},
+		{{AdjustCapacity: &AdjustCapacitySpec{MaxX: 2, MaxY: 2, Factor: -1}}},
+		{{SetCritical: &SetCriticalSpec{Nets: []int{-3}}}},
+		{{Reroute: &RerouteSpec{Net: 0, Edges: []EdgeSpec{{X: 500, Y: 500}}}}},
+	} {
+		if _, err := s.Apply(context.Background(), bad); err == nil {
+			t.Fatalf("accepted invalid batch %+v", bad)
+		}
+	}
+}
+
+func TestScopedVerifyRides(t *testing.T) {
+	g := testGen(5)
+	cfg := testCfg()
+	cfg.Verify = true
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Base()
+	if base.Verify == "" || !base.VerifyClean {
+		t.Fatalf("base verify missing or dirty: %+v", base)
+	}
+	res, err := s.Apply(context.Background(), []Delta{{Reroute: &RerouteSpec{Net: s.Released()[0]}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verify == "" || !res.VerifyClean {
+		t.Fatalf("delta verify missing or dirty: %+v", res)
+	}
+}

@@ -124,6 +124,20 @@ func refine(r geom.Rect, items []Item, maxSegs, depth int) []*Leaf {
 	return out
 }
 
+// LeavesOverlapping returns the leaves whose region intersects rect, in
+// the same deterministic order Split produced them. The scan is linear in
+// the leaf count, which is bounded by the segment budget and therefore
+// small; callers needing repeated queries should keep the returned slice.
+func LeavesOverlapping(leaves []*Leaf, rect geom.Rect) []*Leaf {
+	var out []*Leaf
+	for _, l := range leaves {
+		if l.Rect.Intersects(rect) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
 // Stats summarizes a partitioning for reporting.
 type Stats struct {
 	Leaves   int

@@ -104,6 +104,55 @@ func TestDeterministicOrder(t *testing.T) {
 	}
 }
 
+// Property: LeavesOverlapping matches a brute-force tile scan and
+// preserves Split's deterministic leaf order.
+func TestQuickLeavesOverlappingMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 16 + rng.Intn(48)
+		h := 16 + rng.Intn(48)
+		n := 1 + rng.Intn(80)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Tree: i, Seg: i, Pos: geom.Point{X: rng.Intn(w), Y: rng.Intn(h)}}
+		}
+		leaves := Split(w, h, its, Options{
+			K: 1 + rng.Intn(6), MaxSegs: 1 + rng.Intn(10), Adaptive: rng.Intn(2) == 0,
+		})
+		rect := geom.NewRect(
+			geom.Point{X: rng.Intn(w), Y: rng.Intn(h)},
+			geom.Point{X: rng.Intn(w), Y: rng.Intn(h)},
+		)
+		got := LeavesOverlapping(leaves, rect)
+
+		// Brute force: a leaf overlaps iff some tile of rect lies inside it.
+		var want []*Leaf
+		for _, l := range leaves {
+			hit := false
+			for y := rect.MinY; y <= rect.MaxY && !hit; y++ {
+				for x := rect.MinX; x <= rect.MaxX && !hit; x++ {
+					hit = l.Rect.Contains(geom.Point{X: x, Y: y})
+				}
+			}
+			if hit {
+				want = append(want, l)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: every item lands in exactly one leaf, and every leaf's items
 // lie inside its rect.
 func TestQuickPartitionCoversExactly(t *testing.T) {

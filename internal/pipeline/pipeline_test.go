@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/assign"
+	"repro/internal/geom"
 	"repro/internal/ispd08"
 	"repro/internal/timing"
 	"repro/internal/tree"
@@ -129,6 +131,67 @@ func compareNetTiming(t *testing.T, trial, ni int, got, want *timing.NetTiming) 
 				trial, ni, pin, got.SinkDelay[pin], delay)
 		}
 	}
+}
+
+// TestRetimeAfterCapacityDerate exercises the ECO-session retiming path:
+// derate capacities (a region scale plus a layer scale), re-run the initial
+// assignment against the tightened grid, then Retime only the nets whose
+// layers actually moved. The patched cache must equal a from-scratch
+// analysis of every net — capacity changes affect timing only through the
+// trees, so retiming the moved nets is sufficient.
+func TestRetimeAfterCapacityDerate(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "derate", W: 18, H: 18, Layers: 8, NumNets: 250, Capacity: 8, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Prepare(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Timings() // build the cache
+
+	before := snapshotLayers(st.Trees)
+	d.Grid.ScaleRegionCapacity(geom.Rect{MinX: 4, MinY: 4, MaxX: 13, MaxY: 13}, 0.5)
+	d.Grid.ScaleLayerCapacity(2, 0.6)
+	d.Grid.ResetUsage()
+	assign.AssignAll(d.Grid, st.Trees, Options{}.Assign)
+
+	var touched []int
+	for ni, layers := range snapshotLayers(st.Trees) {
+		for si, l := range layers {
+			if l != before[ni][si] {
+				touched = append(touched, ni)
+				break
+			}
+		}
+	}
+	if len(touched) == 0 {
+		t.Fatal("derate moved no segments; test is vacuous")
+	}
+
+	got := st.Retime(touched)
+	want := st.Engine.AnalyzeAll(st.Trees)
+	for ni := range want {
+		compareNetTiming(t, 0, ni, got[ni], want[ni])
+	}
+}
+
+// snapshotLayers records every tree's per-segment layer choice.
+func snapshotLayers(trees []*tree.Tree) [][]int {
+	out := make([][]int, len(trees))
+	for ni, tr := range trees {
+		if tr == nil {
+			continue
+		}
+		layers := make([]int, len(tr.Segs))
+		for si, s := range tr.Segs {
+			layers[si] = s.Layer
+		}
+		out[ni] = layers
+	}
+	return out
 }
 
 func TestPrepareDeterministic(t *testing.T) {

@@ -172,6 +172,39 @@ func RouteAllCtx(ctx context.Context, d *netlist.Design, opt Options) (*Result, 
 	return res, nil
 }
 
+// RerouteNet re-routes the single net ni against the congestion produced by
+// every other net's existing route, returning the new 2-D route. No
+// negotiation rounds run and no history cost applies, so the result is a
+// pure function of the design, the other routes, and the options — the
+// determinism ECO replay relies on. Degenerate (single-tile) nets return
+// nil, matching RouteAll.
+func RerouteNet(d *netlist.Design, routes []*Route, ni int, opt Options) (*Route, error) {
+	if ni < 0 || ni >= len(d.Nets) {
+		return nil, fmt.Errorf("route: net index %d out of range", ni)
+	}
+	n := d.Nets[ni]
+	if isDegenerate(n) {
+		return nil, nil
+	}
+	opt = opt.withDefaults()
+	r := &router{
+		d: d, g: d.Grid, opt: opt,
+		use:  make(map[grid.Edge]int32),
+		cap2: make(map[grid.Edge]int32),
+		hist: make(map[grid.Edge]float64),
+	}
+	d.Grid.Edges2D(func(e grid.Edge) {
+		r.cap2[e] = d.Grid.EdgeCap2D(e)
+	})
+	for i, rt := range routes {
+		if i == ni || rt == nil {
+			continue
+		}
+		r.commit(rt, +1)
+	}
+	return r.routeNet(n)
+}
+
 func isDegenerate(n *netlist.Net) bool {
 	first := n.Pins[0].Pos
 	for _, p := range n.Pins[1:] {

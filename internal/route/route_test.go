@@ -275,6 +275,57 @@ func TestPatternFallsBackUnderCongestion(t *testing.T) {
 	}
 }
 
+func TestRerouteNetDeterministic(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "eco", W: 20, H: 20, Layers: 6, NumNets: 120, Capacity: 8, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RouteAll(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := -1
+	for i, rt := range res.Routes {
+		if rt != nil && len(rt.Edges) > 3 {
+			ni = i
+			break
+		}
+	}
+	if ni < 0 {
+		t.Fatal("no routable net found")
+	}
+	a, err := RerouteNet(d, res.Routes, ni, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RerouteNet(d, res.Routes, ni, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTreeConnectsPins(t, a)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("nondeterministic reroute: %d vs %d edges", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+}
+
+func TestRerouteNetDegenerateAndBounds(t *testing.T) {
+	d := smallDesign([]*netlist.Net{mkNet(0, geom.Point{X: 3, Y: 3}, geom.Point{X: 3, Y: 3})})
+	rt, err := RerouteNet(d, []*Route{nil}, 0, Options{})
+	if err != nil || rt != nil {
+		t.Fatalf("degenerate: rt=%v err=%v", rt, err)
+	}
+	if _, err := RerouteNet(d, nil, 5, Options{}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
 func TestStraightHelper(t *testing.T) {
 	p, ok := straight(geom.Point{X: 2, Y: 3}, geom.Point{X: 5, Y: 3})
 	if !ok || len(p) != 3 {

@@ -26,9 +26,23 @@ type Metrics struct {
 	VerifyRuns       atomic.Int64 // jobs that ran the independent checker
 	VerifyViolations atomic.Int64 // total violations those checks found
 
+	SessionsActive  atomic.Int64 // live ECO sessions (gauge)
+	SessionsCreated atomic.Int64 // sessions ever created
+	SessionsEvicted atomic.Int64 // sessions removed by TTL or DELETE
+	DeltaSolves     atomic.Int64 // delta batches applied across all sessions
+
+	dirtyRatioCount    atomic.Int64
+	dirtyRatioSumMicro atomic.Int64 // sum of ratios in micro-units (1e-6)
+
 	latencyCount atomic.Int64
 	latencySumMS atomic.Int64
 	latencyHist  [len(latencyBuckets) + 1]atomic.Int64
+}
+
+// ObserveDirtyRatio records one delta solve's measured dirty-leaf ratio.
+func (m *Metrics) ObserveDirtyRatio(r float64) {
+	m.dirtyRatioCount.Add(1)
+	m.dirtyRatioSumMicro.Add(int64(r * 1e6))
 }
 
 // ObserveLatency records one finished job's wall-clock solve time.
@@ -67,6 +81,15 @@ type MetricsSnapshot struct {
 	VerifyRuns       int64 `json:"verify_runs"`
 	VerifyViolations int64 `json:"verify_violations"`
 
+	SessionsActive  int64 `json:"sessions_active"`
+	SessionsCreated int64 `json:"sessions_created"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+	DeltaSolves     int64 `json:"delta_solves"`
+	// DirtyLeafRatioAvg is the mean measured dirty-leaf ratio over every
+	// delta solve: the fraction of leaf problems actually re-solved rather
+	// than served from the session cache.
+	DirtyLeafRatioAvg float64 `json:"dirty_leaf_ratio_avg"`
+
 	SolveCount   int64        `json:"solve_count"`
 	SolveSumMS   int64        `json:"solve_sum_ms"`
 	SolveLatency []HistBucket `json:"solve_latency"`
@@ -87,8 +110,15 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		WarmStarts:       m.WarmStarts.Load(),
 		VerifyRuns:       m.VerifyRuns.Load(),
 		VerifyViolations: m.VerifyViolations.Load(),
+		SessionsActive:   m.SessionsActive.Load(),
+		SessionsCreated:  m.SessionsCreated.Load(),
+		SessionsEvicted:  m.SessionsEvicted.Load(),
+		DeltaSolves:      m.DeltaSolves.Load(),
 		SolveCount:       m.latencyCount.Load(),
 		SolveSumMS:       m.latencySumMS.Load(),
+	}
+	if n := m.dirtyRatioCount.Load(); n > 0 {
+		s.DirtyLeafRatioAvg = float64(m.dirtyRatioSumMicro.Load()) / 1e6 / float64(n)
 	}
 	for i := range m.latencyHist {
 		b := HistBucket{Count: m.latencyHist[i].Load()}

@@ -29,6 +29,12 @@ type Config struct {
 	// MaxUploadBytes bounds the POST /v1/jobs request body — uploaded
 	// ISPD'08 files are untrusted. 0 → 8 MiB.
 	MaxUploadBytes int64
+	// MaxSessions bounds concurrent ECO sessions; creations beyond it get
+	// 429 with a Retry-After hint. 0 → 8.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (lazily, on the next
+	// session-API touch). 0 → 30 minutes.
+	SessionTTL time.Duration
 	// Logger receives structured per-job logs. nil → slog.Default().
 	Logger *slog.Logger
 	// Runner executes jobs. nil → DefaultRunner. Tests inject controllable
@@ -49,6 +55,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 8 << 20
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 30 * time.Minute
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -66,8 +78,9 @@ type Server struct {
 	log     *slog.Logger
 	metrics *Metrics
 
-	mu   sync.Mutex
-	jobs map[string]*Job
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	sessions map[string]*ECOSession
 
 	queue    chan *Job
 	wg       sync.WaitGroup
@@ -89,6 +102,7 @@ func New(cfg Config) *Server {
 		log:        cfg.Logger,
 		metrics:    &Metrics{},
 		jobs:       make(map[string]*Job),
+		sessions:   make(map[string]*ECOSession),
 		queue:      make(chan *Job, cfg.QueueDepth),
 		workCtx:    ctx,
 		workCancel: cancel,

@@ -207,6 +207,55 @@ func (r *Report) Equivalent(other *Report) bool {
 	return true
 }
 
+// Nets audits only the listed nets: tree topology, layer assignment and
+// cached timing against the naive recomputation. The grid-wide usage and
+// capacity recount is skipped — it is global by nature; use State for the
+// full audit (Report.Overflow stays zero here). Out-of-range and duplicate
+// indices are ignored. This is the scoped re-verification the ECO session
+// engine runs after each delta, where only the released nets' trees moved.
+func Nets(st *pipeline.State, nets []int, opt Options) *Report {
+	opt = opt.withDefaults()
+	rep := newReport(opt)
+
+	g := st.Design.Grid
+	stack := st.Design.Stack
+	ts := st.TimingsCached()
+	sinkCap := st.Engine.Params.SinkCap
+
+	seen := make(map[int]bool, len(nets))
+	for _, ni := range nets {
+		if ni < 0 || ni >= len(st.Trees) || seen[ni] {
+			continue
+		}
+		seen[ni] = true
+		tr := st.Trees[ni]
+		if tr == nil {
+			if ni < len(ts) && ts[ni] != nil {
+				rep.add(KindTiming, ni, "cached timing exists for a net with no tree")
+			}
+			continue
+		}
+		rep.NetsChecked++
+		rep.SegsChecked += len(tr.Segs)
+		before := rep.Counts[KindTopology] + rep.Counts[KindAssignment]
+		checkTree(rep, g, stack, ni, tr)
+		if rep.Counts[KindTopology]+rep.Counts[KindAssignment] != before {
+			continue // links unsafe to walk for the timing recomputation
+		}
+		if !timingCheckable(stack, tr) {
+			continue
+		}
+		if ni >= len(ts) || ts[ni] == nil {
+			rep.add(KindTiming, ni, "no cached timing for a routed net")
+			continue
+		}
+		nt := ts[ni]
+		naive := recomputeElmore(stack, sinkCap, tr)
+		compareTiming(rep, ni, nt.Cd, nt.SinkDelay, nt.CritSink, nt.Tcp, nt.CritPath, naive, opt.TimingTol)
+	}
+	return rep
+}
+
 // State audits a prepared (and typically optimized) pipeline state: tree
 // topology and layer assignment, grid usage and capacity consistency, and
 // the cached timing against a naive recomputation. SDP solves are audited

@@ -192,6 +192,45 @@ func TestEquivalentDistinguishesReports(t *testing.T) {
 	}
 }
 
+// TestNetsScopedAudit covers the scoped checker the ECO session engine runs
+// after each delta: it audits only the listed nets, catches a corruption on
+// a listed net, ignores the same corruption when the net is not listed, and
+// tolerates junk indices.
+func TestNetsScopedAudit(t *testing.T) {
+	st, released := optimized(t, 9, 150)
+	rep := Nets(st, released, Options{})
+	if !rep.Clean() {
+		t.Fatalf("scoped audit of optimized nets not clean: %s", rep.Summary())
+	}
+	if rep.NetsChecked == 0 || rep.SegsChecked == 0 {
+		t.Fatalf("scoped audit checked nothing: %s", rep.Summary())
+	}
+	if (rep.Overflow != grid.Overflow{}) {
+		t.Fatalf("scoped audit must not recount overflow: %+v", rep.Overflow)
+	}
+
+	// Corrupt one listed net's first segment layer.
+	ni := released[0]
+	s := st.Trees[ni].Segs[0]
+	old := s.Layer
+	s.Layer = layerWithDir(t, st.Design.Stack, otherDir(st.Design.Stack.Dir(old)))
+	if rep := Nets(st, []int{ni}, Options{}); rep.Counts[KindAssignment] == 0 {
+		t.Fatalf("listed-net corruption undetected: %s", rep.Summary())
+	}
+	// The same corruption is out of scope when the net is not listed.
+	others := released[1:]
+	if rep := Nets(st, others, Options{}); !rep.Clean() {
+		t.Fatalf("unlisted corruption leaked into scoped audit: %s", rep.Summary())
+	}
+	s.Layer = old
+
+	// Junk indices (out of range, duplicates) are ignored, not fatal.
+	rep = Nets(st, []int{-1, ni, ni, len(st.Trees) + 5}, Options{})
+	if !rep.Clean() || rep.NetsChecked != 1 {
+		t.Fatalf("junk indices mishandled: checked=%d %s", rep.NetsChecked, rep.Summary())
+	}
+}
+
 // anyRoutedSeg returns a tree with at least one segment.
 func anyRoutedSeg(t *testing.T, st *pipeline.State) (*tree.Tree, int) {
 	t.Helper()

@@ -33,3 +33,10 @@ bench:
 # allocation-gate baselines of BENCH_kernels.json ("before" is preserved).
 bench-kernels:
 	go run ./cmd/benchkernels
+
+# Incremental ECO benchmark: base solve plus one delta of each kind through
+# a live session, each gated against a cold replay (bitwise rows) or
+# verify + metrics-within-tolerance (epsilon rows). Rewrites BENCH_incr.json
+# with per-delta speedups, cache tiers hit and the equivalence mode.
+bench-incr:
+	go run ./cmd/benchincr

@@ -28,10 +28,11 @@ func runECO(ctx context.Context, script string) int {
 
 	gen := func() (*cpla.Design, error) { return load(*bench, *grFile) }
 	cfg := incr.Config{
-		Prepare: cpla.DefaultPrepareOptions(),
-		Core:    cpla.CPLAOptions{MaxSegs: *maxSegs, K: *k, MaxRounds: *rounds},
-		Ratio:   *ratio,
-		Verify:  *doVerify,
+		Prepare:    cpla.DefaultPrepareOptions(),
+		Core:       cpla.CPLAOptions{MaxSegs: *maxSegs, K: *k, MaxRounds: *rounds, WarmStart: *ecoWarm},
+		Ratio:      *ratio,
+		Verify:     *doVerify,
+		Revalidate: *ecoReval,
 	}
 	cfg.Prepare.Route.Steiner = *steiner
 	switch *mapping {
@@ -68,11 +69,12 @@ func runECO(ctx context.Context, script string) int {
 		for j, d := range batch {
 			kinds[j] = d.Kind()
 		}
-		fmt.Printf("delta %-2d [%s]: Avg(Tcp)=%.1f Max(Tcp)=%.1f dirty=%d/%d leaves (ratio %.2f, %d/%d memo) %.1fms",
+		fmt.Printf("delta %-2d [%s]: Avg(Tcp)=%.1f Max(Tcp)=%.1f dirty=%d/%d leaves (ratio %.2f, %d memo + %d reval of %d) %s %.1fms",
 			i+1, strings.Join(kinds, ","),
 			res.After.AvgTcp, res.After.MaxTcp,
 			res.PredictedDirtyLeaves, res.PredictedLeaves,
-			res.DirtyLeafRatio, res.MemoHits, res.LeafSolves, res.WallMS)
+			res.DirtyLeafRatio, res.MemoHits, res.RevalHits, res.LeafSolves,
+			res.EquivalenceMode, res.WallMS)
 		if res.Verify != "" {
 			fmt.Printf(" verify=%s", res.Verify)
 			if !res.VerifyClean {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"sync"
 
 	"repro/internal/sdp"
@@ -17,28 +18,90 @@ type solveKey struct {
 	leaf, sig uint64
 }
 
-// SolveCache memoizes partition-leaf solves. Two tiers, both keyed by the
+// leafRecord is a leaf's latest solve record: the ADMM state for warm
+// starts and factor reuse, plus the inputs the revalidation tier needs to
+// decide whether the cached fractional solution may be reused under a
+// drifted problem — the split sensitivity signature, the congestion-penalty
+// coefficient vector, and the solution itself. comps/pen are populated only
+// when the solve ran with Options.Revalidate.
+type leafRecord struct {
+	state *sdp.State
+	xFrac [][]float64
+	comps sigComponents
+	pen   []float64
+}
+
+// CacheStats is a snapshot of a SolveCache's cumulative counters.
+type CacheStats struct {
+	// Hits counts exact-tier memo hits (byte-identical problem, solver
+	// skipped, bitwise-neutral).
+	Hits uint64
+	// Misses counts exact-tier misses — the leaf went on to revalidate or
+	// re-solve.
+	Misses uint64
+	// RevalHits counts revalidation-tier reuses (epsilon equivalence).
+	RevalHits uint64
+	// Evictions counts LRU evictions across both tiers.
+	Evictions uint64
+	// Entries is the number of memoized exact solutions currently held.
+	Entries int
+}
+
+type fracEntry struct {
+	k     solveKey
+	xFrac [][]float64
+}
+
+type recEntry struct {
+	leaf uint64
+	rec  *leafRecord
+}
+
+// revalEntry is one revalidation-tier record, keyed by (leaf, topology,
+// round) so a rebuilt round-r problem is compared against the solved
+// round-r problem of the same leaf — cross-round frozen contexts differ by
+// orders of magnitude and must never alias. dly and pen are the solved
+// problem's flattened coefficient vectors, the anchors of the drift budgets.
+type revalEntry struct {
+	key   uint64
+	xFrac [][]float64
+	dly   []float64
+	pen   []float64
+}
+
+// SolveCache memoizes partition-leaf solves. Three tiers, all keyed by the
 // leaf item-set fingerprint (leafKey):
 //
 //   - Exact solutions, additionally keyed by the problem's full content
 //     signature. A byte-identical recurring problem reuses the previous
 //     fractional solution outright; the solver is deterministic, so this
 //     is bitwise-neutral no matter how far apart the two solves are.
+//   - Revalidation (Options.Revalidate): a problem whose topology matches
+//     the same round's solved problem of the leaf exactly, and which
+//     drifted only within the delay and penalty coefficient budgets under
+//     still-feasible capacity bounds, reuses the cached fractional solution
+//     without re-solving — epsilon equivalence, reported as such.
 //   - The leaf's latest ADMM state, donating its Gram Cholesky factor
 //     (value-identical) or, with Options.WarmStart, the full iterate.
 //
-// A nil *SolveCache is valid and caches nothing. OptimizeCtx creates a
-// private cache per call when Options.Cache is nil — the historical
+// Both maps evict least-recently-used entries once max is reached, so a
+// long ECO session keeps the leaves it actually revisits. A nil
+// *SolveCache is valid and caches nothing. OptimizeCtx creates a private
+// cache per call when Options.Cache is nil — the historical
 // cross-round-only behavior; the ECO session engine shares one cache
 // across deltas so unchanged partitions skip their solves entirely.
 // All methods are safe for concurrent use.
 type SolveCache struct {
 	mu     sync.Mutex
 	max    int
-	frac   map[solveKey][][]float64
-	order  []solveKey // FIFO eviction over frac
-	states map[uint64]*sdp.State
-	sorder []uint64 // FIFO eviction over states
+	frac   map[solveKey]*list.Element
+	order  *list.List // exact-tier LRU; front = most recently used
+	recs   map[uint64]*list.Element
+	rorder *list.List // record-tier LRU; front = most recently used
+	reval  map[uint64]*list.Element
+	vorder *list.List // revalidation-tier LRU; front = most recently used
+
+	hits, misses, revalHits, evictions uint64
 }
 
 // NewSolveCache creates a cache holding at most maxEntries memoized
@@ -49,34 +112,85 @@ func NewSolveCache(maxEntries int) *SolveCache {
 	}
 	return &SolveCache{
 		max:    maxEntries,
-		frac:   make(map[solveKey][][]float64),
-		states: make(map[uint64]*sdp.State),
+		frac:   make(map[solveKey]*list.Element),
+		order:  list.New(),
+		recs:   make(map[uint64]*list.Element),
+		rorder: list.New(),
+		reval:  make(map[uint64]*list.Element),
+		vorder: list.New(),
 	}
 }
 
 // lookup returns the memoized fractional solution for the exact problem,
-// or nil on a miss.
+// or nil on a miss. Hits refresh the entry's LRU position; both outcomes
+// count toward the hit/miss statistics.
 func (c *SolveCache) lookup(leaf, sig uint64) [][]float64 {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.frac[solveKey{leaf, sig}]
+	el, ok := c.frac[solveKey{leaf, sig}]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	// An exact hit is a use of the leaf: keep its record hot too, so an
+	// active leaf's warm state outlives cold ones under pressure.
+	if rel, ok := c.recs[leaf]; ok {
+		c.rorder.MoveToFront(rel)
+	}
+	return el.Value.(*fracEntry).xFrac
 }
 
-// state returns the leaf's latest ADMM state, or nil.
-func (c *SolveCache) state(leaf uint64) *sdp.State {
+// record returns the leaf's latest solve record, or nil. Refreshes the
+// record's LRU position; does not touch the hit/miss counters (lookup
+// already classified the access).
+func (c *SolveCache) record(leaf uint64) *leafRecord {
 	if c == nil {
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.states[leaf]
+	el, ok := c.recs[leaf]
+	if !ok {
+		return nil
+	}
+	c.rorder.MoveToFront(el)
+	return el.Value.(*recEntry).rec
+}
+
+// revalRecord returns the revalidation-tier record stored under the
+// (leaf, topology, round) key, or nil. Refreshes its LRU position.
+func (c *SolveCache) revalRecord(key uint64) *revalEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.reval[key]
+	if !ok {
+		return nil
+	}
+	c.vorder.MoveToFront(el)
+	return el.Value.(*revalEntry)
+}
+
+// noteReval counts one revalidation-tier reuse.
+func (c *SolveCache) noteReval() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.revalHits++
+	c.mu.Unlock()
 }
 
 // store records one fresh solve: the exact solution under (leaf, sig) and
-// the ADMM state as the leaf's latest.
+// the leaf's latest record. Revalidation-tier reuses never store — their
+// drift tolerance stays anchored to the originally solved problem.
 func (c *SolveCache) store(leaf uint64, rec *leafCache) {
 	if c == nil || rec == nil {
 		return
@@ -85,24 +199,64 @@ func (c *SolveCache) store(leaf uint64, rec *leafCache) {
 	defer c.mu.Unlock()
 	if rec.xFrac != nil {
 		k := solveKey{leaf, rec.sig}
-		if _, ok := c.frac[k]; !ok {
-			if len(c.order) >= c.max {
-				delete(c.frac, c.order[0])
-				c.order = c.order[1:]
+		if el, ok := c.frac[k]; ok {
+			el.Value.(*fracEntry).xFrac = rec.xFrac
+			c.order.MoveToFront(el)
+		} else {
+			if c.order.Len() >= c.max {
+				back := c.order.Back()
+				delete(c.frac, back.Value.(*fracEntry).k)
+				c.order.Remove(back)
+				c.evictions++
 			}
-			c.order = append(c.order, k)
+			c.frac[k] = c.order.PushFront(&fracEntry{k: k, xFrac: rec.xFrac})
 		}
-		c.frac[k] = rec.xFrac
+	}
+	if rec.xFrac != nil && rec.rkey != 0 {
+		if el, ok := c.reval[rec.rkey]; ok {
+			ve := el.Value.(*revalEntry)
+			ve.xFrac, ve.dly, ve.pen = rec.xFrac, rec.dly, rec.pen
+			c.vorder.MoveToFront(el)
+		} else {
+			if c.vorder.Len() >= c.max {
+				back := c.vorder.Back()
+				delete(c.reval, back.Value.(*revalEntry).key)
+				c.vorder.Remove(back)
+				c.evictions++
+			}
+			c.reval[rec.rkey] = c.vorder.PushFront(&revalEntry{key: rec.rkey, xFrac: rec.xFrac, dly: rec.dly, pen: rec.pen})
+		}
 	}
 	if rec.state != nil {
-		if _, ok := c.states[leaf]; !ok {
-			if len(c.sorder) >= c.max {
-				delete(c.states, c.sorder[0])
-				c.sorder = c.sorder[1:]
+		lr := &leafRecord{state: rec.state, xFrac: rec.xFrac, comps: rec.comps, pen: rec.pen}
+		if el, ok := c.recs[leaf]; ok {
+			el.Value.(*recEntry).rec = lr
+			c.rorder.MoveToFront(el)
+		} else {
+			if c.rorder.Len() >= c.max {
+				back := c.rorder.Back()
+				delete(c.recs, back.Value.(*recEntry).leaf)
+				c.rorder.Remove(back)
+				c.evictions++
 			}
-			c.sorder = append(c.sorder, leaf)
+			c.recs[leaf] = c.rorder.PushFront(&recEntry{leaf: leaf, rec: lr})
 		}
-		c.states[leaf] = rec.state
+	}
+}
+
+// Stats snapshots the cache's cumulative counters.
+func (c *SolveCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		RevalHits: c.revalHits,
+		Evictions: c.evictions,
+		Entries:   len(c.frac),
 	}
 }
 

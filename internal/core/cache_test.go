@@ -8,7 +8,7 @@ import (
 	"repro/internal/timing"
 )
 
-// TestSolveCacheEviction exercises the FIFO bound directly.
+// TestSolveCacheEviction exercises the LRU bound directly.
 func TestSolveCacheEviction(t *testing.T) {
 	c := NewSolveCache(2)
 	for i := uint64(0); i < 3; i++ {
@@ -18,7 +18,7 @@ func TestSolveCacheEviction(t *testing.T) {
 		t.Fatalf("Len = %d, want 2 after eviction", c.Len())
 	}
 	if c.lookup(0, 0) != nil {
-		t.Fatal("oldest entry not evicted")
+		t.Fatal("least-recently-used entry not evicted")
 	}
 	if c.lookup(2, 2) == nil {
 		t.Fatal("newest entry missing")
@@ -28,14 +28,68 @@ func TestSolveCacheEviction(t *testing.T) {
 	if c.Len() != 2 || c.lookup(1, 1) == nil {
 		t.Fatal("re-store evicted a live entry")
 	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("Stats.Evictions = 0, want > 0: %+v", st)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("Stats.Entries = %d, want 2", st.Entries)
+	}
+}
+
+// TestSolveCacheLRURecency pins the difference from the old FIFO policy: a
+// lookup refreshes an entry's recency, so the untouched entry is the one
+// evicted under pressure.
+func TestSolveCacheLRURecency(t *testing.T) {
+	c := NewSolveCache(2)
+	c.store(0, &leafCache{sig: 0, xFrac: [][]float64{{0}}, state: &sdp.State{}})
+	c.store(1, &leafCache{sig: 1, xFrac: [][]float64{{1}}, state: &sdp.State{}})
+	if c.lookup(0, 0) == nil { // refresh entry 0
+		t.Fatal("entry 0 missing before pressure")
+	}
+	c.store(2, &leafCache{sig: 2, xFrac: [][]float64{{2}}, state: &sdp.State{}})
+	if c.lookup(0, 0) == nil {
+		t.Fatal("recently used entry evicted (FIFO behavior, want LRU)")
+	}
+	if c.lookup(1, 1) != nil {
+		t.Fatal("least-recently-used entry survived, want eviction")
+	}
+	if c.record(1) != nil {
+		t.Fatal("record tier kept the evicted leaf")
+	}
+	if c.record(0) == nil || c.record(2) == nil {
+		t.Fatal("record tier lost a live leaf")
+	}
+}
+
+// TestSolveCacheStats pins the counter semantics the /metrics endpoint and
+// the benchincr smoke gate build on.
+func TestSolveCacheStats(t *testing.T) {
+	c := NewSolveCache(4)
+	if c.lookup(7, 7) != nil {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.store(7, &leafCache{sig: 7, xFrac: [][]float64{{1}}, state: &sdp.State{}})
+	if c.lookup(7, 7) == nil {
+		t.Fatal("stored entry missing")
+	}
+	c.noteReval()
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.RevalHits != 1 {
+		t.Fatalf("Stats = %+v, want 1 hit / 1 miss / 1 reval", st)
+	}
 }
 
 // TestSolveCacheNilSafe pins the nil-receiver contract the solver relies on.
 func TestSolveCacheNilSafe(t *testing.T) {
 	var c *SolveCache
-	if c.lookup(1, 1) != nil || c.state(1) != nil || c.Len() != 0 {
+	if c.lookup(1, 1) != nil || c.record(1) != nil || c.Len() != 0 {
 		t.Fatal("nil cache must be empty")
 	}
+	if (c.Stats() != CacheStats{}) {
+		t.Fatal("nil cache stats must be zero")
+	}
+	c.noteReval()                  // must not panic
 	c.store(1, &leafCache{sig: 1}) // must not panic
 }
 

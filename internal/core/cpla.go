@@ -133,6 +133,40 @@ type Options struct {
 	// layer choices, so results can differ from a cold run within the
 	// solver tolerance.
 	WarmStart bool
+	// Revalidate enables the epsilon-equivalence reuse tier: a recurring
+	// leaf whose rebuilt problem matches the same round's solved problem in
+	// topology exactly, and drifted only within the delay and penalty
+	// coefficient budgets (RevalDelayTol / RevalPenaltyTol, each max-abs as
+	// a fraction of the cost scale) under still-feasible capacity bounds,
+	// reuses the cached fractional solution without re-solving. The
+	// capacity-aware post-mapping still runs against the fresh problem, so
+	// integer layer choices always respect the new bounds. Results may
+	// differ from a cold run within the drift budgets; the ECO session
+	// engine reports such runs honestly as equivalence mode "epsilon".
+	Revalidate bool
+	// RevalPenaltyTol bounds the congestion-penalty coefficient drift the
+	// revalidation tier tolerates, as a fraction of the leaf problem's
+	// largest objective coefficient (0 → 0.01). Penalty terms are tie-
+	// breakers next to delay costs orders of magnitude larger, so drift
+	// small relative to the objective scale changes at most near-tie layer
+	// choices.
+	RevalPenaltyTol float64
+	// RevalDelayTol bounds the timing-coefficient drift the revalidation
+	// tier tolerates, as a fraction of the leaf problem's largest objective
+	// coefficient (0 → 0.2). A whole-layer pitch derate rescales one
+	// layer's RC-derived entries by the derate factor — well inside this
+	// budget — while a frozen-context change between rounds shifts
+	// coefficients by the full cost scale and is rejected. Under bounded
+	// drift the cached fractional ranking still orders layers correctly for
+	// the post-mapping except at flipped near-ties; the session-level
+	// epsilon gate (independent verify plus metrics against a cold replay)
+	// bounds the aggregate effect.
+	RevalDelayTol float64
+	// OnRevalidate, when non-nil, vets every revalidation-tier reuse
+	// candidate from the raw numbers in the RevalCheck; returning false
+	// forces a fresh solve. The independent verifier's ReuseAuditor
+	// installs it. Called concurrently from the parallel leaf workers.
+	OnRevalidate func(RevalCheck) bool
 	// Cache, when non-nil, memoizes partition-leaf solves across Optimize
 	// calls (see SolveCache). Nil gives each call a private cache — the
 	// historical cross-round-only acceleration. Reuse is bitwise-neutral:
@@ -185,6 +219,12 @@ func (o Options) withDefaults() Options {
 	if o.SDPTol == 0 {
 		o.SDPTol = 2e-3
 	}
+	if o.RevalPenaltyTol == 0 {
+		o.RevalPenaltyTol = 0.01
+	}
+	if o.RevalDelayTol == 0 {
+		o.RevalDelayTol = 0.2
+	}
 	if o.ILPMaxNodes == 0 {
 		o.ILPMaxNodes = 50000
 	}
@@ -219,6 +259,14 @@ type RoundStats struct {
 	// With a persistent Options.Cache, Partitions − MemoHits is the number
 	// of genuinely dirty leaves this round.
 	MemoHits int
+	// RevalHits counts leaves served by the revalidation tier (cached
+	// fractional solution reused under a penalty/capacity-only drift; each
+	// also counts as a WarmStart). Nonzero only with Options.Revalidate,
+	// and epsilon-equivalent rather than bitwise.
+	RevalHits int
+	// CacheEvictions counts solve-cache LRU evictions during this round's
+	// commit — pressure telemetry for sizing Options.Cache.
+	CacheEvictions int
 	// PSDFastPath / PSDFullEig count hot-loop PSD projections served by the
 	// partial-spectrum rank-k fast path vs the full eigendecomposition,
 	// summed over this round's ADMM leaf solves.
@@ -302,6 +350,7 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 		}
 		// Frozen per-round state: downstream caps and criticality weights.
 		in, items := buildRoundInput(st, work, opt)
+		in.round = round
 
 		leaves := partition.Split(g.W, g.H, items, partition.Options{
 			K: opt.K, MaxSegs: opt.MaxSegs, Adaptive: !opt.NoAdaptive,
@@ -348,6 +397,7 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 			st.Trees[ni].ApplyUsage(g, -1)
 		}
 		stats := RoundStats{Partitions: len(leaves)}
+		evBefore := cache.Stats().Evictions
 		var proj sdp.SolveStats
 		for _, pr := range proposals {
 			if pr.err != nil {
@@ -364,9 +414,13 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 			if pr.stats.memo {
 				stats.MemoHits++
 			}
+			if pr.stats.reval {
+				stats.RevalHits++
+			}
 			proj.Accumulate(pr.stats.proj)
 			cache.store(pr.key, pr.stats.cache)
 		}
+		stats.CacheEvictions = int(cache.Stats().Evictions - evBefore)
 		stats.PSDFastPath = proj.FastPath
 		stats.PSDFullEig = proj.FullEig
 		stats.PSDFallbacks = proj.JacobiFallbacks + proj.PartialAborts
@@ -473,11 +527,17 @@ func leafKey(leaf *partition.Leaf) uint64 {
 // leafCache is one partition leaf's cross-round record: the full content
 // signature of the problem it solved, the fractional solution (reused
 // verbatim when the identical problem recurs — the solver is
-// deterministic), and the ADMM state for warm starts and factor reuse.
+// deterministic), the ADMM state for warm starts and factor reuse, and —
+// under Options.Revalidate — the split sensitivity signature and
+// congestion-penalty vector the revalidation tier compares against.
 type leafCache struct {
 	sig   uint64
 	xFrac [][]float64
 	state *sdp.State
+	comps sigComponents
+	dly   []float64
+	pen   []float64
+	rkey  uint64 // revalidation-tier key (leaf+topo+round); 0 when not revalidating
 }
 
 // leafStats carries per-leaf solver telemetry and the cache record that
@@ -486,6 +546,7 @@ type leafStats struct {
 	iters int
 	warm  bool
 	memo  bool // exact solution served from the cache, solver skipped
+	reval bool // cached solution reused by the revalidation tier (epsilon)
 	cache *leafCache
 	proj  sdp.SolveStats // PSD-projection path telemetry (ADMM backend only)
 }

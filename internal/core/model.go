@@ -21,8 +21,16 @@ type segVar struct {
 	seg     *tree.Segment
 	layers  []int     // legal layers (matching direction), ascending
 	cost    []float64 // linear objective coefficient per entry of layers
-	weight  float64   // criticality weight (1 on the critical path)
-	curIdx  int       // index into layers of the current assignment
+	// dly / pen split cost into its sensitivity components — the
+	// timing-derived part (RC delays, weights, base via delays) and the
+	// congestion-penalty part (via pricing, wire blocking). They are
+	// accumulated independently of cost, feed only the split signatures and
+	// the revalidation drift bound, and never enter the solver: cost keeps
+	// the historical single-accumulator summation order bit for bit.
+	dly    []float64
+	pen    []float64
+	weight float64 // criticality weight (1 on the critical path)
+	curIdx int     // index into layers of the current assignment
 }
 
 // pairVar couples two segVars joined by a via whose both ends are free in
@@ -33,8 +41,12 @@ type pairVar struct {
 	node geom.Point // via tile
 	w    float64    // criticality weight
 	// cost[la][lb] is the weighted via cost of placing a on a.layers[la]
-	// and b on b.layers[lb], congestion penalty included.
+	// and b on b.layers[lb], congestion penalty included. dly / pen carry
+	// the same matrix split into its delay and congestion-penalty parts
+	// (signature/revalidation inputs only — see segVar).
 	cost [][]float64
+	dly  [][]float64
+	pen  [][]float64
 }
 
 // edgeCon is one edge-capacity constraint (4c): the partition members
@@ -55,14 +67,20 @@ type problem struct {
 	// viaNodes lists the tiles where partition pairs meet, for the (4d)
 	// via-capacity terms.
 	viaNodes []geom.Point
+	// round is the optimization round that built this problem. Rounds freeze
+	// different downstream-cap/criticality contexts, so the revalidation tier
+	// keys entries per round: a round-r rebuild only compares its coefficient
+	// drift against the solved round-r problem of the same leaf.
+	round int
 }
 
 // buildInput carries the shared round state into problem building.
 type buildInput struct {
-	g   *grid.Grid
-	eng *timing.Engine
-	cds map[int][]float64 // treeIdx → frozen Cd per segment
-	wts map[int][]float64 // treeIdx → criticality weight per segment
+	g     *grid.Grid
+	eng   *timing.Engine
+	round int
+	cds   map[int][]float64 // treeIdx → frozen Cd per segment
+	wts   map[int][]float64 // treeIdx → criticality weight per segment
 	// ups[treeIdx][seg] is the weighted upstream resistance seen by the
 	// segment: Σ over ancestors a of w_a·R_a·len_a at their frozen
 	// layers. A segment's wire capacitance loads every ancestor's Elmore
@@ -82,7 +100,7 @@ type item struct {
 // buildProblem assembles the subproblem for the given items. trees indexes
 // the design's trees.
 func buildProblem(in *buildInput, trees []*tree.Tree, items []item) *problem {
-	p := &problem{g: in.g}
+	p := &problem{g: in.g, round: in.round}
 	inPart := make(map[[2]int]int, len(items)) // (treeIdx, segID) → segVar index
 
 	for _, it := range items {
@@ -95,6 +113,8 @@ func buildProblem(in *buildInput, trees []*tree.Tree, items []item) *problem {
 			seg:     s,
 			layers:  layers,
 			cost:    make([]float64, len(layers)),
+			dly:     make([]float64, len(layers)),
+			pen:     make([]float64, len(layers)),
 			weight:  in.wts[it.treeIdx][it.segID],
 			curIdx:  indexOf(layers, s.Layer),
 		}
@@ -111,9 +131,16 @@ func buildProblem(in *buildInput, trees []*tree.Tree, items []item) *problem {
 			upstreamR = up[sv.seg.ID]
 		}
 		for li, l := range sv.layers {
+			// c keeps the historical single-accumulator summation order, so
+			// the committed coefficient is bit-identical to the pre-split
+			// code; d and q re-accumulate the delay and penalty parts
+			// independently for the sensitivity signatures.
 			c := sv.weight * in.eng.SegDelay(sv.seg, l, cd)
+			d := c
 			c += upstreamR * in.eng.WireCapOn(sv.seg, l)
-			c += in.blockingPenalty(sv.seg, l)
+			d += upstreamR * in.eng.WireCapOn(sv.seg, l)
+			q := in.blockingPenalty(sv.seg, l)
+			c += q
 
 			// Via to the parent: free-free pairs are handled once from the
 			// child side below; frozen parents contribute linearly here.
@@ -122,14 +149,20 @@ func buildProblem(in *buildInput, trees []*tree.Tree, items []item) *problem {
 					par := sv.tr.Segs[pid]
 					viaCd := math.Min(cd, in.cds[sv.treeIdx][pid])
 					node := sv.tr.Nodes[sv.seg.FromNode].Pos
-					c += sv.weight * in.viaCost(par.Layer, l, viaCd, node)
+					t, vb, vp := in.viaCostParts(par.Layer, l, viaCd, node)
+					c += sv.weight * t
+					d += sv.weight * vb
+					q += sv.weight * vp
 				}
 			} else {
 				// Root segment: via from the source pin layer.
 				root := &sv.tr.Nodes[sv.tr.Root]
 				if root.PinLayer >= 0 {
 					drive := in.eng.WireCapOn(sv.seg, l) + cd
-					c += sv.weight * in.viaCost(root.PinLayer, l, drive, root.Pos)
+					t, vb, vp := in.viaCostParts(root.PinLayer, l, drive, root.Pos)
+					c += sv.weight * t
+					d += sv.weight * vb
+					q += sv.weight * vp
 				}
 			}
 			// Vias to frozen children.
@@ -140,14 +173,22 @@ func buildProblem(in *buildInput, trees []*tree.Tree, items []item) *problem {
 				ch := sv.tr.Segs[cid]
 				viaCd := math.Min(cd, in.cds[sv.treeIdx][cid])
 				node := sv.tr.Nodes[ch.FromNode].Pos
-				c += sv.weight * in.viaCost(l, ch.Layer, viaCd, node)
+				t, vb, vp := in.viaCostParts(l, ch.Layer, viaCd, node)
+				c += sv.weight * t
+				d += sv.weight * vb
+				q += sv.weight * vp
 			}
 			// Sink pin via at the far node.
 			end := &sv.tr.Nodes[sv.seg.ToNode]
 			if end.PinLayer >= 0 {
-				c += sv.weight * in.viaCost(l, end.PinLayer, in.eng.Params.SinkCap, end.Pos)
+				t, vb, vp := in.viaCostParts(l, end.PinLayer, in.eng.Params.SinkCap, end.Pos)
+				c += sv.weight * t
+				d += sv.weight * vb
+				q += sv.weight * vp
 			}
 			sv.cost[li] = c
+			sv.dly[li] = d
+			sv.pen[li] = q
 		}
 	}
 
@@ -168,10 +209,17 @@ func buildProblem(in *buildInput, trees []*tree.Tree, items []item) *problem {
 		pv := pairVar{a: pvi, b: vi, cd: cd, node: node, w: sv.weight}
 		par := &p.segs[pvi]
 		pv.cost = make([][]float64, len(par.layers))
+		pv.dly = make([][]float64, len(par.layers))
+		pv.pen = make([][]float64, len(par.layers))
 		for la, layerA := range par.layers {
 			pv.cost[la] = make([]float64, len(sv.layers))
+			pv.dly[la] = make([]float64, len(sv.layers))
+			pv.pen[la] = make([]float64, len(sv.layers))
 			for lb, layerB := range sv.layers {
-				pv.cost[la][lb] = pv.w * in.viaCost(layerA, layerB, cd, node)
+				t, vb, vp := in.viaCostParts(layerA, layerB, cd, node)
+				pv.cost[la][lb] = pv.w * t
+				pv.dly[la][lb] = pv.w * vb
+				pv.pen[la][lb] = pv.w * vp
 			}
 		}
 		p.pairs = append(p.pairs, pv)
@@ -191,12 +239,20 @@ func buildProblem(in *buildInput, trees []*tree.Tree, items []item) *problem {
 // ties away from congested via stacks without distorting the delay
 // objective.
 func (in *buildInput) viaCost(la, lb int, cd float64, node geom.Point) float64 {
+	t, _, _ := in.viaCostParts(la, lb, cd, node)
+	return t
+}
+
+// viaCostParts is viaCost split into its sensitivity components: the total
+// (summed exactly as viaCost always has, so callers stay bit-identical),
+// the delay base, and the congestion-penalty term.
+func (in *buildInput) viaCostParts(la, lb int, cd float64, node geom.Point) (total, base, pen float64) {
 	if la == lb {
-		return 0
+		return 0, 0, 0
 	}
-	base := in.eng.ViaDelay(la, lb, cd)
+	base = in.eng.ViaDelay(la, lb, cd)
 	if in.opts.ViaPenalty <= 0 {
-		return base
+		return base, base, 0
 	}
 	lo, hi := la, lb
 	if lo > hi {
@@ -210,7 +266,8 @@ func (in *buildInput) viaCost(la, lb int, cd float64, node geom.Point) float64 {
 		}
 		cong += float64(in.g.EffectiveViaUse(node.X, node.Y, lvl)) / cap
 	}
-	return base + in.opts.ViaPenalty*cong
+	pen = in.opts.ViaPenalty * cong
+	return base + pen, base, pen
 }
 
 // blockingPenalty prices the wire-blocking side of constraint (4d): a wire

@@ -118,14 +118,41 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 		// Cross-solve acceleration tiers. A byte-identical recurring
 		// problem reuses the previous fractional solution outright (the
 		// solver is deterministic, so this cannot change the result).
-		// Otherwise the leaf's latest ADMM state either seeds the iterates
+		// With opt.Revalidate, a same-shape problem whose delay and
+		// penalty coefficients drifted within their budgets under
+		// still-feasible capacity bounds reuses the cached fractional
+		// solution too (epsilon equivalence). Otherwise the
+		// leaf's latest ADMM state either seeds the iterates
 		// (opt.WarmStart) or only donates its Gram Cholesky factor, which
 		// is value-identical to recomputing it.
 		sig := sdp.ProblemSignature(prob)
 		if xf := cache.lookup(key, sig); xf != nil {
 			return xf, leafStats{warm: true, memo: true}, nil
 		}
-		warm := cache.state(key)
+		rec := cache.record(key)
+		var comps sigComponents
+		var dlyVec, penVec []float64
+		var rkey uint64
+		if opt.Revalidate {
+			comps = problemComponents(p)
+			dlyVec = delayVector(p)
+			penVec = penaltyVector(p)
+			rkey = revalKey(key, comps, p.round)
+			rrec := cache.revalRecord(rkey)
+			if rrec != nil &&
+				coeffDrift(rrec.dly, dlyVec) <= opt.RevalDelayTol*costScale(p) &&
+				coeffDrift(rrec.pen, penVec) <= opt.RevalPenaltyTol*costScale(p) &&
+				capFeasible(p, rrec.xFrac) {
+				if opt.OnRevalidate == nil || opt.OnRevalidate(revalCheck(p, key, rrec.xFrac)) {
+					cache.noteReval()
+					return rrec.xFrac, leafStats{warm: true, reval: true}, nil
+				}
+			}
+		}
+		var warm *sdp.State
+		if rec != nil {
+			warm = rec.state
+		}
 		if !opt.WarmStart {
 			warm = warm.FactorOnly()
 		}
@@ -135,7 +162,7 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 			Tol:      opt.SDPTol,
 		}, warm)
 		if err == nil {
-			ls = leafStats{iters: res.Iters, warm: res.Warm, cache: &leafCache{sig: sig, state: ws.State()}, proj: res.Stats}
+			ls = leafStats{iters: res.Iters, warm: res.Warm, cache: &leafCache{sig: sig, state: ws.State(), comps: comps, dly: dlyVec, pen: penVec, rkey: rkey}, proj: res.Stats}
 		}
 		sdpWorkspaces.Put(ws)
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoeffDrift(t *testing.T) {
+	if d := coeffDrift([]float64{1, 2, 3}, []float64{1, 2.5, 2.9}); d != 0.5 {
+		t.Fatalf("drift = %v, want 0.5 (max-abs)", d)
+	}
+	if d := coeffDrift([]float64{1, 2}, []float64{1, 2, 3}); !math.IsInf(d, 1) {
+		t.Fatalf("shape mismatch drift = %v, want +Inf", d)
+	}
+	if d := coeffDrift(nil, nil); d != 0 {
+		t.Fatalf("empty drift = %v, want 0", d)
+	}
+}
+
+func TestRevalKeySeparatesRounds(t *testing.T) {
+	comps := sigComponents{topo: 42, delay: 7, pen: 9, caps: 11}
+	k0 := revalKey(1, comps, 0)
+	k1 := revalKey(1, comps, 1)
+	if k0 == k1 {
+		t.Fatal("round 0 and round 1 share a revalidation key: cross-round frozen contexts would alias")
+	}
+	// The delay/pen/caps hashes must NOT feed the key — drifted coefficients
+	// look up the same entry and are judged by the drift budgets instead.
+	drifted := comps
+	drifted.delay, drifted.pen, drifted.caps = 1, 2, 3
+	if revalKey(1, drifted, 0) != k0 {
+		t.Fatal("coefficient components leaked into the revalidation key")
+	}
+	if revalKey(2, comps, 0) == k0 {
+		t.Fatal("different leaves share a revalidation key")
+	}
+}
+
+func TestCapFeasible(t *testing.T) {
+	p := &problem{
+		segs: []segVar{
+			{layers: []int{1, 3}},
+			{layers: []int{1, 3}},
+		},
+		edges: []edgeCon{{layer: 3, members: []int{0, 1}, avail: 1}},
+	}
+	fits := [][]float64{{0.8, 0.2}, {0.5, 0.5}}     // load 0.7 ≤ 1
+	overfull := [][]float64{{0.1, 0.9}, {0.2, 0.8}} // load 1.7 > 1+tol
+	if !capFeasible(p, fits) {
+		t.Fatal("feasible rows rejected")
+	}
+	if capFeasible(p, overfull) {
+		t.Fatal("overfull rows accepted")
+	}
+	// Shape mismatch (topology changed under us) must never reuse.
+	if capFeasible(p, [][]float64{{1}}) {
+		t.Fatal("mismatched row count accepted")
+	}
+	// A fully consumed edge keeps the relaxation's clamped RHS of 1.
+	p.edges[0].avail = 0
+	if !capFeasible(p, fits) {
+		t.Fatal("clamped bound not honored for consumed edge")
+	}
+}

@@ -78,6 +78,11 @@ func ColdReplay(ctx context.Context, gen DesignFunc, cfg Config, history []Delta
 	}
 	opt := cfg.Core
 	opt.Cache = nil
+	// The replay is the reference: no cross-delta cache, no epsilon-tier
+	// reuse. (An Optimize-internal private cache still accelerates rounds
+	// 2+, exactly as the session's own solves do.)
+	opt.Revalidate = false
+	opt.OnRevalidate = nil
 	r, err := core.OptimizeCtx(ctx, st, released, opt)
 	if err != nil {
 		return nil, nil, nil, err

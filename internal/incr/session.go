@@ -44,6 +44,17 @@ type Config struct {
 	// Verify audits the released and rerouted nets with the independent
 	// checker after every solve; findings land in DeltaResult.Verify.
 	Verify bool
+	// Revalidate enables the epsilon-equivalence reuse tier
+	// (core.Options.Revalidate): leaves whose rebuilt problem drifted only
+	// in congestion penalties and still-feasible capacity bounds reuse
+	// their cached fractional solution without re-solving. Every reuse is
+	// independently certified by a verify.ReuseAuditor before it is
+	// accepted. Once any reuse fires, the session's cumulative state is no
+	// longer byte-identical to a cold replay; DeltaResult.EquivalenceMode
+	// reports "epsilon" from then on (sticky — state divergence is
+	// cumulative), and callers gate on verify + metrics-within-epsilon
+	// instead of the bitwise Divergence check.
+	Revalidate bool
 }
 
 func (c Config) ratio() float64 {
@@ -65,12 +76,25 @@ type DeltaResult struct {
 	// Rounds is the number of CPLA rounds executed.
 	Rounds int `json:"rounds"`
 	// LeafSolves counts leaf-solve slots over the solve's rounds; MemoHits
-	// are the slots served verbatim from the persistent cache.
+	// are the slots served verbatim from the persistent cache
+	// (byte-identical problem, bitwise-neutral); RevalHits are the slots
+	// served by the revalidation tier (penalty/capacity-only drift, epsilon
+	// equivalence — see Config.Revalidate).
 	LeafSolves int `json:"leaf_solves"`
 	MemoHits   int `json:"memo_hits"`
-	// DirtyLeafRatio = (LeafSolves − MemoHits) / LeafSolves: the measured
-	// fraction of leaf problems that actually changed and were re-solved.
+	RevalHits  int `json:"reval_hits,omitempty"`
+	// CacheEvictions counts solve-cache LRU evictions during the solve —
+	// nonzero means Config.CacheEntries is under pressure.
+	CacheEvictions int `json:"cache_evictions,omitempty"`
+	// DirtyLeafRatio = (LeafSolves − MemoHits − RevalHits) / LeafSolves:
+	// the measured fraction of leaf problems that actually changed and were
+	// re-solved.
 	DirtyLeafRatio float64 `json:"dirty_leaf_ratio"`
+	// EquivalenceMode states the session's contract against ColdReplay as
+	// of this solve: "bitwise" (byte-identical by construction) until any
+	// epsilon-tier reuse or warm-started solve has occurred, "epsilon"
+	// (verify-certified, metrics within solver tolerance) after.
+	EquivalenceMode string `json:"equivalence_mode"`
 	// PredictedDirtyLeaves / PredictedLeaves is the a-priori geometric
 	// dirty set over the round-1 partitioning: leaves overlapping the
 	// mutated regions, closed over net spans.
@@ -100,6 +124,29 @@ type Session struct {
 	history  []Delta
 	base     *DeltaResult
 	last     *DeltaResult
+	// routeGen counts committed reroutes per net — part of the partition
+	// cache key, since only a reroute can change a net's segment geometry.
+	routeGen map[int]uint64
+	// part caches the round-1 partitioning of the current released set
+	// (keyed by released ids + their route generations), reused across
+	// deltas by predictDirty.
+	part *partitionCache
+	// initLayers snapshots the per-net initial assignment right after
+	// AssignAll. In epsilon mode a batch that reroutes nothing restores this
+	// snapshot instead of re-running the global usage-aware assignment, so a
+	// capacity or pitch delta cannot ripple initial layers across the whole
+	// design (see resolve).
+	initLayers [][]int
+	// diverged is the sticky epsilon flag: set once any revalidation-tier
+	// reuse or cross-delta warm-started solve occurs, after which the
+	// session's cumulative state is no longer byte-identical to ColdReplay.
+	diverged bool
+}
+
+// partitionCache holds one round-1 partitioning for reuse across deltas.
+type partitionCache struct {
+	key    uint64
+	leaves []*partition.Leaf
 }
 
 // New builds a session: generate the design, prepare the pipeline, run the
@@ -115,12 +162,13 @@ func New(ctx context.Context, gen DesignFunc, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		cfg:   cfg,
-		gen:   gen,
-		st:    st,
-		cache: core.NewSolveCache(cfg.CacheEntries),
+		cfg:      cfg,
+		gen:      gen,
+		st:       st,
+		cache:    core.NewSolveCache(cfg.CacheEntries),
+		routeGen: map[int]uint64{},
 	}
-	res, err := s.resolve(ctx, 0, nil, nil, false)
+	res, err := s.resolve(ctx, 0, nil, nil, false, false)
 	if err != nil {
 		return nil, err
 	}
@@ -225,12 +273,17 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (*DeltaResult, erro
 	}
 
 	// Pass 2 — commit; nothing below can fail.
+	gridMutated := false
 	for _, d := range resolved {
 		switch {
+		case d.Reroute != nil:
+			s.routeGen[d.Reroute.Net]++
 		case d.AdjustCapacity != nil:
 			g.ScaleRegionCapacity(d.AdjustCapacity.Rect(), d.AdjustCapacity.Factor)
+			gridMutated = true
 		case d.DeratePitch != nil:
 			g.ScaleLayerCapacity(d.DeratePitch.Layer, d.DeratePitch.Factor)
+			gridMutated = true
 		}
 	}
 	st.Routes.Routes = routes
@@ -240,22 +293,88 @@ func (s *Session) Apply(ctx context.Context, deltas []Delta) (*DeltaResult, erro
 	}
 	s.history = append(s.history, resolved...)
 
-	return s.resolve(ctx, len(deltas), changed, dirtyRects, wholeGrid)
+	return s.resolve(ctx, len(deltas), changed, dirtyRects, wholeGrid, gridMutated)
 }
 
 // resolve re-solves the session from its mutated inputs. It repeats the
 // exact cold sequence — reset usage, deterministic initial assignment,
-// full timing refresh, release selection, CPLA rounds — so the result can
-// only differ from ColdReplay through cache reuse, and every reuse tier is
-// bitwise-neutral with warm starts off. Callers hold s.mu.
-func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects []geom.Rect, whole bool) (*DeltaResult, error) {
+// timing refresh, release selection, CPLA rounds — so the result can only
+// differ from ColdReplay through cache reuse, and every reuse tier is
+// bitwise-neutral with warm starts and revalidation off. The timing
+// refresh itself is incremental: layers are snapshotted around the
+// reassignment and only the nets whose layers (or topology) actually moved
+// are retimed — per the pipeline contract, a cache patched net-by-net is
+// exactly equal to a full recompute.
+//
+// In epsilon mode (Config.Revalidate) a delta batch that reroutes nothing
+// restores the previous resolve's initial assignment instead of re-running
+// the global usage-aware AssignAll: the usage-aware pass reads capacities,
+// so replaying it after a capacity or pitch delta ripples initial layers —
+// and with them every frozen delay coefficient — across the whole design,
+// leaving nothing for the cache to reuse. Pinning the initial assignment
+// scopes the delta's true blast radius to the leaves whose own capacity
+// rows or congestion penalties moved; the grid mutation then diverges the
+// session from the cold sequence, which is exactly what EquivalenceMode
+// "epsilon" declares. Callers hold s.mu.
+func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects []geom.Rect, whole, gridMutated bool) (*DeltaResult, error) {
 	start := time.Now()
 	st := s.st
 	g := st.Design.Grid
 
 	g.ResetUsage()
-	assign.AssignAll(g, st.Trees, s.cfg.Prepare.Assign)
-	timings := st.Timings()
+	var prevLayers [][]int
+	if applied > 0 {
+		prevLayers = make([][]int, len(st.Trees))
+		for ni, tr := range st.Trees {
+			if tr != nil {
+				prevLayers[ni] = tr.SnapshotLayers()
+			}
+		}
+	}
+	scoped := applied > 0 && s.cfg.Revalidate && len(changed) == 0 && s.initLayers != nil
+	if scoped {
+		for ni, tr := range st.Trees {
+			if tr == nil {
+				continue
+			}
+			if prev := s.initLayers[ni]; len(prev) == len(tr.Segs) {
+				tr.RestoreLayers(prev)
+			}
+			tr.ApplyUsage(g, +1)
+		}
+		if gridMutated {
+			s.diverged = true
+		}
+	} else {
+		assign.AssignAll(g, st.Trees, s.cfg.Prepare.Assign)
+		s.initLayers = make([][]int, len(st.Trees))
+		for ni, tr := range st.Trees {
+			if tr != nil {
+				s.initLayers[ni] = tr.SnapshotLayers()
+			}
+		}
+	}
+	var timings []*timing.NetTiming
+	if applied == 0 {
+		timings = st.Timings()
+	} else {
+		// Retime the rerouted nets plus every net whose initial assignment
+		// moved; the cached timings of the rest are still exact.
+		retime := append([]int(nil), changed...)
+		seen := make(map[int]bool, len(changed))
+		for _, ni := range changed {
+			seen[ni] = true
+		}
+		for ni, tr := range st.Trees {
+			if tr == nil || seen[ni] {
+				continue
+			}
+			if layersMoved(prevLayers[ni], tr) {
+				retime = append(retime, ni)
+			}
+		}
+		timings = st.Retime(retime)
+	}
 	released := s.critical
 	if released == nil {
 		released = timing.SelectCritical(timings, s.cfg.ratio())
@@ -269,6 +388,12 @@ func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects
 
 	opt := s.cfg.Core
 	opt.Cache = s.cache
+	opt.Revalidate = s.cfg.Revalidate
+	var reuseAud *verify.ReuseAuditor
+	if opt.Revalidate {
+		reuseAud = verify.NewReuseAuditor()
+		opt.OnRevalidate = reuseAud.Hook()
+	}
 	r, err := core.OptimizeCtx(ctx, st, released, opt)
 	if err != nil {
 		return nil, err
@@ -284,16 +409,36 @@ func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects
 		PredictedDirtyLeaves: dirty,
 		Overflow:             g.CollectOverflow(),
 	}
+	solvedWarm := 0
 	for _, rs := range r.RoundLog {
 		dr.LeafSolves += rs.Partitions
 		dr.MemoHits += rs.MemoHits
+		dr.RevalHits += rs.RevalHits
+		dr.CacheEvictions += rs.CacheEvictions
+		solvedWarm += rs.WarmStarts - rs.MemoHits - rs.RevalHits
 	}
 	if dr.LeafSolves > 0 {
-		dr.DirtyLeafRatio = float64(dr.LeafSolves-dr.MemoHits) / float64(dr.LeafSolves)
+		dr.DirtyLeafRatio = float64(dr.LeafSolves-dr.MemoHits-dr.RevalHits) / float64(dr.LeafSolves)
+	}
+	// Equivalence accounting. An epsilon-tier reuse diverges the session's
+	// cumulative state from the cold sequence outright. A warm-started
+	// solve on a delta resolve does too, because its seed came from the
+	// persistent cross-delta cache, which a cold replay does not have. The
+	// base solve is the cold sequence by construction. Divergence is
+	// sticky: all later results build on the diverged state.
+	if applied > 0 && (dr.RevalHits > 0 || (s.cfg.Core.WarmStart && solvedWarm > 0)) {
+		s.diverged = true
+	}
+	dr.EquivalenceMode = "bitwise"
+	if s.diverged {
+		dr.EquivalenceMode = "epsilon"
 	}
 	if s.cfg.Verify {
 		audit := append(append([]int(nil), released...), changed...)
 		rep := verify.Nets(st, audit, verify.Options{})
+		if reuseAud != nil {
+			reuseAud.Fill(rep)
+		}
 		dr.Verify = rep.Summary()
 		dr.VerifyClean = rep.Clean()
 	}
@@ -310,24 +455,7 @@ func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects
 // net's segments. The measured DirtyLeafRatio is the ground truth; this is
 // the prediction the paper's incremental framing reasons with.
 func (s *Session) predictDirty(released []int, rects []geom.Rect, whole bool) (total, dirty int) {
-	var items []partition.Item
-	for _, ni := range released {
-		tr := s.st.Trees[ni]
-		if tr == nil {
-			continue
-		}
-		for _, seg := range tr.Segs {
-			mid := seg.Edges[len(seg.Edges)/2]
-			items = append(items, partition.Item{
-				Tree: ni, Seg: seg.ID,
-				Pos: geom.Point{X: mid.X, Y: mid.Y},
-			})
-		}
-	}
-	g := s.st.Design.Grid
-	leaves := partition.Split(g.W, g.H, items, partition.Options{
-		K: s.cfg.Core.K, MaxSegs: s.cfg.Core.MaxSegs, Adaptive: !s.cfg.Core.NoAdaptive,
-	})
+	leaves := s.partitionLeaves(released)
 	total = len(leaves)
 	if whole {
 		return total, total
@@ -362,6 +490,62 @@ func (s *Session) predictDirty(released []int, rects []geom.Rect, whole bool) (t
 		}
 	}
 	return total, len(dirtySet)
+}
+
+// partitionLeaves returns the round-1 partitioning of the released working
+// set, cached across deltas. The partitioning depends only on the released
+// net ids and their segment geometry; geometry only changes when a reroute
+// commits (bumping the net's routeGen), so the cache key is the released
+// ids plus their route generations. Capacity and pitch deltas reuse the
+// cached leaves outright.
+func (s *Session) partitionLeaves(released []int) []*partition.Leaf {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(len(released)))
+	for _, ni := range released {
+		mix(uint64(ni))
+		mix(s.routeGen[ni])
+	}
+	if s.part != nil && s.part.key == h {
+		return s.part.leaves
+	}
+	var items []partition.Item
+	for _, ni := range released {
+		tr := s.st.Trees[ni]
+		if tr == nil {
+			continue
+		}
+		for _, seg := range tr.Segs {
+			mid := seg.Edges[len(seg.Edges)/2]
+			items = append(items, partition.Item{
+				Tree: ni, Seg: seg.ID,
+				Pos: geom.Point{X: mid.X, Y: mid.Y},
+			})
+		}
+	}
+	g := s.st.Design.Grid
+	leaves := partition.Split(g.W, g.H, items, partition.Options{
+		K: s.cfg.Core.K, MaxSegs: s.cfg.Core.MaxSegs, Adaptive: !s.cfg.Core.NoAdaptive,
+	})
+	s.part = &partitionCache{key: h, leaves: leaves}
+	return leaves
+}
+
+// layersMoved reports whether a tree's layer assignment differs from its
+// pre-reassignment snapshot (length mismatch means the tree was rebuilt).
+func layersMoved(prev []int, tr *tree.Tree) bool {
+	if len(prev) != len(tr.Segs) {
+		return true
+	}
+	for i := range tr.Segs {
+		if tr.Segs[i].Layer != prev[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // routeBBox returns the bounding rectangle of a route's edges.

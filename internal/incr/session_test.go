@@ -218,6 +218,91 @@ func TestApplyIsTransactional(t *testing.T) {
 	}
 }
 
+func TestRevalidateSessionEpsilon(t *testing.T) {
+	g := testGen(5)
+	cfg := testCfg()
+	cfg.Revalidate = true
+	cfg.Verify = true
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global grid mutations on a revalidating session: the pinned initial
+	// assignment plus the drift-budget reuse tier must serve most leaves
+	// from cache, and the session must own up to the epsilon contract.
+	res, err := s.Apply(context.Background(), []Delta{
+		{AdjustCapacity: &AdjustCapacitySpec{MinX: 2, MinY: 2, MaxX: 9, MaxY: 9, Factor: 0.7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EquivalenceMode != "epsilon" {
+		t.Fatalf("grid mutation on a revalidating session reported %q, want epsilon", res.EquivalenceMode)
+	}
+	if res.MemoHits+res.RevalHits == 0 {
+		t.Fatalf("capacity delta reused nothing: %+v", res)
+	}
+	if res.DirtyLeafRatio >= 1 {
+		t.Fatalf("dirty ratio %v, want < 1", res.DirtyLeafRatio)
+	}
+	if res.Verify == "" || !res.VerifyClean {
+		t.Fatalf("epsilon delta verify missing or dirty: %+v", res)
+	}
+
+	// A whole-layer pitch derate drifts every affected leaf's delay
+	// coefficients by the derate factor — inside the RevalDelayTol budget,
+	// so the revalidation tier (not the bitwise memo) must carry the reuse.
+	res, err = s.Apply(context.Background(), []Delta{
+		{DeratePitch: &DeratePitchSpec{Layer: 2, Factor: 0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EquivalenceMode != "epsilon" {
+		t.Fatalf("pitch derate reported %q, want epsilon", res.EquivalenceMode)
+	}
+	if res.MemoHits+res.RevalHits == 0 {
+		t.Fatalf("pitch derate reused nothing: %+v", res)
+	}
+	if res.Verify == "" || !res.VerifyClean {
+		t.Fatalf("epsilon delta verify missing or dirty: %+v", res)
+	}
+}
+
+func TestSolveCacheEvictionPressure(t *testing.T) {
+	// A cache far too small for even one round's leaves: every delta
+	// thrashes it, so reuse may vanish — but correctness must not. The
+	// session without Revalidate stays on the bitwise contract, so the
+	// cold-replay differential harness still applies verbatim.
+	g := testGen(7)
+	cfg := testCfg()
+	cfg.CacheEntries = 2
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]Delta{
+		{{AdjustCapacity: &AdjustCapacitySpec{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4, Factor: 0.8}}},
+		{{Reroute: &RerouteSpec{Net: s.Released()[0]}}},
+		{{AdjustCapacity: &AdjustCapacitySpec{MinX: 5, MinY: 5, MaxX: 12, MaxY: 12, Factor: 0.6}}},
+	}
+	evictions := 0
+	for bi, b := range batches {
+		res, err := s.Apply(context.Background(), b)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		evictions += res.CacheEvictions
+		if res.EquivalenceMode != "bitwise" {
+			t.Fatalf("batch %d: mode %q, want bitwise without Revalidate", bi, res.EquivalenceMode)
+		}
+	}
+	if evictions == 0 {
+		t.Fatal("CacheEntries=2 under three deltas evicted nothing")
+	}
+	requireEquivalent(t, s, g, cfg)
+}
+
 func TestScopedVerifyRides(t *testing.T) {
 	g := testGen(5)
 	cfg := testCfg()

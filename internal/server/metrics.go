@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/incr"
 )
 
 // latencyBuckets are the solve-latency histogram upper bounds in seconds;
@@ -31,18 +33,56 @@ type Metrics struct {
 	SessionsEvicted atomic.Int64 // sessions removed by TTL or DELETE
 	DeltaSolves     atomic.Int64 // delta batches applied across all sessions
 
+	CacheEvictions atomic.Int64 // solve-cache LRU evictions over delta solves
+
 	dirtyRatioCount    atomic.Int64
 	dirtyRatioSumMicro atomic.Int64 // sum of ratios in micro-units (1e-6)
+
+	kinds [len(deltaKinds)]kindCounters
 
 	latencyCount atomic.Int64
 	latencySumMS atomic.Int64
 	latencyHist  [len(latencyBuckets) + 1]atomic.Int64
 }
 
+// deltaKinds are the per-kind labels tracked for delta solves; a batch
+// mixing kinds lands in "mixed".
+var deltaKinds = [...]string{"reroute", "adjust_capacity", "derate_pitch", "set_critical", "mixed"}
+
+// kindCounters aggregates delta solves of one kind, ratios in micro-units.
+type kindCounters struct {
+	count         atomic.Int64
+	memoSumMicro  atomic.Int64
+	revalSumMicro atomic.Int64
+	dirtySumMicro atomic.Int64
+}
+
 // ObserveDirtyRatio records one delta solve's measured dirty-leaf ratio.
 func (m *Metrics) ObserveDirtyRatio(r float64) {
 	m.dirtyRatioCount.Add(1)
 	m.dirtyRatioSumMicro.Add(int64(r * 1e6))
+}
+
+// ObserveDeltaResult records one delta solve's cache effectiveness under
+// its batch kind: memo-hit, revalidation-hit and dirty-leaf ratios, plus
+// eviction pressure.
+func (m *Metrics) ObserveDeltaResult(kind string, res *incr.DeltaResult) {
+	m.CacheEvictions.Add(int64(res.CacheEvictions))
+	ki := len(deltaKinds) - 1 // default "mixed"
+	for i, k := range deltaKinds {
+		if k == kind {
+			ki = i
+			break
+		}
+	}
+	kc := &m.kinds[ki]
+	kc.count.Add(1)
+	if res.LeafSolves > 0 {
+		n := float64(res.LeafSolves)
+		kc.memoSumMicro.Add(int64(float64(res.MemoHits) / n * 1e6))
+		kc.revalSumMicro.Add(int64(float64(res.RevalHits) / n * 1e6))
+	}
+	kc.dirtySumMicro.Add(int64(res.DirtyLeafRatio * 1e6))
 }
 
 // ObserveLatency records one finished job's wall-clock solve time.
@@ -89,10 +129,26 @@ type MetricsSnapshot struct {
 	// delta solve: the fraction of leaf problems actually re-solved rather
 	// than served from the session cache.
 	DirtyLeafRatioAvg float64 `json:"dirty_leaf_ratio_avg"`
+	// CacheEvictions is the total solve-cache LRU evictions over delta
+	// solves — sustained growth means sessions need larger caches.
+	CacheEvictions int64 `json:"cache_evictions"`
+	// DeltaKinds breaks delta-solve cache effectiveness down by batch kind:
+	// memo_hit_ratio is the bitwise exact-reuse rate, reval_hit_ratio the
+	// epsilon revalidation-reuse rate, alongside the per-kind dirty-leaf
+	// ratio. Only kinds observed at least once appear.
+	DeltaKinds map[string]DeltaKindStats `json:"delta_kinds,omitempty"`
 
 	SolveCount   int64        `json:"solve_count"`
 	SolveSumMS   int64        `json:"solve_sum_ms"`
 	SolveLatency []HistBucket `json:"solve_latency"`
+}
+
+// DeltaKindStats aggregates the delta solves of one batch kind.
+type DeltaKindStats struct {
+	Count             int64   `json:"count"`
+	MemoHitRatio      float64 `json:"memo_hit_ratio"`
+	RevalHitRatio     float64 `json:"reval_hit_ratio"`
+	DirtyLeafRatioAvg float64 `json:"dirty_leaf_ratio_avg"`
 }
 
 // Snapshot reads every counter once. The reads are individually atomic but
@@ -117,8 +173,25 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SolveCount:       m.latencyCount.Load(),
 		SolveSumMS:       m.latencySumMS.Load(),
 	}
+	s.CacheEvictions = m.CacheEvictions.Load()
 	if n := m.dirtyRatioCount.Load(); n > 0 {
 		s.DirtyLeafRatioAvg = float64(m.dirtyRatioSumMicro.Load()) / 1e6 / float64(n)
+	}
+	for i := range m.kinds {
+		kc := &m.kinds[i]
+		n := kc.count.Load()
+		if n == 0 {
+			continue
+		}
+		if s.DeltaKinds == nil {
+			s.DeltaKinds = map[string]DeltaKindStats{}
+		}
+		s.DeltaKinds[deltaKinds[i]] = DeltaKindStats{
+			Count:             n,
+			MemoHitRatio:      float64(kc.memoSumMicro.Load()) / 1e6 / float64(n),
+			RevalHitRatio:     float64(kc.revalSumMicro.Load()) / 1e6 / float64(n),
+			DirtyLeafRatioAvg: float64(kc.dirtySumMicro.Load()) / 1e6 / float64(n),
+		}
 	}
 	for i := range m.latencyHist {
 		b := HistBucket{Count: m.latencyHist[i].Load()}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/incr"
+)
+
+func TestMetricsDeltaKindBreakdown(t *testing.T) {
+	var m Metrics
+
+	// Two capacity deltas with different reuse profiles, one pitch derate,
+	// and one unknown kind that must land in "mixed".
+	m.ObserveDeltaResult("adjust_capacity", &incr.DeltaResult{
+		LeafSolves: 100, MemoHits: 90, RevalHits: 10, DirtyLeafRatio: 0, CacheEvictions: 3,
+	})
+	m.ObserveDeltaResult("adjust_capacity", &incr.DeltaResult{
+		LeafSolves: 100, MemoHits: 50, RevalHits: 30, DirtyLeafRatio: 0.2,
+	})
+	m.ObserveDeltaResult("derate_pitch", &incr.DeltaResult{
+		LeafSolves: 200, MemoHits: 0, RevalHits: 190, DirtyLeafRatio: 0.05,
+	})
+	m.ObserveDeltaResult("no_such_kind", &incr.DeltaResult{
+		LeafSolves: 10, MemoHits: 10,
+	})
+
+	s := m.Snapshot()
+	if s.CacheEvictions != 3 {
+		t.Fatalf("cache_evictions = %d, want 3", s.CacheEvictions)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-4 }
+
+	ac, ok := s.DeltaKinds["adjust_capacity"]
+	if !ok {
+		t.Fatalf("adjust_capacity missing from %+v", s.DeltaKinds)
+	}
+	if ac.Count != 2 || !approx(ac.MemoHitRatio, 0.7) || !approx(ac.RevalHitRatio, 0.2) || !approx(ac.DirtyLeafRatioAvg, 0.1) {
+		t.Fatalf("adjust_capacity stats: %+v", ac)
+	}
+	dp := s.DeltaKinds["derate_pitch"]
+	if dp.Count != 1 || !approx(dp.RevalHitRatio, 0.95) || !approx(dp.MemoHitRatio, 0) {
+		t.Fatalf("derate_pitch stats: %+v", dp)
+	}
+	mx := s.DeltaKinds["mixed"]
+	if mx.Count != 1 || !approx(mx.MemoHitRatio, 1) {
+		t.Fatalf("unknown kind should aggregate under mixed: %+v", mx)
+	}
+	if _, ok := s.DeltaKinds["reroute"]; ok {
+		t.Fatal("unobserved kind appeared in the snapshot")
+	}
+}
+
+func TestMetricsDeltaKindZeroLeaves(t *testing.T) {
+	var m Metrics
+	// A delta that released nothing has zero leaf slots; the ratios must not
+	// divide by zero and the observation still counts.
+	m.ObserveDeltaResult("reroute", &incr.DeltaResult{})
+	s := m.Snapshot()
+	rr := s.DeltaKinds["reroute"]
+	if rr.Count != 1 || rr.MemoHitRatio != 0 || rr.RevalHitRatio != 0 {
+		t.Fatalf("zero-leaf observation: %+v", rr)
+	}
+}

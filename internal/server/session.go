@@ -42,6 +42,12 @@ type SessionSpec struct {
 	Steiner bool `json:"steiner,omitempty"`
 	// Verify re-audits the released and rerouted nets after every solve.
 	Verify bool `json:"verify,omitempty"`
+	// Revalidate enables the epsilon-equivalence reuse tier: capacity- and
+	// pitch-only drifts reuse cached leaf solutions after an independent
+	// feasibility recount instead of re-solving. Results then carry
+	// equivalence_mode "epsilon" once any reuse fires (see incr.Config).
+	// Warm starts are the existing options.warm_start knob.
+	Revalidate bool `json:"revalidate,omitempty"`
 	// Options tunes the optimizer, as in a job spec.
 	Options *SolveOptions `json:"options,omitempty"`
 }
@@ -60,10 +66,11 @@ func (s *SessionSpec) incrConfig() incr.Config {
 	js := JobSpec{Options: s.Options}
 	copt := js.coreOptions(nil)
 	return incr.Config{
-		Prepare: popt,
-		Core:    copt,
-		Ratio:   s.ReleaseRatio,
-		Verify:  s.Verify,
+		Prepare:    popt,
+		Core:       copt,
+		Ratio:      s.ReleaseRatio,
+		Verify:     s.Verify,
+		Revalidate: s.Revalidate,
 	}
 }
 
@@ -315,10 +322,27 @@ func (s *Server) ApplyDeltas(id string, deltas []incr.Delta) (*incr.DeltaResult,
 	es.mu.Unlock()
 	s.metrics.DeltaSolves.Add(1)
 	s.metrics.ObserveDirtyRatio(res.DirtyLeafRatio)
+	s.metrics.ObserveDeltaResult(batchKind(deltas), res)
 	s.metrics.ObserveLatency(time.Since(start))
 	s.log.Info("delta batch applied", "session", id, "deltas", len(deltas),
-		"dirty_leaf_ratio", res.DirtyLeafRatio, "wall_ms", res.WallMS)
+		"kind", batchKind(deltas), "dirty_leaf_ratio", res.DirtyLeafRatio,
+		"equivalence", res.EquivalenceMode, "wall_ms", res.WallMS)
 	return res, nil
+}
+
+// batchKind classifies a delta batch for the per-kind metrics: the shared
+// kind when the batch is uniform, "mixed" otherwise.
+func batchKind(deltas []incr.Delta) string {
+	if len(deltas) == 0 {
+		return "mixed"
+	}
+	kind := deltas[0].Kind()
+	for _, d := range deltas[1:] {
+		if d.Kind() != kind {
+			return "mixed"
+		}
+	}
+	return kind
 }
 
 // DeltaRequest is the POST /v1/sessions/{id}/deltas request body.

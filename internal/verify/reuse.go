@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Reuse-certification tolerances. Deliberately re-stated here rather than
+// shared with core: the auditor recounts the revalidation decision from the
+// raw numbers with its own constants, so a typo in the hot path cannot
+// self-validate.
+const (
+	// reuseCapTol is the slack allowed on a binding capacity row — the same
+	// contract core's revalidation tier claims to enforce.
+	reuseCapTol = 1e-2
+	// reuseRowTol bounds how far a reused fractional preference row may
+	// stray from summing to one. The ADMM satisfies the assignment
+	// equalities only to its tolerance and the diagonal read-out clips to
+	// [0,1], so this is a loose sanity bound, not the solver tolerance.
+	reuseRowTol = 0.1
+)
+
+// ReuseAuditor independently certifies revalidation-tier reuse decisions
+// (core.Options.OnRevalidate). For every candidate it recounts, from the
+// raw numbers in the RevalCheck, what the hot path claims to have checked:
+// each fractional value is a number in [0,1], each preference row still
+// sums to one within a loose solver-tolerance bound, every capacity-row
+// member reference is in range, and every binding capacity row holds under
+// the cached fractional loads. A candidate failing any recount is vetoed —
+// the leaf re-solves fresh — and recorded as a violation, so a bug in the
+// hot path's feasibility check degrades performance, never correctness.
+type ReuseAuditor struct {
+	mu         sync.Mutex
+	checked    int
+	vetoed     int
+	violations []Violation
+}
+
+// NewReuseAuditor builds an auditor ready to install.
+func NewReuseAuditor() *ReuseAuditor {
+	return &ReuseAuditor{}
+}
+
+// Hook returns the callback to install as core.Options.OnRevalidate. Safe
+// for concurrent use by parallel leaf workers.
+func (a *ReuseAuditor) Hook() func(core.RevalCheck) bool {
+	return func(rc core.RevalCheck) bool {
+		msg := recountReuse(rc)
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.checked++
+		if msg == "" {
+			return true
+		}
+		a.vetoed++
+		a.violations = append(a.violations, Violation{
+			Kind: KindReuse, Net: -1,
+			Msg: fmt.Sprintf("leaf %#x: %s", rc.Leaf, msg),
+		})
+		return false
+	}
+}
+
+// recountReuse re-derives the reuse decision; empty string means certified.
+func recountReuse(rc core.RevalCheck) string {
+	for vi, row := range rc.Frac {
+		sum := 0.0
+		for li, v := range row {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Sprintf("frac[%d][%d] = %v outside [0,1]", vi, li, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > reuseRowTol {
+			return fmt.Sprintf("frac row %d sums to %v, want 1 ± %v", vi, sum, reuseRowTol)
+		}
+	}
+	for ei, e := range rc.Edges {
+		load := 0.0
+		for _, m := range e.Members {
+			if m.Seg < 0 || m.Seg >= len(rc.Frac) {
+				return fmt.Sprintf("edge %d references segment %d of %d", ei, m.Seg, len(rc.Frac))
+			}
+			row := rc.Frac[m.Seg]
+			if m.LayerIdx < 0 || m.LayerIdx >= len(row) {
+				return fmt.Sprintf("edge %d references layer index %d of %d (seg %d)", ei, m.LayerIdx, len(row), m.Seg)
+			}
+			load += row[m.LayerIdx]
+		}
+		if load > e.Avail+reuseCapTol {
+			return fmt.Sprintf("edge %d load %v exceeds avail %v + %v", ei, load, e.Avail, reuseCapTol)
+		}
+	}
+	return ""
+}
+
+// Checked returns how many reuse candidates were audited.
+func (a *ReuseAuditor) Checked() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checked
+}
+
+// Vetoed returns how many candidates failed the recount and were forced to
+// re-solve.
+func (a *ReuseAuditor) Vetoed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.vetoed
+}
+
+// Violations returns a copy of the accumulated violations.
+func (a *ReuseAuditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.violations...)
+}
+
+// Fill merges the auditor's findings into a report.
+func (a *ReuseAuditor) Fill(rep *Report) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep.ReuseChecks += a.checked
+	rep.Merge(a.violations...)
+}

@@ -1,0 +1,86 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// goodCheck is a feasible two-segment, one-edge reuse candidate.
+func goodCheck() core.RevalCheck {
+	return core.RevalCheck{
+		Leaf: 0xbeef,
+		Frac: [][]float64{{0.7, 0.3}, {0.2, 0.8}},
+		Edges: []core.RevalEdge{{
+			Avail: 1,
+			Members: []core.RevalMember{
+				{Seg: 0, LayerIdx: 0},
+				{Seg: 1, LayerIdx: 0},
+			},
+		}},
+	}
+}
+
+func TestReuseAuditorCertifiesFeasible(t *testing.T) {
+	a := NewReuseAuditor()
+	if !a.Hook()(goodCheck()) {
+		t.Fatalf("feasible candidate vetoed: %v", a.Violations())
+	}
+	if a.Checked() != 1 || a.Vetoed() != 0 {
+		t.Fatalf("checked=%d vetoed=%d, want 1/0", a.Checked(), a.Vetoed())
+	}
+	rep := newReport(Options{}.withDefaults())
+	a.Fill(rep)
+	if !rep.Clean() || rep.ReuseChecks != 1 {
+		t.Fatalf("report after clean audit: %s", rep.Summary())
+	}
+}
+
+func TestReuseAuditorVetoes(t *testing.T) {
+	cases := map[string]func(*core.RevalCheck){
+		"overfull edge": func(rc *core.RevalCheck) {
+			rc.Frac[0][0] = 1
+			rc.Frac[0][1] = 0
+			rc.Frac[1][0] = 1
+			rc.Frac[1][1] = 0
+		},
+		"value outside range": func(rc *core.RevalCheck) { rc.Frac[0][0] = 1.5 },
+		"NaN value":           func(rc *core.RevalCheck) { rc.Frac[0][0] = math.NaN() },
+		"row sum off": func(rc *core.RevalCheck) {
+			rc.Frac[0][0] = 0.2
+			rc.Frac[0][1] = 0.2
+		},
+		"segment out of range": func(rc *core.RevalCheck) {
+			rc.Edges[0].Members[0].Seg = 9
+		},
+		"layer index out of range": func(rc *core.RevalCheck) {
+			rc.Edges[0].Members[0].LayerIdx = 9
+		},
+	}
+	for name, corrupt := range cases {
+		a := NewReuseAuditor()
+		rc := goodCheck()
+		corrupt(&rc)
+		if a.Hook()(rc) {
+			t.Errorf("%s: not vetoed", name)
+			continue
+		}
+		if a.Vetoed() != 1 {
+			t.Errorf("%s: vetoed=%d, want 1", name, a.Vetoed())
+		}
+		vs := a.Violations()
+		if len(vs) != 1 || vs[0].Kind != KindReuse {
+			t.Errorf("%s: violations = %v, want one KindReuse", name, vs)
+		}
+		rep := newReport(Options{}.withDefaults())
+		a.Fill(rep)
+		if rep.Clean() {
+			t.Errorf("%s: report clean after veto", name)
+		}
+		if !strings.Contains(rep.Summary(), "reuse") {
+			t.Errorf("%s: summary misses reuse: %s", name, rep.Summary())
+		}
+	}
+}

@@ -63,6 +63,11 @@ const (
 	// KindSDP is an SDP solution failing sanity: asymmetry, negative
 	// eigenvalue, residual or objective inconsistency, violated bounds.
 	KindSDP Kind = "sdp"
+	// KindReuse is a revalidation-tier reuse candidate whose independent
+	// recount failed: a cached fractional solution the hot path claimed was
+	// still feasible under the drifted capacity bounds, but is not (see
+	// ReuseAuditor).
+	KindReuse Kind = "reuse"
 )
 
 // Violation is one detected invariant breach.
@@ -120,6 +125,9 @@ type Report struct {
 	SegsChecked  int
 	SinksChecked int
 	SDPSolves    int
+	// ReuseChecks counts revalidation-tier reuse candidates recounted by a
+	// ReuseAuditor (0 when none was installed).
+	ReuseChecks int
 
 	maxPerKind int
 }
@@ -184,6 +192,9 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "; nets=%d segs=%d sinks=%d", r.NetsChecked, r.SegsChecked, r.SinksChecked)
 	if r.SDPSolves > 0 {
 		fmt.Fprintf(&b, " sdp_solves=%d", r.SDPSolves)
+	}
+	if r.ReuseChecks > 0 {
+		fmt.Fprintf(&b, " reuse_checks=%d", r.ReuseChecks)
 	}
 	fmt.Fprintf(&b, "; overflow edge=%d/%d via=%d/%d",
 		r.Overflow.EdgeViolations, r.Overflow.EdgeExcess,

@@ -40,3 +40,9 @@ fi
 # matmul must stay allocation-free in steady state (baselines recorded in
 # BENCH_kernels.json by `make bench-kernels`).
 go run ./cmd/benchkernels -gate
+
+# Incremental-reuse smoke gate: one capacity delta on a small-suite instance
+# must reuse cached leaf solves (memo or revalidation hits > 0, dirty-leaf
+# ratio < 1) with a clean independent audit. Catches regressions that
+# silently turn the ECO path back into a full re-solve.
+go run ./cmd/benchincr -smoke

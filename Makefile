@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-kernels bench-incr serve fuzz
+.PHONY: check test bench bench-kernels bench-incr bench-sta serve fuzz
 
 # Fast verification gate: gofmt, full build, go vet, race-enabled tests of
 # the CPLA hot-path and server packages.
@@ -16,11 +16,14 @@ serve:
 # Bounded fuzzing of the untrusted-input surfaces: the ISPD'08 parser
 # (reachable by upload via POST /v1/jobs), the quadtree partitioner, and
 # the ECO delta engine (random delta scripts checked against cold replays).
-# Seed corpora live under each package's testdata/fuzz/.
+# Seed corpora live under each package's testdata/fuzz/. FuzzSTAUpdate
+# mutates random layer assignments and checks the incremental STA index
+# against a from-scratch analysis, bitwise.
 fuzz:
 	go test ./internal/ispd08/ -run=NONE -fuzz=FuzzParse -fuzztime=30s
 	go test ./internal/partition/ -run=NONE -fuzz=FuzzPartition -fuzztime=30s
 	go test ./internal/incr/ -run=NONE -fuzz=FuzzDeltas -fuzztime=30s
+	go test ./internal/sta/ -run=NONE -fuzz=FuzzSTAUpdate -fuzztime=30s
 
 # The allocation-sensitive benchmarks recorded in BENCH_sdp.json.
 bench:
@@ -40,3 +43,9 @@ bench-kernels:
 # with per-delta speedups, cache tiers hit and the equivalence mode.
 bench-incr:
 	go run ./cmd/benchincr
+
+# Incremental STA benchmark: single-net Update vs full re-analysis and
+# top-K path extraction vs brute-force enumeration, every comparison gated
+# bitwise. Rewrites BENCH_sta.json.
+bench-sta:
+	go run ./cmd/benchsta

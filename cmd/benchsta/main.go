@@ -1,0 +1,315 @@
+// Command benchsta measures the incremental STA engine (internal/sta)
+// against full re-analysis and brute-force path enumeration, recording
+// the result in BENCH_sta.json (the `make bench-sta` target).
+//
+// The scenario is the query side of the paper's ECO loop: route and
+// layer-assign a Table-2-scale instance once, then repeatedly perturb a
+// single net's layer assignment — the smallest delta the optimizer emits —
+// and time the slack index's incremental Update against rebuilding the
+// whole analysis from scratch. Every timed update is gated on bitwise
+// equivalence: after the perturbation sequence the incrementally
+// maintained index and its top-K paths must match a from-scratch Analysis
+// exactly (sta.PathsEqual), and top-K extraction must match the
+// deliberately-naive enumerator in internal/verify. Any mismatch is a
+// hard error, so the benchmark doubles as an equivalence audit.
+//
+//	go run ./cmd/benchsta
+//	go run ./cmd/benchsta -bench newblue1 -k 64 -out BENCH_sta.json
+//	go run ./cmd/benchsta -smoke   # fast CI gate on the small suite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/ispd08"
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/sta"
+	"repro/internal/timing"
+	"repro/internal/tree"
+	"repro/internal/verify"
+)
+
+type record struct {
+	Description string `json:"description"`
+	Benchmark   string `json:"benchmark"`
+	Nets        int    `json:"nets"`
+	TotalNodes  int    `json:"total_nodes"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+
+	Required       float64 `json:"required"`
+	ViolationRatio float64 `json:"violation_ratio"`
+
+	// FullRebuildMS is the mean wall time of a from-scratch re-analysis
+	// (forward propagation of every net plus index sort); IncrUpdateMS the
+	// mean wall time of Update after a single-net layer-assignment delta.
+	FullRebuildMS  float64 `json:"full_rebuild_ms"`
+	IncrUpdateMS   float64 `json:"incr_update_ms"`
+	Speedup        float64 `json:"speedup"`
+	UpdatesTimed   int     `json:"updates_timed"`
+	NodesPerUpdate float64 `json:"nodes_per_update"`
+
+	// TopKMS vs BruteForceMS time the engine's index-walk top-K extraction
+	// against the naive full enumeration in internal/verify, same answer
+	// required bitwise.
+	K            int     `json:"k"`
+	Siblings     int     `json:"siblings"`
+	TopKMS       float64 `json:"topk_ms"`
+	BruteForceMS float64 `json:"brute_force_ms"`
+	TopKSpeedup  float64 `json:"topk_speedup"`
+
+	// Equivalent records that every gate passed: incremental index and
+	// top-K bitwise-identical to from-scratch, top-K identical to brute
+	// force.
+	Equivalent bool `json:"equivalent"`
+}
+
+func main() {
+	benchName := flag.String("bench", "adaptec1", "synthetic suite benchmark to measure")
+	ratio := flag.Float64("ratio", 0.02, "violation ratio fixing the required time")
+	k := flag.Int("k", 32, "paths per top-K query")
+	sibs := flag.Int("siblings", 2, "per-branch sibling expansion bound (0 disables)")
+	updates := flag.Int("updates", 40, "single-net deltas to time")
+	rebuilds := flag.Int("rebuilds", 5, "full re-analyses to average")
+	out := flag.String("out", "BENCH_sta.json", "output record path")
+	smoke := flag.Bool("smoke", false, "fast CI gate: small-suite instance, assert partial re-propagation and bitwise equivalence (no output file)")
+	flag.Parse()
+	if *smoke {
+		os.Exit(runSmoke(*benchName))
+	}
+	os.Exit(run(*benchName, *ratio, *k, *sibs, *updates, *rebuilds, *out))
+}
+
+// build routes, treeifies and layer-assigns one generated instance — the
+// same preparation the pipeline runs before timing ever matters.
+func build(p ispd08.GenParams) (*netlist.Design, *timing.Engine, []*tree.Tree, error) {
+	d, err := ispd08.Generate(p)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := route.RouteAll(d, route.Options{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trees, err := tree.BuildAll(res, d)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	assign.AssignAll(d.Grid, trees, assign.Options{})
+	return d, timing.NewEngine(d.Stack, timing.DefaultParams()), trees, nil
+}
+
+// perturb moves every segment of net ni up two layers (wrapping to the
+// lowest same-parity layer), the same direction-preserving ECO the sta
+// differential tests use.
+func perturb(d *netlist.Design, trees []*tree.Tree, ni int) bool {
+	tr := trees[ni]
+	if tr == nil || len(tr.Segs) == 0 {
+		return false
+	}
+	n := d.Stack.NumLayers()
+	for i := range tr.Segs {
+		l := tr.Segs[i].Layer + 2
+		if l >= n {
+			l = tr.Segs[i].Layer % 2
+		}
+		tr.Segs[i].Layer = l
+	}
+	return true
+}
+
+func totalNodes(trees []*tree.Tree) int {
+	n := 0
+	for _, tr := range trees {
+		if tr != nil {
+			n += len(tr.Nodes)
+		}
+	}
+	return n
+}
+
+// sameAnalysis gates the incremental engine against a from-scratch build
+// of the same trees: worst-net order and top-K paths must agree bitwise.
+func sameAnalysis(a, fresh *sta.Analysis, k, sibs int) string {
+	wa, wf := a.WorstNets(1<<31-1), fresh.WorstNets(1<<31-1)
+	if len(wa) != len(wf) {
+		return fmt.Sprintf("index length %d vs %d", len(wa), len(wf))
+	}
+	for i := range wa {
+		if wa[i] != wf[i] {
+			return fmt.Sprintf("index diverges at rank %d: net %d vs %d", i, wa[i], wf[i])
+		}
+	}
+	opt := sta.QueryOptions{MaxSiblings: sibs}
+	if !sta.PathsEqual(a.TopK(k, opt), fresh.TopK(k, opt)) {
+		return "top-K paths diverge"
+	}
+	return ""
+}
+
+func run(benchName string, ratio float64, k, sibs, updates, rebuilds int, out string) int {
+	p, err := ispd08.ByName(benchName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsta: %v\n", err)
+		return 1
+	}
+	d, eng, trees, err := build(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsta: %v\n", err)
+		return 1
+	}
+	required := timing.BudgetForViolationRatio(eng.AnalyzeAll(trees), ratio)
+	a := sta.New(eng, trees, required)
+	fmt.Printf("%s: %d nets, %d tree nodes, required %.1f (ratio %.3f)\n",
+		benchName, len(d.Nets), totalNodes(trees), required, ratio)
+
+	// Full re-analysis baseline: every net re-propagated, index re-sorted.
+	start := time.Now()
+	for i := 0; i < rebuilds; i++ {
+		a.Rebuild(trees)
+	}
+	fullMS := ms(time.Since(start)) / float64(rebuilds)
+
+	// Single-net deltas, round-robin over routed nets: perturb, then time
+	// Update. The perturbations accumulate, so the final state exercises a
+	// long real update history before the equivalence gate.
+	statsBefore := a.Stats()
+	timed := 0
+	var updTotal time.Duration
+	for ni := 0; timed < updates && ni < len(trees); ni++ {
+		if !perturb(d, trees, ni) {
+			continue
+		}
+		start = time.Now()
+		a.Update(trees, []int{ni})
+		updTotal += time.Since(start)
+		timed++
+	}
+	if timed == 0 {
+		fmt.Fprintln(os.Stderr, "benchsta: no routed nets to perturb")
+		return 1
+	}
+	incrMS := ms(updTotal) / float64(timed)
+	stats := a.Stats()
+	nodesPer := float64(stats.NodesRepropagated-statsBefore.NodesRepropagated) / float64(timed)
+
+	gate := sameAnalysis(a, sta.New(eng, trees, required), 64, sibs)
+	if gate != "" {
+		fmt.Fprintf(os.Stderr, "benchsta: FAIL: incremental state diverged from from-scratch analysis: %s\n", gate)
+		return 1
+	}
+
+	// Top-K extraction vs naive enumeration, bitwise answer required.
+	start = time.Now()
+	got := a.TopK(k, sta.QueryOptions{MaxSiblings: sibs})
+	topkMS := ms(time.Since(start))
+	start = time.Now()
+	want := verify.TopKPaths(d.Stack, eng.Params.SinkCap, trees, required, k, sibs)
+	bruteMS := ms(time.Since(start))
+	if !sta.PathsEqual(got, want) {
+		fmt.Fprintf(os.Stderr, "benchsta: FAIL: top-%d diverges from brute force (%d vs %d paths)\n", k, len(got), len(want))
+		return 1
+	}
+
+	rec := record{
+		Description:    "Incremental STA after a single-net layer-assignment delta vs full re-analysis, and index-walk top-K path extraction vs naive full enumeration (internal/verify). full_rebuild_ms re-propagates every net and re-sorts the slack index; incr_update_ms re-propagates only the changed net and re-inserts it. All comparisons are gated bitwise: the incrementally maintained index, its top-K paths and the brute-force answer must be identical (equivalent=true). Regenerate with `make bench-sta`.",
+		Benchmark:      benchName,
+		Nets:           len(d.Nets),
+		TotalNodes:     totalNodes(trees),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Required:       required,
+		ViolationRatio: ratio,
+		FullRebuildMS:  fullMS,
+		IncrUpdateMS:   incrMS,
+		Speedup:        fullMS / incrMS,
+		UpdatesTimed:   timed,
+		NodesPerUpdate: nodesPer,
+		K:              k,
+		Siblings:       sibs,
+		TopKMS:         topkMS,
+		BruteForceMS:   bruteMS,
+		TopKSpeedup:    bruteMS / topkMS,
+		Equivalent:     true,
+	}
+	fmt.Printf("full re-analysis %.3fms, single-net update %.4fms (%.0fx, %.0f nodes/update of %d)\n",
+		rec.FullRebuildMS, rec.IncrUpdateMS, rec.Speedup, rec.NodesPerUpdate, rec.TotalNodes)
+	fmt.Printf("top-%d query %.3fms, brute force %.1fms (%.0fx), answers bitwise identical\n",
+		k, rec.TopKMS, rec.BruteForceMS, rec.TopKSpeedup)
+	if rec.Speedup < 10 {
+		fmt.Fprintf(os.Stderr, "benchsta: warning: incremental update speedup %.1fx below the 10x target\n", rec.Speedup)
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsta: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsta: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", out)
+	return 0
+}
+
+// runSmoke is the fast CI gate (scripts/check.sh): on a small-suite
+// instance, a single-net delta must re-propagate only a small fraction of
+// the design's tree nodes, and the resulting index and top-K paths must be
+// bitwise-identical to a from-scratch analysis and to the brute-force
+// enumerator. No timing, no output file.
+func runSmoke(benchName string) int {
+	p, err := ispd08.SmallByName(benchName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsta: %v\n", err)
+		return 1
+	}
+	d, eng, trees, err := build(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsta: smoke build: %v\n", err)
+		return 1
+	}
+	required := timing.BudgetForViolationRatio(eng.AnalyzeAll(trees), 0.02)
+	a := sta.New(eng, trees, required)
+	total := totalNodes(trees)
+	base := a.Stats().NodesRepropagated
+
+	changed := []int{}
+	for ni := 0; len(changed) < 3 && ni < len(trees); ni++ {
+		if perturb(d, trees, ni) {
+			changed = append(changed, ni)
+			a.Update(trees, []int{ni})
+		}
+	}
+	if len(changed) == 0 {
+		fmt.Fprintf(os.Stderr, "benchsta: smoke FAIL: no routed nets to perturb\n")
+		return 1
+	}
+	reprop := a.Stats().NodesRepropagated - base
+	if reprop == 0 || reprop >= total/2 {
+		fmt.Fprintf(os.Stderr, "benchsta: smoke FAIL: %d single-net deltas re-propagated %d of %d nodes — not incremental\n",
+			len(changed), reprop, total)
+		return 1
+	}
+	if gate := sameAnalysis(a, sta.New(eng, trees, required), 32, 2); gate != "" {
+		fmt.Fprintf(os.Stderr, "benchsta: smoke FAIL: %s\n", gate)
+		return 1
+	}
+	got := a.TopK(16, sta.QueryOptions{MaxSiblings: 2})
+	want := verify.TopKPaths(d.Stack, eng.Params.SinkCap, trees, required, 16, 2)
+	if !sta.PathsEqual(got, want) {
+		fmt.Fprintf(os.Stderr, "benchsta: smoke FAIL: top-16 diverges from brute force\n")
+		return 1
+	}
+	fmt.Printf("smoke %s: %d single-net deltas re-propagated %d of %d nodes, index and top-16 bitwise-identical to from-scratch and brute force\n",
+		p.Name, len(changed), reprop, total)
+	fmt.Println("smoke PASS")
+	return 0
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

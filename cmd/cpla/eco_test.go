@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeScript(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "script.jsonl")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadScriptMixedOps(t *testing.T) {
+	p := writeScript(t, `
+# warm-up comment
+{"paths": {"k": 3}}
+{"reroute": {"net": 7}}
+[{"adjust_capacity": {"min_x": 0, "min_y": 0, "max_x": 4, "max_y": 4, "factor": 0.5}}, {"reroute": {"net": 2}}]
+{"paths": {"k": 5, "siblings": 0, "required": 1234.5}}
+`)
+	ops, err := loadScript(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("got %d ops, want 4", len(ops))
+	}
+	if ops[0].paths == nil || ops[0].paths.K != 3 || ops[0].paths.Siblings != nil {
+		t.Fatalf("op 0: %+v", ops[0].paths)
+	}
+	if ops[1].batch == nil || len(ops[1].batch) != 1 || ops[1].batch[0].Kind() != "reroute" {
+		t.Fatalf("op 1: %+v", ops[1])
+	}
+	if len(ops[2].batch) != 2 {
+		t.Fatalf("op 2: want a 2-delta batch, got %+v", ops[2])
+	}
+	q := ops[3].paths
+	if q == nil || q.K != 5 || q.Siblings == nil || *q.Siblings != 0 || q.Required != 1234.5 {
+		t.Fatalf("op 3: %+v", q)
+	}
+}
+
+func TestLoadScriptRejectsPathsPlusDelta(t *testing.T) {
+	p := writeScript(t, `{"paths": {"k": 2}, "reroute": {"net": 1}}`)
+	if _, err := loadScript(p); err == nil {
+		t.Fatal("line mixing paths and a delta must be rejected")
+	}
+}
+
+func TestLoadScriptRejectsUnknownField(t *testing.T) {
+	p := writeScript(t, `{"pathz": {"k": 2}}`)
+	if _, err := loadScript(p); err == nil {
+		t.Fatal("unknown field must be rejected")
+	}
+}
+
+func TestLoadScriptRejectsEmpty(t *testing.T) {
+	p := writeScript(t, "# only a comment\n")
+	if _, err := loadScript(p); err == nil {
+		t.Fatal("empty script must be rejected")
+	}
+}

@@ -19,6 +19,7 @@
 package incr
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,11 @@ import (
 	"repro/internal/grid"
 	"repro/internal/netlist"
 )
+
+// ErrNoRoutedTree is the typed rejection for set_critical deltas naming a
+// net without a routed tree (degenerate or never routed): such a net has
+// no timing and cannot be released. Callers match it with errors.Is.
+var ErrNoRoutedTree = errors.New("incr: critical net has no routed tree")
 
 // Delta is one typed ECO mutation. Exactly one field must be set.
 type Delta struct {
@@ -137,7 +143,7 @@ func normalizeNets(d *netlist.Design, hasTree func(int) bool, nets []int) ([]int
 			return nil, fmt.Errorf("incr: critical net %d out of range", ni)
 		}
 		if !hasTree(ni) {
-			return nil, fmt.Errorf("incr: critical net %d has no routed tree", ni)
+			return nil, fmt.Errorf("%w: net %d", ErrNoRoutedTree, ni)
 		}
 		if !seen[ni] {
 			seen[ni] = true

@@ -15,6 +15,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/pipeline"
 	"repro/internal/route"
+	"repro/internal/sta"
 	"repro/internal/timing"
 	"repro/internal/tree"
 	"repro/internal/verify"
@@ -39,6 +40,11 @@ type Config struct {
 	// Ratio is the critical release ratio used when no SetCritical delta
 	// is in effect (0 → 0.005, the paper's default).
 	Ratio float64
+	// Required is the arrival budget the session's STA view reports slack
+	// against (same time unit as the Elmore delays). 0 derives it once at
+	// the base solve via timing.BudgetForViolationRatio over Ratio, so the
+	// released set and the negative-slack set initially coincide.
+	Required float64
 	// CacheEntries bounds the persistent solve cache (0 → default).
 	CacheEntries int
 	// Verify audits the released and rerouted nets with the independent
@@ -100,6 +106,16 @@ type DeltaResult struct {
 	// mutated regions, closed over net spans.
 	PredictedDirtyLeaves int `json:"predicted_dirty_leaves"`
 	PredictedLeaves      int `json:"predicted_leaves"`
+	// Required is the arrival budget the session's STA view reports slack
+	// against; WorstSlack is the design's worst path slack after the solve
+	// (omitted when no net is analyzable).
+	Required   float64  `json:"required,omitempty"`
+	WorstSlack *float64 `json:"worst_slack,omitempty"`
+	// StaUpdates / StaNodesReprop count the STA engine's incremental work
+	// during this solve: Update calls and tree nodes re-propagated (the
+	// optimizer's accept/revert retimes included).
+	StaUpdates     int `json:"sta_updates,omitempty"`
+	StaNodesReprop int `json:"sta_nodes_reprop,omitempty"`
 	// Overflow is the grid's capacity-violation summary after the solve.
 	Overflow grid.Overflow `json:"overflow"`
 	// Verify holds the scoped audit summary when Config.Verify is set.
@@ -131,6 +147,9 @@ type Session struct {
 	// (keyed by released ids + their route generations), reused across
 	// deltas by predictDirty.
 	part *partitionCache
+	// required is the arrival budget of the session's STA view, fixed at
+	// the base solve (Config.Required, or derived — see Config).
+	required float64
 	// initLayers snapshots the per-net initial assignment right after
 	// AssignAll. In epsilon mode a batch that reroutes nothing restores this
 	// snapshot instead of re-running the global usage-aware assignment, so a
@@ -321,6 +340,11 @@ func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects
 	st := s.st
 	g := st.Design.Grid
 
+	var staBefore sta.Stats
+	if v := st.STAView(); v != nil {
+		staBefore = v.Stats()
+	}
+
 	g.ResetUsage()
 	var prevLayers [][]int
 	if applied > 0 {
@@ -375,9 +399,24 @@ func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects
 		}
 		timings = st.Retime(retime)
 	}
+	if applied == 0 {
+		// Fix the slack budget once, against the base analysis, so slacks
+		// stay comparable across the whole delta history.
+		s.required = s.cfg.Required
+		if s.required == 0 {
+			s.required = timing.BudgetForViolationRatio(timings, s.cfg.ratio())
+		}
+	}
+	// Building (or refreshing) the STA view here also arms the pipeline
+	// hooks: every Retime inside the optimizer rounds below keeps it fresh.
+	ana := st.STA(s.required)
 	released := s.critical
 	if released == nil {
-		released = timing.SelectCritical(timings, s.cfg.ratio())
+		// Worst-slack selection off the STA index. Analysis.SelectCritical
+		// is constructed to agree with timing.SelectCritical element for
+		// element (ColdReplay still calls the latter), so the bitwise
+		// cold-replay contract is untouched.
+		released = ana.SelectCritical(s.cfg.ratio())
 	}
 	s.released = released
 
@@ -433,6 +472,13 @@ func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects
 	if s.diverged {
 		dr.EquivalenceMode = "epsilon"
 	}
+	dr.Required = s.required
+	if ws, ok := ana.WorstSlack(); ok {
+		dr.WorstSlack = &ws
+	}
+	staAfter := ana.Stats()
+	dr.StaUpdates = staAfter.Updates - staBefore.Updates
+	dr.StaNodesReprop = staAfter.NodesRepropagated - staBefore.NodesRepropagated
 	if s.cfg.Verify {
 		audit := append(append([]int(nil), released...), changed...)
 		rep := verify.Nets(st, audit, verify.Options{})
@@ -594,4 +640,27 @@ func (s *Session) Released() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]int(nil), s.released...)
+}
+
+// Required returns the arrival budget the session's STA view reports
+// slack against (fixed at the base solve).
+func (s *Session) Required() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.required
+}
+
+// Paths returns the session's current top-k critical paths, worst slack
+// first, and the required time the reported slacks are measured against
+// (opt.Required when overridden, the session budget otherwise). The view
+// is maintained incrementally across deltas, so this is an index read
+// plus hop expansion — no re-analysis.
+func (s *Session) Paths(k int, opt sta.QueryOptions) ([]sta.Path, float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req := s.required
+	if opt.Required != 0 {
+		req = opt.Required
+	}
+	return s.st.STA(s.required).TopK(k, opt), req
 }

@@ -1,0 +1,160 @@
+package incr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sta"
+	"repro/internal/verify"
+)
+
+// TestSessionPathsAcrossDeltas exercises the designers' loop the STA view
+// exists for: read the worst paths, apply a delta, read them again — with
+// every answer cross-checked bitwise against the naive enumerator over the
+// session's live trees.
+func TestSessionPathsAcrossDeltas(t *testing.T) {
+	g, cfg := testGen(5), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Base()
+	if base.Required <= 0 {
+		t.Fatalf("base solve derived no required time: %+v", base)
+	}
+	if base.WorstSlack == nil {
+		t.Fatal("base solve reported no worst slack")
+	}
+	if base.StaUpdates == 0 || base.StaNodesReprop == 0 {
+		t.Fatalf("base solve reported no STA work: %+v", base)
+	}
+	if s.Required() != base.Required {
+		t.Fatalf("Session.Required() = %v, result says %v", s.Required(), base.Required)
+	}
+
+	checkPaths := func(stage string) []sta.Path {
+		t.Helper()
+		opt := sta.QueryOptions{MaxSiblings: 2}
+		paths, req := s.Paths(12, opt)
+		if req != s.Required() {
+			t.Fatalf("%s: Paths returned required %v, session says %v", stage, req, s.Required())
+		}
+		if len(paths) == 0 {
+			t.Fatalf("%s: no paths", stage)
+		}
+		st := s.State()
+		want := verify.TopKPaths(st.Design.Stack, st.Engine.Params.SinkCap, st.Trees, req, 12, 2)
+		if !sta.PathsEqual(paths, want) {
+			t.Fatalf("%s: session paths diverge from naive enumeration", stage)
+		}
+		for i := 1; i < len(paths); i++ {
+			if paths[i].Slack < paths[i-1].Slack {
+				t.Fatalf("%s: paths not sorted worst slack first", stage)
+			}
+		}
+		return paths
+	}
+
+	before := checkPaths("base")
+
+	// Starve the worst path's neighborhood of capacity, then reroute its
+	// net: the detour changes that net's tree, and with it the top paths.
+	victim := before[0].Net
+	st := s.State()
+	bb := routeBBox(st.Routes.Routes[victim])
+	if _, err := s.Apply(context.Background(), []Delta{{AdjustCapacity: &AdjustCapacitySpec{
+		MinX: bb.MinX, MinY: bb.MinY, MaxX: bb.MaxX, MaxY: bb.MaxY, Factor: 0.3,
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Apply(context.Background(), []Delta{{Reroute: &RerouteSpec{Net: victim}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StaUpdates == 0 {
+		t.Fatalf("delta solve reported no STA updates: %+v", res)
+	}
+	if res.Required != base.Required {
+		t.Fatalf("required drifted across delta: %v vs %v", res.Required, base.Required)
+	}
+	after := checkPaths("after reroute")
+	changed := false
+	for i := range after {
+		if i < len(before) && (after[i].Net != before[i].Net || after[i].Sink != before[i].Sink ||
+			after[i].Arrival != before[i].Arrival) {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("rerouting the worst net left the top paths untouched")
+	}
+
+	// The override changes reported slack, nothing else.
+	overridden, req := s.Paths(12, sta.QueryOptions{MaxSiblings: 2, Required: base.Required + 100})
+	if req != base.Required+100 {
+		t.Fatalf("override required = %v", req)
+	}
+	for i := range overridden {
+		if overridden[i].Net != after[i].Net || overridden[i].Arrival != after[i].Arrival {
+			t.Fatal("required override reordered paths")
+		}
+	}
+
+	requireEquivalent(t, s, g, cfg)
+}
+
+// TestSlackSelectionMatchesRatioSelection pins the release derivation:
+// the session now selects its released set off the STA slack index, while
+// ColdReplay still uses timing.SelectCritical — the two must agree net
+// for net (the bitwise cold-replay contract depends on it). The session
+// must also hold a live STA view after the base solve.
+func TestSlackSelectionMatchesRatioSelection(t *testing.T) {
+	g, cfg := testGen(7), testCfg()
+	s, err := New(context.Background(), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State().STAView() == nil {
+		t.Fatal("session has no STA view after base solve")
+	}
+	_, coldReleased, _, err := ColdReplay(context.Background(), g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := s.Released()
+	if len(released) == 0 || len(released) != len(coldReleased) {
+		t.Fatalf("released %d nets, cold selection has %d", len(released), len(coldReleased))
+	}
+	for i := range released {
+		if released[i] != coldReleased[i] {
+			t.Fatalf("released[%d] = net %d, ratio selection says %d", i, released[i], coldReleased[i])
+		}
+	}
+}
+
+// TestSetCriticalNilTreeTypedError pins the typed rejection: a
+// set_critical delta naming a net without a routed tree must fail with
+// ErrNoRoutedTree (and keep the incr: prefix the server's 400 mapping
+// keys on), leaving the session untouched.
+func TestSetCriticalNilTreeTypedError(t *testing.T) {
+	d, derr := testGen(1)()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	_, err := normalizeNets(d, func(int) bool { return false }, []int{3})
+	if err == nil {
+		t.Fatal("normalizeNets accepted a tree-less net")
+	}
+	if !errors.Is(err, ErrNoRoutedTree) {
+		t.Fatalf("error %v is not ErrNoRoutedTree", err)
+	}
+	if !strings.HasPrefix(err.Error(), "incr:") {
+		t.Fatalf("error %q lost the incr: prefix", err)
+	}
+	if !strings.Contains(err.Error(), "net 3") {
+		t.Fatalf("error %q does not name the offending net", err)
+	}
+}

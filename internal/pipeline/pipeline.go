@@ -10,6 +10,7 @@ import (
 	"repro/internal/assign"
 	"repro/internal/netlist"
 	"repro/internal/route"
+	"repro/internal/sta"
 	"repro/internal/timing"
 	"repro/internal/tree"
 )
@@ -28,6 +29,12 @@ type State struct {
 	// mutated), so a held NetTiming stays internally consistent, but the
 	// slice itself reflects the latest analysis.
 	timings []*timing.NetTiming
+
+	// sta is the node-level STA view over the same trees, built lazily by
+	// STA(). Once built it is kept exactly as fresh as the Elmore cache:
+	// Timings rebuilds it wholesale and Retime patches only the named nets,
+	// so the optimizers' accept/revert loops keep it current for free.
+	sta *sta.Analysis
 }
 
 // Options bundles the stage options.
@@ -77,6 +84,9 @@ func PrepareCtx(ctx context.Context, d *netlist.Design, opt Options) (*State, er
 // cache.
 func (s *State) Timings() []*timing.NetTiming {
 	s.timings = s.Engine.AnalyzeAll(s.Trees)
+	if s.sta != nil {
+		s.sta.Rebuild(s.Trees)
+	}
 	return s.timings
 }
 
@@ -107,5 +117,24 @@ func (s *State) Retime(nets []int) []*timing.NetTiming {
 			s.timings[ni] = nil
 		}
 	}
+	if s.sta != nil {
+		s.sta.Update(s.Trees, nets)
+	}
 	return s.timings
 }
+
+// STA returns the node-level STA view, building it on first use and
+// re-aiming its slack budget at required on every call. After this, every
+// Timings/Retime keeps the view fresh automatically.
+func (s *State) STA(required float64) *sta.Analysis {
+	if s.sta == nil {
+		s.sta = sta.New(s.Engine, s.Trees, required)
+	} else {
+		s.sta.SetRequired(required)
+	}
+	return s.sta
+}
+
+// STAView returns the STA view if one has been built, nil otherwise —
+// for observers (metrics, verifiers) that must not force a build.
+func (s *State) STAView() *sta.Analysis { return s.sta }

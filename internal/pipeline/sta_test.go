@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/ispd08"
+	"repro/internal/sta"
+)
+
+// TestSTAKeptFreshByRetime pins the pipeline's STA contract: once STA()
+// has been called, Retime and Timings keep the view bitwise-equal to an
+// analysis rebuilt from scratch over the current trees — without the
+// caller ever touching the view.
+func TestSTAKeptFreshByRetime(t *testing.T) {
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "psta", W: 18, H: 18, Layers: 8, NumNets: 120, Capacity: 8, Seed: 47,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Prepare(d, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.STAView() != nil {
+		t.Fatal("STA view exists before STA() was called")
+	}
+	const required = 5000.0
+	view := st.STA(required)
+	if view == nil || st.STAView() != view {
+		t.Fatal("STA() did not install the view")
+	}
+
+	// Perturb a few nets' layers the way the optimizer's accept path does,
+	// then Retime them — the only notification the pipeline gets.
+	changed := []int{2, 9, 33}
+	for _, ni := range changed {
+		tr := st.Trees[ni]
+		if tr == nil {
+			continue
+		}
+		for _, s := range tr.Segs {
+			l := s.Layer + 2
+			if l >= d.Stack.NumLayers() {
+				l = s.Layer % 2
+			}
+			s.Layer = l
+		}
+	}
+	st.Retime(changed)
+
+	fresh := sta.New(st.Engine, st.Trees, required)
+	opt := sta.QueryOptions{MaxSiblings: 2}
+	if !sta.PathsEqual(view.TopK(16, opt), fresh.TopK(16, opt)) {
+		t.Fatal("STA view stale after Retime")
+	}
+
+	// A full Timings refresh must also rebuild the view.
+	for _, s := range st.Trees[5].Segs {
+		if s.Layer+2 < d.Stack.NumLayers() {
+			s.Layer += 2
+		}
+	}
+	st.Timings()
+	fresh = sta.New(st.Engine, st.Trees, required)
+	if !sta.PathsEqual(view.TopK(16, opt), fresh.TopK(16, opt)) {
+		t.Fatal("STA view stale after Timings")
+	}
+
+	// SetRequired via STA() re-aims the budget without rebuilding.
+	if got := st.STA(7000); got != view || got.Required() != 7000 {
+		t.Fatal("STA(required) did not retarget the existing view")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+
+	"repro/internal/sta"
 )
 
 // statusError pairs an error message with the HTTP status it maps to.
@@ -34,6 +36,7 @@ var (
 //	GET    /v1/sessions            list live sessions, newest first
 //	GET    /v1/sessions/{id}       session status, base and latest solve
 //	POST   /v1/sessions/{id}/deltas apply a delta batch and re-solve (200; 409 while preparing)
+//	GET    /v1/sessions/{id}/paths  top-K critical paths (?k=&siblings=&required=; 409 while preparing)
 //	DELETE /v1/sessions/{id}       evict a session
 //	GET    /healthz                liveness (503 while draining)
 //	GET    /metrics                counter snapshot
@@ -47,6 +50,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("POST /v1/sessions/{id}/deltas", s.handleSessionDeltas)
+	mux.HandleFunc("GET /v1/sessions/{id}/paths", s.handleSessionPaths)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -158,6 +162,54 @@ func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, DeltaResponse{Session: id, Result: res})
+}
+
+// Bounds for the paths query: k defaults to 8 and is capped so a typo
+// cannot ask for a million hop expansions; siblings defaults to 2, the
+// near-duplicate bound that keeps one net from flooding the answer.
+const (
+	defaultPathsK    = 8
+	maxPathsK        = 1024
+	defaultPathsSibs = 2
+)
+
+func (s *Server) handleSessionPaths(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	k := defaultPathsK
+	if v := q.Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxPathsK {
+			writeError(w, &statusError{code: http.StatusBadRequest,
+				msg: "k must be an integer in [1, " + strconv.Itoa(maxPathsK) + "]"})
+			return
+		}
+		k = n
+	}
+	opt := sta.QueryOptions{MaxSiblings: defaultPathsSibs}
+	if v := q.Get("siblings"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, &statusError{code: http.StatusBadRequest,
+				msg: "siblings must be a non-negative integer (0 disables the bound)"})
+			return
+		}
+		opt.MaxSiblings = n
+	}
+	if v := q.Get("required"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			writeError(w, &statusError{code: http.StatusBadRequest,
+				msg: "required must be a positive number"})
+			return
+		}
+		opt.Required = f
+	}
+	res, err := s.SessionPaths(r.PathValue("id"), k, opt)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {

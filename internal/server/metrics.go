@@ -35,6 +35,12 @@ type Metrics struct {
 
 	CacheEvictions atomic.Int64 // solve-cache LRU evictions over delta solves
 
+	StaUpdates     atomic.Int64 // STA engine Update calls over delta solves
+	StaNodesReprop atomic.Int64 // tree nodes re-propagated by those updates
+
+	PathQueries        atomic.Int64 // top-K path queries answered
+	pathQuerySumMicroS atomic.Int64 // summed query latency in microseconds
+
 	dirtyRatioCount    atomic.Int64
 	dirtyRatioSumMicro atomic.Int64 // sum of ratios in micro-units (1e-6)
 
@@ -68,6 +74,8 @@ func (m *Metrics) ObserveDirtyRatio(r float64) {
 // eviction pressure.
 func (m *Metrics) ObserveDeltaResult(kind string, res *incr.DeltaResult) {
 	m.CacheEvictions.Add(int64(res.CacheEvictions))
+	m.StaUpdates.Add(int64(res.StaUpdates))
+	m.StaNodesReprop.Add(int64(res.StaNodesReprop))
 	ki := len(deltaKinds) - 1 // default "mixed"
 	for i, k := range deltaKinds {
 		if k == kind {
@@ -83,6 +91,12 @@ func (m *Metrics) ObserveDeltaResult(kind string, res *incr.DeltaResult) {
 		kc.revalSumMicro.Add(int64(float64(res.RevalHits) / n * 1e6))
 	}
 	kc.dirtySumMicro.Add(int64(res.DirtyLeafRatio * 1e6))
+}
+
+// ObservePathQuery records one answered top-K path query.
+func (m *Metrics) ObservePathQuery(d time.Duration) {
+	m.PathQueries.Add(1)
+	m.pathQuerySumMicroS.Add(d.Microseconds())
 }
 
 // ObserveLatency records one finished job's wall-clock solve time.
@@ -132,6 +146,14 @@ type MetricsSnapshot struct {
 	// CacheEvictions is the total solve-cache LRU evictions over delta
 	// solves — sustained growth means sessions need larger caches.
 	CacheEvictions int64 `json:"cache_evictions"`
+	// StaUpdates / StaNodesReprop measure the incremental STA engine's
+	// work across delta solves: Update calls and tree nodes re-propagated.
+	StaUpdates     int64 `json:"sta_updates"`
+	StaNodesReprop int64 `json:"sta_nodes_reprop"`
+	// PathQueries counts answered top-K path queries; PathQueryAvgMS is
+	// their mean latency in milliseconds.
+	PathQueries    int64   `json:"path_queries"`
+	PathQueryAvgMS float64 `json:"path_query_avg_ms"`
 	// DeltaKinds breaks delta-solve cache effectiveness down by batch kind:
 	// memo_hit_ratio is the bitwise exact-reuse rate, reval_hit_ratio the
 	// epsilon revalidation-reuse rate, alongside the per-kind dirty-leaf
@@ -174,6 +196,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		SolveSumMS:       m.latencySumMS.Load(),
 	}
 	s.CacheEvictions = m.CacheEvictions.Load()
+	s.StaUpdates = m.StaUpdates.Load()
+	s.StaNodesReprop = m.StaNodesReprop.Load()
+	s.PathQueries = m.PathQueries.Load()
+	if s.PathQueries > 0 {
+		s.PathQueryAvgMS = float64(m.pathQuerySumMicroS.Load()) / 1000 / float64(s.PathQueries)
+	}
 	if n := m.dirtyRatioCount.Load(); n > 0 {
 		s.DirtyLeafRatioAvg = float64(m.dirtyRatioSumMicro.Load()) / 1e6 / float64(n)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ispd08"
 	"repro/internal/netlist"
 	"repro/internal/pipeline"
+	"repro/internal/sta"
 )
 
 // SessionStatus is an ECO session's lifecycle state.
@@ -38,6 +39,10 @@ type SessionSpec struct {
 	// ReleaseRatio is the critical release ratio when no set_critical delta
 	// is in effect (0 → 0.005).
 	ReleaseRatio float64 `json:"release_ratio,omitempty"`
+	// Required is the arrival budget the session's STA view reports path
+	// slacks against (0 derives it from the base analysis so the released
+	// set and the negative-slack set initially coincide — see incr.Config).
+	Required float64 `json:"required,omitempty"`
 	// Steiner enables Steiner-guided 2-D routing in the base prepare.
 	Steiner bool `json:"steiner,omitempty"`
 	// Verify re-audits the released and rerouted nets after every solve.
@@ -69,6 +74,7 @@ func (s *SessionSpec) incrConfig() incr.Config {
 		Prepare:    popt,
 		Core:       copt,
 		Ratio:      s.ReleaseRatio,
+		Required:   s.Required,
 		Verify:     s.Verify,
 		Revalidate: s.Revalidate,
 	}
@@ -343,6 +349,45 @@ func batchKind(deltas []incr.Delta) string {
 		}
 	}
 	return kind
+}
+
+// PathsResponse is the GET /v1/sessions/{id}/paths response body: the
+// session's current top-K critical paths, worst slack first, and the
+// required time the slacks are measured against.
+type PathsResponse struct {
+	Session  string     `json:"session"`
+	K        int        `json:"k"`
+	Required float64    `json:"required"`
+	Paths    []sta.Path `json:"paths"`
+}
+
+// SessionPaths answers a top-K critical path query on a ready session —
+// an index read on the incrementally-maintained STA view, not a
+// re-analysis, so it is cheap enough to poll between deltas.
+func (s *Server) SessionPaths(id string, k int, opt sta.QueryOptions) (*PathsResponse, error) {
+	es, ok := s.Session(id)
+	if !ok {
+		return nil, errSessionNotFound
+	}
+	es.mu.Lock()
+	status, sess := es.status, es.sess
+	es.mu.Unlock()
+	switch status {
+	case SessionPreparing:
+		return nil, &statusError{
+			code: http.StatusConflict, msg: "session still preparing", retryAfter: 1,
+		}
+	case SessionFailed:
+		return nil, &statusError{code: http.StatusConflict, msg: "session failed: " + es.err}
+	}
+
+	start := time.Now()
+	paths, required := sess.Paths(k, opt)
+	s.metrics.ObservePathQuery(time.Since(start))
+	if paths == nil {
+		paths = []sta.Path{} // the JSON surface promises an array
+	}
+	return &PathsResponse{Session: id, K: k, Required: required, Paths: paths}, nil
 }
 
 // DeltaRequest is the POST /v1/sessions/{id}/deltas request body.

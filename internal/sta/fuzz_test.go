@@ -1,0 +1,91 @@
+package sta_test
+
+import (
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/ispd08"
+	"repro/internal/route"
+	"repro/internal/sta"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// FuzzSTAUpdate drives a random sequence of per-net layer perturbations
+// through Analysis.Update and checks, after every step, that the
+// incremental state is bitwise-equal to an analysis rebuilt from scratch:
+// same index order, same slacks, same top-K paths. Each input byte pair
+// selects (net, new layer).
+func FuzzSTAUpdate(f *testing.F) {
+	f.Add([]byte{0, 1})
+	f.Add([]byte{3, 0, 3, 7, 9, 2})
+	f.Add([]byte{250, 5, 1, 1, 1, 3, 40, 6, 40, 4})
+
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "fuzz", W: 14, H: 14, Layers: 8, NumNets: 40, Capacity: 9, Seed: 99,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	res, err := route.RouteAll(d, route.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	base, err := tree.BuildAll(res, d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	assign.AssignAll(d.Grid, base, assign.Options{})
+	eng := timing.NewEngine(d.Stack, timing.DefaultParams())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Fresh copy of the trees so runs are independent.
+		trees := make([]*tree.Tree, len(base))
+		for i, tr := range base {
+			if tr == nil {
+				continue
+			}
+			cp := *tr
+			cp.Segs = make([]*tree.Segment, len(tr.Segs))
+			for j, s := range tr.Segs {
+				sc := *s
+				cp.Segs[j] = &sc
+			}
+			trees[i] = &cp
+		}
+		a := sta.New(eng, trees, 4000)
+		for i := 0; i+1 < len(data); i += 2 {
+			ni := int(data[i]) % len(trees)
+			if trees[ni] == nil {
+				continue
+			}
+			// Reassign every segment of the net to a valid layer of its
+			// routing direction (parity of the layer encodes direction in
+			// the generated stacks).
+			l := int(data[i+1]) % d.Stack.NumLayers()
+			for s := range trees[ni].Segs {
+				tl := l
+				if tl%2 != trees[ni].Segs[s].Layer%2 {
+					tl = (tl + 1) % d.Stack.NumLayers()
+				}
+				trees[ni].Segs[s].Layer = tl
+			}
+			a.Update(trees, []int{ni})
+
+			fresh := sta.New(eng, trees, 4000)
+			gi, wi := a.WorstNets(len(trees)), fresh.WorstNets(len(trees))
+			if len(gi) != len(wi) {
+				t.Fatalf("step %d: index sizes %d vs %d", i/2, len(gi), len(wi))
+			}
+			for j := range wi {
+				if gi[j] != wi[j] {
+					t.Fatalf("step %d: index[%d] = %d, want %d", i/2, j, gi[j], wi[j])
+				}
+			}
+			if !sta.PathsEqual(a.TopK(16, sta.QueryOptions{MaxSiblings: 2}),
+				fresh.TopK(16, sta.QueryOptions{MaxSiblings: 2})) {
+				t.Fatalf("step %d: incremental TopK != from-scratch TopK", i/2)
+			}
+		}
+	})
+}

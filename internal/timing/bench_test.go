@@ -45,3 +45,26 @@ func BenchmarkSelectCritical(b *testing.B) {
 		SelectCritical(timings, 0.01)
 	}
 }
+
+func BenchmarkSlacks(b *testing.B) {
+	eng, trees := benchTrees(b)
+	timings := eng.AnalyzeAll(trees)
+	budget := BudgetForViolationRatio(timings, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Slacks(timings, budget)
+	}
+}
+
+func BenchmarkWorstNets(b *testing.B) {
+	eng, trees := benchTrees(b)
+	timings := eng.AnalyzeAll(trees)
+	r := Slacks(timings, BudgetForViolationRatio(timings, 0.05))
+	r.WorstNets(1) // build the cached order outside the timed loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.WorstNets(50)
+	}
+}

@@ -19,6 +19,10 @@ type SlackReport struct {
 	ViolatingSinks int
 	// NetSlack maps net index → worst sink slack of that net.
 	NetSlack map[int]float64
+
+	// sorted caches the analyzed nets ordered by ascending slack; built on
+	// the first WorstNets call so repeat queries neither sort nor allocate.
+	sorted []int
 }
 
 // Slacks evaluates all analyzed nets against the required time.
@@ -49,23 +53,31 @@ func Slacks(timings []*NetTiming, required float64) *SlackReport {
 }
 
 // WorstNets returns up to k net indices ordered by ascending slack (most
-// critical first).
+// critical first). The full order is sorted once and cached on the report,
+// so repeat queries are allocation-free; the returned slice aliases that
+// cache and must not be modified.
 func (r *SlackReport) WorstNets(k int) []int {
-	nets := make([]int, 0, len(r.NetSlack))
-	for ni := range r.NetSlack {
-		nets = append(nets, ni)
-	}
-	sort.Slice(nets, func(a, b int) bool {
-		sa, sb := r.NetSlack[nets[a]], r.NetSlack[nets[b]]
-		if sa != sb {
-			return sa < sb
+	if r.sorted == nil {
+		nets := make([]int, 0, len(r.NetSlack))
+		for ni := range r.NetSlack {
+			nets = append(nets, ni)
 		}
-		return nets[a] < nets[b]
-	})
-	if k < len(nets) {
-		nets = nets[:k]
+		sort.Slice(nets, func(a, b int) bool {
+			sa, sb := r.NetSlack[nets[a]], r.NetSlack[nets[b]]
+			if sa != sb {
+				return sa < sb
+			}
+			return nets[a] < nets[b]
+		})
+		r.sorted = nets
 	}
-	return nets
+	if k < 0 {
+		k = 0
+	}
+	if k > len(r.sorted) {
+		k = len(r.sorted)
+	}
+	return r.sorted[:k]
 }
 
 // BudgetForViolationRatio returns the required time at which the given

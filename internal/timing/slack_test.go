@@ -50,6 +50,39 @@ func TestWorstNetsOrder(t *testing.T) {
 	}
 }
 
+func TestWorstNetsCachedOrderStable(t *testing.T) {
+	r := Slacks(slackFixture(), 20)
+	all := r.WorstNets(100)
+	if len(all) != 3 || all[0] != 2 || all[1] != 3 || all[2] != 0 {
+		t.Fatalf("full order = %v, want [2 3 0]", all)
+	}
+	// Prefix queries serve from the same cached order.
+	for k := 0; k <= 3; k++ {
+		got := r.WorstNets(k)
+		if len(got) != k {
+			t.Fatalf("WorstNets(%d) returned %d nets", k, len(got))
+		}
+		for i := range got {
+			if got[i] != all[i] {
+				t.Fatalf("WorstNets(%d) = %v, not a prefix of %v", k, got, all)
+			}
+		}
+	}
+	if got := r.WorstNets(-1); len(got) != 0 {
+		t.Fatalf("WorstNets(-1) = %v, want empty", got)
+	}
+}
+
+// TestWorstNetsAllocs gates the scripts/check.sh allocation budget: after
+// the cached order exists, WorstNets must not sort or allocate per call.
+func TestWorstNetsAllocs(t *testing.T) {
+	r := Slacks(slackFixture(), 20)
+	r.WorstNets(1) // build the cache
+	if n := testing.AllocsPerRun(100, func() { r.WorstNets(2) }); n != 0 {
+		t.Fatalf("WorstNets allocates %.1f objects per warm call, want 0", n)
+	}
+}
+
 func TestBudgetForViolationRatio(t *testing.T) {
 	timings := slackFixture()
 	// Top-1 of 3 analyzable nets → budget just under 25.
@@ -65,5 +98,50 @@ func TestBudgetForViolationRatio(t *testing.T) {
 	}
 	if BudgetForViolationRatio(nil, 0.5) != 0 {
 		t.Fatal("empty budget should be 0")
+	}
+}
+
+func TestBudgetForViolationRatioEdgeCases(t *testing.T) {
+	timings := slackFixture()
+
+	// All-nil / unanalyzable inputs behave like empty.
+	if b := BudgetForViolationRatio([]*NetTiming{nil, nil}, 0.5); b != 0 {
+		t.Fatalf("all-nil budget = %g, want 0", b)
+	}
+	if b := BudgetForViolationRatio([]*NetTiming{{Tcp: 5, CritSink: -1}}, 0.5); b != 0 {
+		t.Fatalf("unanalyzable-only budget = %g, want 0", b)
+	}
+
+	// Ratio 0 clamps to the top-1 net: only the worst Tcp violates.
+	b := BudgetForViolationRatio(timings, 0)
+	if viol := SelectViolating(timings, b); len(viol) != 1 || viol[0] != 2 {
+		t.Fatalf("ratio 0 budget %g releases %v, want [2]", b, viol)
+	}
+
+	// Ratio 1 makes every analyzable net violate, and a ratio beyond 1
+	// clamps to the same budget.
+	b1 := BudgetForViolationRatio(timings, 1)
+	if got := len(SelectViolating(timings, b1)); got != 3 {
+		t.Fatalf("ratio 1 releases %d nets, want 3", got)
+	}
+	if b2 := BudgetForViolationRatio(timings, 2.5); b2 != b1 {
+		t.Fatalf("ratio 2.5 budget %g != ratio 1 budget %g", b2, b1)
+	}
+
+	// All-equal delays: the budget must sit just below the common Tcp so
+	// every net violates at any ratio.
+	eq := []*NetTiming{
+		{Tcp: 7, CritSink: 0, SinkDelay: map[int]float64{0: 7}},
+		{Tcp: 7, CritSink: 0, SinkDelay: map[int]float64{0: 7}},
+		{Tcp: 7, CritSink: 0, SinkDelay: map[int]float64{0: 7}},
+	}
+	for _, ratio := range []float64{0, 0.5, 1} {
+		b := BudgetForViolationRatio(eq, ratio)
+		if b >= 7 || b <= 0 {
+			t.Fatalf("all-equal budget at ratio %g = %g, want just below 7", ratio, b)
+		}
+		if got := len(SelectViolating(eq, b)); got != 3 {
+			t.Fatalf("all-equal ratio %g releases %d nets, want 3", ratio, got)
+		}
 	}
 }

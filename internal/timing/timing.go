@@ -149,7 +149,21 @@ func (e *Engine) CdWithLayers(t *tree.Tree, layers []int) []float64 {
 // (sink loads plus descendant wire caps). layers optionally overrides the
 // per-segment layer.
 func (e *Engine) nodeCaps(t *tree.Tree, layers []int) []float64 {
-	nodeCap := make([]float64, len(t.Nodes))
+	return e.NodeCapsInto(t, layers, nil)
+}
+
+// NodeCapsInto is nodeCaps with a caller-supplied buffer: it fills buf
+// (grown as needed) with the subtree capacitance below each node and
+// returns it. The computation is the single source of truth Analyze uses,
+// so results are bitwise-identical to a full analysis — the incremental
+// STA engine relies on that to stay exactly equal to from-scratch timing.
+func (e *Engine) NodeCapsInto(t *tree.Tree, layers []int, buf []float64) []float64 {
+	nodeCap := buf
+	if cap(nodeCap) < len(t.Nodes) {
+		nodeCap = make([]float64, len(t.Nodes))
+	} else {
+		nodeCap = nodeCap[:len(t.Nodes)]
+	}
 	// Process nodes in reverse BFS order from the root so children are done
 	// before parents.
 	order := t.BFSOrder()

@@ -1,0 +1,203 @@
+package verify
+
+import (
+	"sort"
+
+	"repro/internal/sta"
+	"repro/internal/tech"
+	"repro/internal/tree"
+)
+
+// TopKPaths is the deliberately-naive critical path enumerator the STA
+// engine's top-K extraction is cross-checked against: it enumerates every
+// sink of every net with one independent root-to-sink walk apiece (the
+// same first-principles Elmore recursion checkTimings uses), applies the
+// per-net sibling bound by filtering each net's full sink list in
+// criticality order, sorts all admitted candidates globally, and keeps the
+// first k. No index, no pruning, no reuse — quadratic where the engine is
+// incremental — so on small instances an exact (bitwise) comparison
+// against Analysis.TopK is meaningful.
+func TopKPaths(stack *tech.Stack, sinkCap float64, trees []*tree.Tree, required float64, k, maxSiblings int) []sta.Path {
+	type candidate struct {
+		net   int
+		pin   int
+		node  int
+		delay float64
+	}
+	var cands []candidate
+	for ni, tr := range trees {
+		if tr == nil || !timingCheckable(stack, tr) {
+			continue
+		}
+		naive := recomputeElmore(stack, sinkCap, tr)
+		if naive.critSink < 0 {
+			continue // no analyzable sink; the engine's index skips it too
+		}
+		// The net's sinks in per-net criticality order (delay descending,
+		// pin ascending) — the order the sibling bound is defined over.
+		perNet := make([]candidate, 0, len(naive.sinkDelay))
+		for pi, d := range naive.sinkDelay {
+			perNet = append(perNet, candidate{net: ni, pin: pi, node: tr.SinkNode[pi], delay: d})
+		}
+		sort.Slice(perNet, func(a, b int) bool {
+			if perNet[a].delay != perNet[b].delay {
+				return perNet[a].delay > perNet[b].delay
+			}
+			return perNet[a].pin < perNet[b].pin
+		})
+		// Sibling bound: per branch node, at most maxSiblings distinct
+		// child branches over admitted paths, decided path-atomically in
+		// the order above.
+		taken := map[int]map[int]bool{}
+		for _, c := range perNet {
+			if maxSiblings > 0 {
+				segs := tr.PathToRoot(c.node)
+				ok := true
+				for _, sid := range segs {
+					s := tr.Segs[sid]
+					if len(tr.Nodes[s.FromNode].DownSegs) < 2 {
+						continue
+					}
+					if !taken[s.FromNode][sid] && len(taken[s.FromNode]) >= maxSiblings {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, sid := range segs {
+					s := tr.Segs[sid]
+					if len(tr.Nodes[s.FromNode].DownSegs) < 2 {
+						continue
+					}
+					if taken[s.FromNode] == nil {
+						taken[s.FromNode] = map[int]bool{}
+					}
+					taken[s.FromNode][sid] = true
+				}
+			}
+			cands = append(cands, c)
+		}
+	}
+
+	// Global order: arrival descending, net ascending, pin ascending — the
+	// same total order the engine's bounded insertion maintains.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].delay != cands[b].delay {
+			return cands[a].delay > cands[b].delay
+		}
+		if cands[a].net != cands[b].net {
+			return cands[a].net < cands[b].net
+		}
+		return cands[a].pin < cands[b].pin
+	})
+	if k < 0 {
+		k = 0
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+
+	out := make([]sta.Path, 0, k)
+	for _, c := range cands[:k] {
+		tr := trees[c.net]
+		naive := recomputeElmore(stack, sinkCap, tr)
+		out = append(out, naivePath(stack, sinkCap, tr, naive, required, c.net, c.pin, c.node, c.delay))
+	}
+	return out
+}
+
+// naivePath expands one sink into its hop list with fully independent
+// walks: each hop's arrival is its own root-to-node accumulation and each
+// hop's slack comes from a max over that node's descendant sinks.
+func naivePath(stack *tech.Stack, sinkCap float64, tr *tree.Tree, naive *naiveTiming,
+	required float64, net, pin, node int, delay float64) sta.Path {
+	segs := tr.PathToRoot(node) // nearest-first
+	hops := make([]sta.Hop, 0, len(segs)+1)
+	hops = append(hops, sta.Hop{
+		Net:     net,
+		Node:    tr.Root,
+		Seg:     -1,
+		Layer:   tr.Nodes[tr.Root].PinLayer,
+		Arrival: 0,
+		Slack:   required - throughDelay(tr, naive, tr.Root),
+	})
+	for i := len(segs) - 1; i >= 0; i-- {
+		s := tr.Segs[segs[i]]
+		hops = append(hops, sta.Hop{
+			Net:     net,
+			Node:    s.ToNode,
+			Seg:     s.ID,
+			Layer:   s.Layer,
+			Arrival: nodeArrival(stack, tr, naive.cd, s.ToNode),
+			Slack:   required - throughDelay(tr, naive, s.ToNode),
+		})
+	}
+	return sta.Path{
+		Net:     net,
+		Sink:    pin,
+		Node:    node,
+		Arrival: delay,
+		Slack:   required - delay,
+		Hops:    hops,
+	}
+}
+
+// nodeArrival is sinkPathDelay without the final sink via: the Elmore
+// delay from the source onto node nodeID.
+func nodeArrival(stack *tech.Stack, tr *tree.Tree, cd []float64, nodeID int) float64 {
+	var path []int // sink-nearest first
+	for cur := nodeID; cur != tr.Root; cur = tr.Nodes[cur].Parent {
+		path = append(path, tr.Nodes[cur].UpSeg)
+	}
+	delay := 0.0
+	for k := len(path) - 1; k >= 0; k-- {
+		s := tr.Segs[path[k]]
+		var upLayer int
+		var viaCd float64
+		if k == len(path)-1 {
+			upLayer = tr.Nodes[tr.Root].PinLayer
+			viaCd = wireCap(stack, s) + cd[s.ID]
+		} else {
+			up := tr.Segs[path[k+1]]
+			upLayer = up.Layer
+			viaCd = minFloat(cd[up.ID], cd[s.ID])
+		}
+		if upLayer >= 0 {
+			delay += viaR(stack, upLayer, s.Layer) * viaCd
+		}
+		layer := stack.Layers[s.Layer]
+		wireLen := float64(len(s.Edges))
+		delay += layer.UnitR * wireLen * (layer.UnitC*wireLen/2 + cd[s.ID])
+	}
+	return delay
+}
+
+// throughDelay is the worst full source-to-sink delay over sinks at or
+// below node nid — ancestorship checked by walking each sink up, nothing
+// shared with the engine's backward pass.
+func throughDelay(tr *tree.Tree, naive *naiveTiming, nid int) float64 {
+	worst, any := 0.0, false
+	for pi, d := range naive.sinkDelay {
+		for cur := tr.SinkNode[pi]; ; cur = tr.Nodes[cur].Parent {
+			if cur == nid {
+				if !any || d > worst {
+					worst, any = d, true
+				}
+				break
+			}
+			if cur == tr.Root {
+				break
+			}
+		}
+	}
+	return worst
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

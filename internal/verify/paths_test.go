@@ -1,0 +1,141 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sta"
+	"repro/internal/timing"
+	"repro/internal/tree"
+)
+
+// TestTopKPathsProperties pins the naive enumerator's own contract on an
+// optimized instance: slack ordering, the k bound, hop well-formedness,
+// and prefix stability across k. (The engine-vs-enumerator bitwise
+// equality lives in internal/sta's cross-check and fuzz tests; this file
+// covers the enumerator's branches from first principles.)
+func TestTopKPathsProperties(t *testing.T) {
+	st, _ := optimized(t, 5, 60)
+	d := st.Design
+	const required = 4800.0
+
+	if got := TopKPaths(d.Stack, timing.DefaultParams().SinkCap, st.Trees, required, 0, 2); len(got) != 0 {
+		t.Fatalf("k=0 returned %d paths", len(got))
+	}
+
+	all := TopKPaths(d.Stack, timing.DefaultParams().SinkCap, st.Trees, required, 1<<30, 0)
+	if len(all) == 0 {
+		t.Fatal("no paths enumerated on an optimized instance")
+	}
+	for i, p := range all {
+		if i > 0 && p.Slack < all[i-1].Slack {
+			t.Fatalf("paths not slack-sorted at %d", i)
+		}
+		if p.Slack != required-p.Arrival {
+			t.Fatalf("path %d: slack %v != required - arrival", i, p.Slack)
+		}
+		if len(p.Hops) < 2 || p.Hops[0].Seg != -1 || p.Hops[0].Arrival != 0 {
+			t.Fatalf("path %d: malformed source hop %+v", i, p.Hops[0])
+		}
+		last := p.Hops[len(p.Hops)-1]
+		if last.Node != p.Node {
+			t.Fatalf("path %d: last hop %+v does not land on the sink node %d", i, last, p.Node)
+		}
+		// The sink arrival adds the sink via delay on top of the last hop.
+		if p.Arrival < last.Arrival {
+			t.Fatalf("path %d: sink arrival %v below last hop arrival %v", i, p.Arrival, last.Arrival)
+		}
+		for h := 1; h < len(p.Hops); h++ {
+			if p.Hops[h].Arrival < p.Hops[h-1].Arrival {
+				t.Fatalf("path %d: arrival decreases at hop %d", i, h)
+			}
+			// Hop slack measures the worst sink below the hop; never more
+			// optimistic than the already-accumulated arrival allows.
+			if p.Hops[h].Slack-1e-9 > required-p.Hops[h].Arrival {
+				t.Fatalf("path %d hop %d: slack %v vs arrival %v", i, h, p.Hops[h].Slack, p.Hops[h].Arrival)
+			}
+		}
+	}
+
+	// k truncates the same global order: TopKPaths(k) is a prefix.
+	few := TopKPaths(d.Stack, timing.DefaultParams().SinkCap, st.Trees, required, 5, 0)
+	if len(few) != 5 {
+		t.Fatalf("k=5 returned %d paths", len(few))
+	}
+	if !sta.PathsEqual(few, all[:5]) {
+		t.Fatal("k=5 is not a prefix of the full enumeration")
+	}
+}
+
+// TestTopKPathsSiblingBound checks the enumerator's per-net filter: with
+// a bound of 1, each net's admitted paths may never fork — at every node
+// they use at most one distinct child segment. (Two admitted paths per
+// net are still possible when one sink lies on the path to another.)
+func TestTopKPathsSiblingBound(t *testing.T) {
+	st, _ := optimized(t, 7, 80)
+	d := st.Design
+	const required = 4800.0
+
+	unbounded := TopKPaths(d.Stack, timing.DefaultParams().SinkCap, st.Trees, required, 1<<30, 0)
+	bounded := TopKPaths(d.Stack, timing.DefaultParams().SinkCap, st.Trees, required, 1<<30, 1)
+	if len(bounded) >= len(unbounded) {
+		t.Skipf("instance has no multi-sink net to bound (%d vs %d)", len(bounded), len(unbounded))
+	}
+	// Per (net, node): the set of child segments admitted paths leave by.
+	children := map[[2]int]map[int]bool{}
+	for _, p := range bounded {
+		for h := 1; h < len(p.Hops); h++ {
+			key := [2]int{p.Net, p.Hops[h-1].Node}
+			if children[key] == nil {
+				children[key] = map[int]bool{}
+			}
+			children[key][p.Hops[h].Seg] = true
+			if len(children[key]) > 1 {
+				t.Fatalf("siblings=1: net %d forks at node %d", p.Net, p.Hops[h-1].Node)
+			}
+		}
+	}
+	// Each net's most critical path always survives the bound: the first
+	// admitted path is feasible on its own.
+	worst := map[int]float64{}
+	for _, p := range unbounded {
+		if cur, ok := worst[p.Net]; !ok || p.Arrival > cur {
+			worst[p.Net] = p.Arrival
+		}
+	}
+	seen := map[int]bool{}
+	for _, p := range bounded {
+		if seen[p.Net] {
+			continue
+		}
+		seen[p.Net] = true
+		if math.Float64bits(p.Arrival) != math.Float64bits(worst[p.Net]) {
+			t.Fatalf("net %d: worst bounded arrival %v is not the net's worst %v", p.Net, p.Arrival, worst[p.Net])
+		}
+	}
+}
+
+// TestTopKPathsSkipsNilTrees pins the enumerator's handling of holes in
+// the tree slice: nil trees are silently skipped, matching the engine.
+func TestTopKPathsSkipsNilTrees(t *testing.T) {
+	st, _ := optimized(t, 9, 40)
+	d := st.Design
+	const required = 4800.0
+
+	full := TopKPaths(d.Stack, timing.DefaultParams().SinkCap, st.Trees, required, 1<<30, 2)
+	if len(full) == 0 {
+		t.Fatal("no paths on optimized instance")
+	}
+	victim := full[0].Net
+	trees := append([]*tree.Tree(nil), st.Trees...)
+	trees[victim] = nil
+	pruned := TopKPaths(d.Stack, timing.DefaultParams().SinkCap, trees, required, 1<<30, 2)
+	for _, p := range pruned {
+		if p.Net == victim {
+			t.Fatalf("nil-tree net %d still enumerated", victim)
+		}
+	}
+	if len(pruned) >= len(full) {
+		t.Fatalf("pruning net %d did not shrink the enumeration (%d vs %d)", victim, len(pruned), len(full))
+	}
+}

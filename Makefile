@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-kernels bench-incr bench-sta serve fuzz
+.PHONY: check test bench bench-kernels bench-incr bench-sta bench-race serve fuzz
 
 # Fast verification gate: gofmt, full build, go vet, race-enabled tests of
 # the CPLA hot-path and server packages.
@@ -18,12 +18,15 @@ serve:
 # the ECO delta engine (random delta scripts checked against cold replays).
 # Seed corpora live under each package's testdata/fuzz/. FuzzSTAUpdate
 # mutates random layer assignments and checks the incremental STA index
-# against a from-scratch analysis, bitwise.
+# against a from-scratch analysis, bitwise. FuzzRace races the backend
+# portfolio over random instances and config bits, asserting no deadlock,
+# no contender goroutine leak and a verify-clean committed state.
 fuzz:
 	go test ./internal/ispd08/ -run=NONE -fuzz=FuzzParse -fuzztime=30s
 	go test ./internal/partition/ -run=NONE -fuzz=FuzzPartition -fuzztime=30s
 	go test ./internal/incr/ -run=NONE -fuzz=FuzzDeltas -fuzztime=30s
 	go test ./internal/sta/ -run=NONE -fuzz=FuzzSTAUpdate -fuzztime=30s
+	go test ./internal/portfolio/ -run=NONE -fuzz=FuzzRace -fuzztime=30s
 
 # The allocation-sensitive benchmarks recorded in BENCH_sdp.json.
 bench:
@@ -49,3 +52,10 @@ bench-incr:
 # bitwise. Rewrites BENCH_sta.json.
 bench-sta:
 	go run ./cmd/benchsta
+
+# Backend portfolio benchmark: SDP vs Lagrangian vs a race of the two on
+# small and suite instance classes, every run gated on a clean verify audit
+# and on the race committing byte-identically to the standalone winner.
+# Rewrites BENCH_race.json with wall-clock, quality and win attribution.
+bench-race:
+	go run ./cmd/benchrace

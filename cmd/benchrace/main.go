@@ -1,0 +1,267 @@
+// Command benchrace measures the backend portfolio: the CPLA SDP engine
+// and the Lagrangian backend run standalone and raced on the same
+// instances, and every row is gated on the race contract — the raced
+// result must be byte-identical to the winning backend run standalone
+// (same per-segment layers, bitwise-equal final metrics), and every final
+// state must pass the independent checker clean. Any gate failure is a
+// hard error, so the benchmark doubles as an end-to-end portfolio audit.
+// Results land in BENCH_race.json (the `make bench-race` target).
+//
+//	go run ./cmd/benchrace
+//	go run ./cmd/benchrace -out BENCH_race.json
+//	go run ./cmd/benchrace -smoke   # fast CI gate: one small instance, no output file
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cpla "repro"
+	"repro/internal/ispd08"
+)
+
+type row struct {
+	Name     string `json:"name"`
+	Class    string `json:"class"` // "small" (SmallSuite) or "suite" (full synthetic suite)
+	Nets     int    `json:"nets"`
+	Released int    `json:"released"`
+
+	SDPMS      float64 `json:"sdp_ms"`
+	LagrangeMS float64 `json:"lagrange_ms"`
+	RaceMS     float64 `json:"race_ms"`
+	// Winner is the backend whose verified result the race committed.
+	Winner string `json:"winner"`
+	// SpeedupVsSDP is sdp_ms / race_ms: what racing buys over always
+	// running the paper's engine.
+	SpeedupVsSDP float64 `json:"speedup_vs_sdp"`
+
+	// Improvement quality of each standalone backend (released-set
+	// Avg(Tcp) improvement, the paper's headline percentage) — the race
+	// trades some of SDP's quality for the winner's latency, and the rows
+	// report both sides honestly.
+	SDPImproveAvgPct      float64 `json:"sdp_improve_avg_pct"`
+	LagrangeImproveAvgPct float64 `json:"lagrange_improve_avg_pct"`
+
+	LagrangeBeatsSDPWallclock bool `json:"lagrange_beats_sdp_wallclock"`
+}
+
+type report struct {
+	Generated  string         `json:"generated"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Rows       []row          `json:"rows"`
+	RaceWins   map[string]int `json:"race_wins"`
+	// LagrangeWinClasses lists the instance classes with at least one row
+	// where the Lagrangian backend beat SDP on wall-clock.
+	LagrangeWinClasses []string `json:"lagrange_win_classes"`
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "fast CI gate: one small-suite instance, race contract asserted, no output file")
+	out := flag.String("out", "BENCH_race.json", "output file")
+	flag.Parse()
+
+	if *smoke {
+		os.Exit(runSmoke())
+	}
+	os.Exit(runFull(*out))
+}
+
+// instances returns the benchmarked set: the small ILP-comparison variants
+// plus a slice of the full synthetic suite, tagged by class.
+func instances() []struct {
+	params ispd08.GenParams
+	class  string
+} {
+	var out []struct {
+		params ispd08.GenParams
+		class  string
+	}
+	for _, p := range ispd08.SmallSuite[:3] {
+		out = append(out, struct {
+			params ispd08.GenParams
+			class  string
+		}{p, "small"})
+	}
+	for _, p := range ispd08.Suite[:3] {
+		out = append(out, struct {
+			params ispd08.GenParams
+			class  string
+		}{p, "suite"})
+	}
+	return out
+}
+
+func runFull(out string) int {
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		RaceWins:   map[string]int{},
+	}
+	winClasses := map[string]bool{}
+	for _, inst := range instances() {
+		r, err := runInstance(inst.params, inst.class)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrace: %s/%s: %v\n", inst.class, inst.params.Name, err)
+			return 1
+		}
+		fmt.Printf("%-6s %-9s sdp %8.1fms  lagrange %7.1fms  race %7.1fms  winner %-8s  speedup %.1fx\n",
+			r.Class, r.Name, r.SDPMS, r.LagrangeMS, r.RaceMS, r.Winner, r.SpeedupVsSDP)
+		rep.Rows = append(rep.Rows, r)
+		rep.RaceWins[r.Winner]++
+		if r.LagrangeBeatsSDPWallclock {
+			winClasses[r.Class] = true
+		}
+	}
+	for _, c := range []string{"small", "suite"} {
+		if winClasses[c] {
+			rep.LagrangeWinClasses = append(rep.LagrangeWinClasses, c)
+		}
+	}
+	if len(rep.LagrangeWinClasses) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrace: FAIL: no instance class where the Lagrangian backend beats SDP wall-clock")
+		return 1
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrace:", err)
+		return 1
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrace:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s: %d rows, race wins %v, lagrange wins wall-clock in classes %v\n",
+		out, len(rep.Rows), rep.RaceWins, rep.LagrangeWinClasses)
+	return 0
+}
+
+func runSmoke() int {
+	start := time.Now()
+	r, err := runInstance(ispd08.SmallSuite[0], "small")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrace: smoke FAIL: %v\n", err)
+		return 1
+	}
+	fmt.Printf("smoke %s: sdp %.1fms lagrange %.1fms race %.1fms winner %s (%.1fs total)\n",
+		r.Name, r.SDPMS, r.LagrangeMS, r.RaceMS, r.Winner, time.Since(start).Seconds())
+	fmt.Println("smoke PASS")
+	return 0
+}
+
+// runInstance runs both backends standalone and raced on identically
+// prepared copies of one instance, enforcing the gates: every final state
+// verify-clean, and the raced state byte-identical to the standalone run
+// of whichever backend won.
+func runInstance(params ispd08.GenParams, class string) (row, error) {
+	ctx := context.Background()
+	r := row{Name: params.Name, Class: class}
+
+	prep := func() (*cpla.System, []int, error) {
+		d, err := ispd08.Generate(params)
+		if err != nil {
+			return nil, nil, err
+		}
+		sys, err := cpla.Prepare(d, cpla.DefaultPrepareOptions())
+		if err != nil {
+			return nil, nil, err
+		}
+		return sys, sys.SelectCritical(0.005), nil
+	}
+
+	sdpSys, released, err := prep()
+	if err != nil {
+		return r, err
+	}
+	r.Nets = len(sdpSys.Design().Nets)
+	r.Released = len(released)
+	before := sdpSys.CriticalMetrics(released)
+
+	t0 := time.Now()
+	sdpRes, err := sdpSys.OptimizeBackend(ctx, released, cpla.NewSDPBackend(cpla.CPLAOptions{}))
+	if err != nil {
+		return r, fmt.Errorf("sdp: %w", err)
+	}
+	r.SDPMS = msSince(t0)
+	r.SDPImproveAvgPct = pct(before.AvgTcp, sdpRes.After.AvgTcp)
+
+	lagSys, _, err := prep()
+	if err != nil {
+		return r, err
+	}
+	t0 = time.Now()
+	lagRes, err := lagSys.OptimizeBackend(ctx, released, cpla.NewLagrangeBackend(cpla.LagrangeOptions{}))
+	if err != nil {
+		return r, fmt.Errorf("lagrange: %w", err)
+	}
+	r.LagrangeMS = msSince(t0)
+	r.LagrangeImproveAvgPct = pct(before.AvgTcp, lagRes.After.AvgTcp)
+
+	raceSys, _, err := prep()
+	if err != nil {
+		return r, err
+	}
+	t0 = time.Now()
+	raceRes, err := raceSys.OptimizeBackend(ctx, released, cpla.NewRaceBackend(
+		cpla.NewSDPBackend(cpla.CPLAOptions{}), cpla.NewLagrangeBackend(cpla.LagrangeOptions{})))
+	if err != nil {
+		return r, fmt.Errorf("race: %w", err)
+	}
+	r.RaceMS = msSince(t0)
+	r.Winner = raceRes.Backend
+	if r.SDPMS > 0 && r.RaceMS > 0 {
+		r.SpeedupVsSDP = r.SDPMS / r.RaceMS
+	}
+	r.LagrangeBeatsSDPWallclock = r.LagrangeMS < r.SDPMS
+
+	// Gate 1: every final state passes the independent checker.
+	for _, c := range []struct {
+		name string
+		sys  *cpla.System
+	}{{"sdp", sdpSys}, {"lagrange", lagSys}, {"race", raceSys}} {
+		if rep := c.sys.Verify(); !rep.Clean() {
+			return r, fmt.Errorf("%s state dirty: %s", c.name, rep.Summary())
+		}
+	}
+
+	// Gate 2: the raced state is byte-identical to the standalone run of
+	// the winning backend — same result metrics, same layer of every
+	// segment of every net.
+	winnerSys, winnerRes := sdpSys, sdpRes
+	if raceRes.Backend == "lagrange" {
+		winnerSys, winnerRes = lagSys, lagRes
+	}
+	if raceRes.After != winnerRes.After || raceRes.Before != winnerRes.Before {
+		return r, fmt.Errorf("race result metrics diverge from standalone %s: race %+v vs %+v",
+			raceRes.Backend, raceRes.After, winnerRes.After)
+	}
+	for ni := 0; ni < r.Nets; ni++ {
+		got, want := raceSys.SegmentLayers(ni), winnerSys.SegmentLayers(ni)
+		if len(got) != len(want) {
+			return r, fmt.Errorf("net %d: segment count diverges", ni)
+		}
+		for si := range got {
+			if got[si] != want[si] {
+				return r, fmt.Errorf("race not byte-identical to standalone %s: net %d seg %d layer %d vs %d",
+					raceRes.Backend, ni, si, got[si], want[si])
+			}
+		}
+	}
+	return r, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }
+
+func pct(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return 100 * (before - after) / before
+}

@@ -7,6 +7,8 @@
 //	cpla -gr design.gr                      # ISPD'08 file
 //	cpla -bench adaptec1 -engine ilp        # exact engine
 //	cpla -bench adaptec1 -engine tila       # baseline (tila-dp, tila-flow: variants)
+//	cpla -bench adaptec1 -backend lagrange  # production Lagrangian backend
+//	cpla -bench adaptec1 -backend race      # race SDP vs Lagrangian; first verified result wins
 //	cpla -bench adaptec1 -ratio 0.01 -maxsegs 20 -rounds 5
 //	cpla -bench adaptec1 -mapping flow -solver ipm
 //	cpla -bench adaptec1 -budget 15000      # release by timing budget
@@ -35,6 +37,7 @@ var (
 	bench      = flag.String("bench", "", "synthetic suite benchmark name (adaptec1 … newblue7)")
 	grFile     = flag.String("gr", "", "ISPD'08 .gr benchmark file")
 	engine     = flag.String("engine", "sdp", "optimizer: sdp|ilp|tila|tila-dp|tila-flow")
+	backendSel = flag.String("backend", "", "solve strategy: sdp|lagrange|race (race runs the -engine optimizer and the Lagrangian backend concurrently; the first verified result wins). Empty: use -engine directly")
 	ratio      = flag.Float64("ratio", 0.005, "critical net release ratio")
 	budget     = flag.Float64("budget", 0, "release nets with Tcp above this budget instead of by ratio")
 	maxSegs    = flag.Int("maxsegs", 0, "partition segment budget (0 = paper default 10)")
@@ -142,37 +145,44 @@ func run() int {
 	}
 
 	start := time.Now()
-	switch *engine {
-	case "tila":
-		sys.OptimizeTILA(released, cpla.TILAOptions{})
-	case "tila-dp":
-		sys.OptimizeTILA(released, cpla.TILAOptions{ExactDP: true})
-	case "tila-flow":
-		sys.OptimizeTILA(released, cpla.TILAOptions{FlowPricing: true})
-	case "sdp", "ilp":
-		opt := cpla.CPLAOptions{MaxSegs: *maxSegs, K: *k, MaxRounds: *rounds}
-		if auditor != nil {
-			opt.OnSDP = auditor.Hook()
-		}
-		if *engine == "ilp" {
-			opt.Engine = cpla.EngineILP
-		}
-		switch *mapping {
-		case "greedy":
-			opt.Mapping = cpla.MappingGreedy
-		case "flow":
-			opt.Mapping = cpla.MappingFlow
-		case "alg1":
-		default:
-			fmt.Fprintf(os.Stderr, "unknown mapping %q\n", *mapping)
+	label := *engine
+	switch {
+	case *backendSel != "":
+		opt, ok := cplaOptions(auditor)
+		if !ok {
 			return 2
 		}
-		switch *solver {
-		case "ipm":
-			opt.SDPSolver = cpla.SolverIPM
-		case "admm":
+		var b cpla.Backend
+		switch *backendSel {
+		case "sdp":
+			b = cpla.NewSDPBackend(opt)
+		case "lagrange":
+			b = cpla.NewLagrangeBackend(cpla.LagrangeOptions{})
+		case "race":
+			b = cpla.NewRaceBackend(
+				cpla.NewSDPBackend(opt), cpla.NewLagrangeBackend(cpla.LagrangeOptions{}))
 		default:
-			fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
+			fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backendSel)
+			return 2
+		}
+		res, err := sys.OptimizeBackend(ctx, released, b)
+		if err != nil {
+			return fail(err, *timeout)
+		}
+		label = res.Backend
+		if *backendSel == "race" {
+			fmt.Printf("race   : winner %s, %d losing contender(s) cancelled\n",
+				res.Backend, res.RaceCancelled)
+		}
+	case *engine == "tila":
+		sys.OptimizeTILA(released, cpla.TILAOptions{})
+	case *engine == "tila-dp":
+		sys.OptimizeTILA(released, cpla.TILAOptions{ExactDP: true})
+	case *engine == "tila-flow":
+		sys.OptimizeTILA(released, cpla.TILAOptions{FlowPricing: true})
+	case *engine == "sdp" || *engine == "ilp":
+		opt, ok := cplaOptions(auditor)
+		if !ok {
 			return 2
 		}
 		if _, err := sys.OptimizeCPLACtx(ctx, released, opt); err != nil {
@@ -193,7 +203,7 @@ func run() int {
 	fmt.Printf("after  : Avg(Tcp)=%.1f Max(Tcp)=%.1f viaOV=%d via#=%d\n",
 		after.AvgTcp, after.MaxTcp, ovAfter.ViaExcess, sys.ViaCount())
 	fmt.Printf("improve: Avg %.1f%%  Max %.1f%%  (%s, %.2fs)\n",
-		pct(before.AvgTcp, after.AvgTcp), pct(before.MaxTcp, after.MaxTcp), *engine, elapsed.Seconds())
+		pct(before.AvgTcp, after.AvgTcp), pct(before.MaxTcp, after.MaxTcp), label, elapsed.Seconds())
 	if *clock > 0 {
 		sr := sys.Slacks(*clock)
 		fmt.Printf("slack  : WNS=%.1f TNS=%.1f violating %d nets / %d sinks (clock %.1f)\n",
@@ -213,6 +223,37 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// cplaOptions builds the CPLA engine options from the flags; ok is false
+// after an unknown -mapping or -solver value was reported.
+func cplaOptions(auditor *verify.SDPAuditor) (cpla.CPLAOptions, bool) {
+	opt := cpla.CPLAOptions{MaxSegs: *maxSegs, K: *k, MaxRounds: *rounds}
+	if auditor != nil {
+		opt.OnSDP = auditor.Hook()
+	}
+	if *engine == "ilp" {
+		opt.Engine = cpla.EngineILP
+	}
+	switch *mapping {
+	case "greedy":
+		opt.Mapping = cpla.MappingGreedy
+	case "flow":
+		opt.Mapping = cpla.MappingFlow
+	case "alg1":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mapping %q\n", *mapping)
+		return opt, false
+	}
+	switch *solver {
+	case "ipm":
+		opt.SDPSolver = cpla.SolverIPM
+	case "admm":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solver)
+		return opt, false
+	}
+	return opt, true
 }
 
 func load(bench, grFile string) (*cpla.Design, error) {

@@ -26,10 +26,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/ispd08"
+	"repro/internal/lagrange"
 	"repro/internal/legalize"
 	"repro/internal/netlist"
 	"repro/internal/netopt"
 	"repro/internal/pipeline"
+	"repro/internal/portfolio"
 	"repro/internal/tila"
 	"repro/internal/timing"
 	"repro/internal/tree"
@@ -58,6 +60,12 @@ type (
 	TILAOptions = tila.Options
 	// TILAResult reports a TILA run.
 	TILAResult = tila.Result
+	// Backend is a layer-assignment optimizer behind the common interface:
+	// the CPLA engine, the Lagrangian backend, or a portfolio race.
+	Backend = core.Backend
+	// LagrangeOptions tunes the parallel Lagrangian backend; the zero
+	// value reproduces the TILA baseline's iterate sequence.
+	LagrangeOptions = lagrange.Options
 	// Metrics carries Avg(Tcp) and Max(Tcp) over a set of critical nets.
 	Metrics = timing.Metrics
 	// NetTiming is the per-net timing analysis (per-sink delays, critical
@@ -240,6 +248,30 @@ func (s *System) OptimizeCPLA(released []int, opt CPLAOptions) (*CPLAResult, err
 // round and the partial result is returned alongside the context error.
 func (s *System) OptimizeCPLACtx(ctx context.Context, released []int, opt CPLAOptions) (*CPLAResult, error) {
 	return core.OptimizeCtx(ctx, s.state, released, opt)
+}
+
+// NewSDPBackend wraps the CPLA engine (SDP, or ILP per opt.Engine) as a
+// Backend.
+func NewSDPBackend(opt CPLAOptions) Backend { return core.NewBackend(opt) }
+
+// NewLagrangeBackend returns the parallel Lagrangian production backend:
+// TILA's pricing and multiplier updates behind the production contracts
+// (worker-pool pricing, per-round cancellation, round telemetry,
+// accept-or-revert).
+func NewLagrangeBackend(opt LagrangeOptions) Backend { return lagrange.New(opt) }
+
+// NewRaceBackend races the given contenders concurrently on isolated forks
+// of the system state; the first finisher certified by the independent
+// checker wins, the losers are cancelled, and the winner's layers are
+// committed — byte-identical to running the winning backend standalone.
+func NewRaceBackend(backends ...Backend) Backend {
+	return portfolio.NewRace(portfolio.VerifyReferee(), backends...)
+}
+
+// OptimizeBackend runs a Backend on the released nets. The result's
+// Backend field names what produced it (the race winner in race mode).
+func (s *System) OptimizeBackend(ctx context.Context, released []int, b Backend) (*CPLAResult, error) {
+	return b.Optimize(ctx, s.state, released)
 }
 
 // OptimizeTILA runs the TILA baseline on the released nets.

@@ -294,6 +294,14 @@ type Result struct {
 	SolveErrors int
 	// RoundLog holds per-round telemetry in execution order.
 	RoundLog []RoundStats
+
+	// Backend names the backend that produced this result ("sdp", "ilp",
+	// "lagrange"); a portfolio race reports the winner's name. Empty when
+	// OptimizeCtx was called directly rather than through a Backend.
+	Backend string
+	// RaceCancelled counts losing contenders a portfolio race cancelled to
+	// produce this result; zero outside races.
+	RaceCancelled int
 }
 
 // Optimize runs CPLA on the released nets of a prepared state. Grid usage

@@ -427,6 +427,26 @@ func (g *Grid) LayersFor(e Edge) []int {
 	return g.Stack.LayersWithDir(e.Dir())
 }
 
+// Clone returns a deep copy of the grid: every capacity and usage array is
+// copied, so the clone can be mutated freely without touching the original.
+// The technology stack is shared — it is read-only for the grid's purposes.
+func (g *Grid) Clone() *Grid {
+	return &Grid{
+		W: g.W, H: g.H, Stack: g.Stack,
+		capH: clone2D(g.capH), capV: clone2D(g.capV),
+		useH: clone2D(g.useH), useV: clone2D(g.useV),
+		viaCap: clone2D(g.viaCap), viaUse: clone2D(g.viaUse),
+	}
+}
+
+func clone2D(src [][]int32) [][]int32 {
+	out := make([][]int32, len(src))
+	for i, row := range src {
+		out[i] = append([]int32(nil), row...)
+	}
+	return out
+}
+
 // ResetUsage clears all wire and via usage.
 func (g *Grid) ResetUsage() {
 	for l := range g.useH {

@@ -83,7 +83,14 @@ func ColdReplay(ctx context.Context, gen DesignFunc, cfg Config, history []Delta
 	// 2+, exactly as the session's own solves do.)
 	opt.Revalidate = false
 	opt.OnRevalidate = nil
-	r, err := core.OptimizeCtx(ctx, st, released, opt)
+	var r *core.Result
+	if cfg.Backend != nil {
+		// The replay must walk the same optimizer as the session it
+		// references, whichever backend that is.
+		r, err = cfg.Backend.Optimize(ctx, st, released)
+	} else {
+		r, err = core.OptimizeCtx(ctx, st, released, opt)
+	}
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -37,6 +37,15 @@ type Config struct {
 	// equivalence to ColdReplay is within solver tolerance instead of
 	// byte-identical (see core.Options.WarmStart).
 	Core core.Options
+	// Backend, when set, replaces the CPLA engine for every session solve
+	// (base and deltas): the session calls Backend.Optimize instead of
+	// core.OptimizeCtx, and the CPLA-specific solve cache and revalidation
+	// tiers do not apply. The backend must be deterministic and safe for
+	// concurrent use — ColdReplay drives the same value, and the bitwise
+	// equivalence contract holds unchanged. A portfolio race is not a
+	// valid session backend: its winner depends on goroutine scheduling,
+	// which breaks the cold-replay contract (the server rejects it).
+	Backend core.Backend
 	// Ratio is the critical release ratio used when no SetCritical delta
 	// is in effect (0 → 0.005, the paper's default).
 	Ratio float64
@@ -433,7 +442,13 @@ func (s *Session) resolve(ctx context.Context, applied int, changed []int, rects
 		reuseAud = verify.NewReuseAuditor()
 		opt.OnRevalidate = reuseAud.Hook()
 	}
-	r, err := core.OptimizeCtx(ctx, st, released, opt)
+	var r *core.Result
+	var err error
+	if s.cfg.Backend != nil {
+		r, err = s.cfg.Backend.Optimize(ctx, st, released)
+	} else {
+		r, err = core.OptimizeCtx(ctx, st, released, opt)
+	}
 	if err != nil {
 		return nil, err
 	}

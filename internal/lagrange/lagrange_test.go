@@ -1,0 +1,226 @@
+package lagrange
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/pipeline"
+	"repro/internal/timing"
+	"repro/internal/verify"
+)
+
+func prepare(t *testing.T, seed int64, nets int) *pipeline.State {
+	t.Helper()
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "lag-test", W: 20, H: 20, Layers: 8, NumNets: nets, Capacity: 8, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func releasedLayers(st *pipeline.State, released []int) map[int][]int {
+	out := make(map[int][]int, len(released))
+	for _, ni := range released {
+		if tr := st.Trees[ni]; tr != nil {
+			out[ni] = tr.SnapshotLayers()
+		}
+	}
+	return out
+}
+
+func TestBackendName(t *testing.T) {
+	if got := New(Options{}).Name(); got != "lagrange" {
+		t.Fatalf("Name() = %q, want lagrange", got)
+	}
+}
+
+// TestOptimizeAcceptOrRevert: the incoming assignment is candidate zero
+// under the acceptance objective F = Σ released Tcp + penalty·overflow, so
+// the committed result can never score worse than the state the backend
+// was handed.
+func TestOptimizeAcceptOrRevert(t *testing.T) {
+	st := prepare(t, 1, 300)
+	released := timing.SelectCritical(st.Timings(), 0.05)
+	penalty := acceptancePenalty(st, released)
+	before := acceptanceScore(st, released, penalty)
+
+	res, err := New(Options{}).Optimize(context.Background(), st, released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "lagrange" {
+		t.Fatalf("res.Backend = %q", res.Backend)
+	}
+	if res.Rounds != 12 {
+		t.Fatalf("res.Rounds = %d, want the 12 TILA default iterations", res.Rounds)
+	}
+	after := acceptanceScore(st, released, penalty)
+	if after > before+1e-6*(1+before) {
+		t.Fatalf("acceptance score regressed: %.6f → %.6f", before, after)
+	}
+	if rep := verify.State(st, verify.Options{}); !rep.Clean() {
+		t.Fatalf("state dirty after optimize: %s", rep.Summary())
+	}
+}
+
+// TestWorkerParityBitwise: the parallel pricing sweep must be bitwise
+// identical to the sequential one — same final layers on every released
+// net and the same per-round acceptance scores, whatever the worker count.
+func TestWorkerParityBitwise(t *testing.T) {
+	run := func(workers int) (*pipeline.State, []int, *core.Result) {
+		st := prepare(t, 2, 300)
+		released := timing.SelectCritical(st.Timings(), 0.05)
+		res, err := New(Options{Workers: workers}).Optimize(context.Background(), st, released)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, released, res
+	}
+	stSeq, released, resSeq := run(1)
+	stPar, _, resPar := run(8)
+
+	if len(resSeq.RoundLog) != len(resPar.RoundLog) {
+		t.Fatalf("round counts diverge: %d vs %d", len(resSeq.RoundLog), len(resPar.RoundLog))
+	}
+	for i := range resSeq.RoundLog {
+		if resSeq.RoundLog[i].Score != resPar.RoundLog[i].Score {
+			t.Fatalf("round %d score diverges: %g vs %g",
+				i, resSeq.RoundLog[i].Score, resPar.RoundLog[i].Score)
+		}
+	}
+	seq, par := releasedLayers(stSeq, released), releasedLayers(stPar, released)
+	for ni, want := range seq {
+		got := par[ni]
+		for si := range want {
+			if got[si] != want[si] {
+				t.Fatalf("net %d seg %d: workers=8 layer %d vs workers=1 layer %d",
+					ni, si, got[si], want[si])
+			}
+		}
+	}
+	if resSeq.After != resPar.After {
+		t.Fatalf("final metrics diverge: %+v vs %+v", resSeq.After, resPar.After)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	run := func() float64 {
+		st := prepare(t, 3, 250)
+		released := timing.SelectCritical(st.Timings(), 0.05)
+		res, err := New(Options{}).Optimize(context.Background(), st, released)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.After.AvgTcp
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic backend: %g vs %g", a, b)
+	}
+}
+
+// TestCancelledContextReverts: a context cancelled before the first round
+// must leave the incoming assignment untouched, committed and verify-clean,
+// with the context error wrapped in the returned error.
+func TestCancelledContextReverts(t *testing.T) {
+	st := prepare(t, 4, 200)
+	released := timing.SelectCritical(st.Timings(), 0.05)
+	initial := releasedLayers(st, released)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := New(Options{}).Optimize(ctx, st, released)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if res == nil || res.Rounds != 0 {
+		t.Fatalf("res = %+v, want partial result with 0 rounds", res)
+	}
+	for ni, want := range initial {
+		got := st.Trees[ni].SnapshotLayers()
+		for si := range want {
+			if got[si] != want[si] {
+				t.Fatalf("net %d seg %d moved on cancelled run: %d → %d", ni, si, want[si], got[si])
+			}
+		}
+	}
+	if res.After != res.Before {
+		t.Fatalf("metrics moved on cancelled run: %+v vs %+v", res.Before, res.After)
+	}
+	if rep := verify.State(st, verify.Options{}); !rep.Clean() {
+		t.Fatalf("state dirty after cancellation: %s", rep.Summary())
+	}
+}
+
+// TestMidRunCancellation: cancelling from the round hook stops the walk
+// early but still installs the best-so-far assignment and leaves the state
+// verify-clean.
+func TestMidRunCancellation(t *testing.T) {
+	st := prepare(t, 5, 250)
+	released := timing.SelectCritical(st.Timings(), 0.05)
+	penalty := acceptancePenalty(st, released)
+	before := acceptanceScore(st, released, penalty)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rounds := 0
+	res, err := New(Options{OnRound: func(core.RoundStats) {
+		rounds++
+		if rounds == 2 {
+			cancel()
+		}
+	}}).Optimize(ctx, st, released)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("res.Rounds = %d, want 2 (cancelled after the second round)", res.Rounds)
+	}
+	if after := acceptanceScore(st, released, penalty); after > before+1e-6*(1+before) {
+		t.Fatalf("partial run regressed acceptance score: %.6f → %.6f", before, after)
+	}
+	if rep := verify.State(st, verify.Options{}); !rep.Clean() {
+		t.Fatalf("state dirty after mid-run cancellation: %s", rep.Summary())
+	}
+}
+
+func TestEmptyRelease(t *testing.T) {
+	st := prepare(t, 6, 100)
+	res, err := New(Options{}).Optimize(context.Background(), st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.After != res.Before {
+		t.Fatalf("empty release should be a no-op: %+v", res)
+	}
+}
+
+func TestRoundTelemetry(t *testing.T) {
+	st := prepare(t, 7, 250)
+	released := timing.SelectCritical(st.Timings(), 0.05)
+	var seen []core.RoundStats
+	res, err := New(Options{MaxIters: 5, OnRound: func(rs core.RoundStats) {
+		seen = append(seen, rs)
+	}}).Optimize(context.Background(), st, released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 5 || res.Rounds != 5 {
+		t.Fatalf("rounds = %d, hook calls = %d, want 5/5", res.Rounds, len(seen))
+	}
+	for i, rs := range seen {
+		if rs.Score <= 0 || rs.Partitions <= 0 {
+			t.Fatalf("round %d telemetry empty: %+v", i, rs)
+		}
+		if rs != res.RoundLog[i] {
+			t.Fatalf("round %d hook/log mismatch: %+v vs %+v", i, rs, res.RoundLog[i])
+		}
+	}
+}

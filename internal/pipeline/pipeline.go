@@ -80,6 +80,32 @@ func PrepareCtx(ctx context.Context, d *netlist.Design, opt Options) (*State, er
 	}, nil
 }
 
+// Fork returns an isolated copy of the state for re-optimizing the given
+// nets: the grid (capacities and usage) is deep-copied and the listed nets'
+// trees are cloned, so a fork can reassign their layers and commit usage
+// without touching the original. Everything else — design, routes, the
+// remaining trees and the stateless timing engine — is shared read-only.
+// The timing cache is copied so the fork starts from the same analysis; the
+// STA view is not carried over (it is rebuilt lazily on demand).
+//
+// Forks underpin portfolio racing: each contender backend mutates only its
+// own fork, and the orchestrator commits the winner's layers back.
+func (s *State) Fork(nets []int) *State {
+	d := *s.Design
+	d.Grid = s.Design.Grid.Clone()
+	trees := append([]*tree.Tree(nil), s.Trees...)
+	for _, ni := range nets {
+		if t := trees[ni]; t != nil {
+			trees[ni] = t.Clone()
+		}
+	}
+	f := &State{Design: &d, Routes: s.Routes, Trees: trees, Engine: s.Engine}
+	if s.timings != nil {
+		f.timings = append([]*timing.NetTiming(nil), s.timings...)
+	}
+	return f
+}
+
 // Timings analyzes every tree with the state's engine and refreshes the
 // cache.
 func (s *State) Timings() []*timing.NetTiming {

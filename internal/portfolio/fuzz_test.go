@@ -1,0 +1,108 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/lagrange"
+	"repro/internal/pipeline"
+	"repro/internal/timing"
+	"repro/internal/verify"
+)
+
+// FuzzRace drives the portfolio orchestrator over randomized instances and
+// configuration bits and asserts its liveness contract: a race never
+// deadlocks (bounded by a hard deadline), never leaks a contender
+// goroutine, and — whenever it reports success — has committed a
+// verify-clean state. Config bits cover worker counts, referee on/off,
+// single- and dual-contender portfolios, and an early outer cancellation.
+func FuzzRace(f *testing.F) {
+	f.Add(int64(1), byte(0))
+	f.Add(int64(2), byte(1))
+	f.Add(int64(3), byte(7))
+	f.Add(int64(4), byte(255))
+	f.Add(int64(5), byte(42))
+
+	f.Fuzz(func(t *testing.T, seed int64, cfg byte) {
+		if seed < 0 {
+			seed = -seed
+		}
+		d, err := ispd08.Generate(ispd08.GenParams{
+			Name: "race-fuzz", W: 10 + int(seed%5), H: 10 + int(seed/5%5),
+			Layers: 6 + 2*int(seed%2), NumNets: 40 + int(seed%40),
+			Capacity: 6, Seed: seed%97 + 1,
+		})
+		if err != nil {
+			t.Skip("instance not generable")
+		}
+		st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+		if err != nil {
+			t.Skip("instance unroutable")
+		}
+		released := timing.SelectCritical(st.Timings(), 0.1)
+
+		var referee Referee
+		if cfg&1 != 0 {
+			referee = VerifyReferee()
+		}
+		workers := 1
+		if cfg&2 != 0 {
+			workers = 4
+		}
+		contenders := []core.Backend{
+			core.NewBackend(core.Options{SDPIters: 40, MaxRounds: 1, Workers: workers}),
+			lagrange.New(lagrange.Options{MaxIters: 4, Workers: workers}),
+		}
+		if cfg&4 != 0 {
+			contenders = contenders[1:]
+		}
+
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if cfg&8 != 0 {
+			// Cancel mid-flight: the race must abort promptly and cleanly.
+			go func() {
+				time.Sleep(time.Duration(cfg) * 50 * time.Microsecond)
+				cancel()
+			}()
+		}
+		defer cancel()
+
+		res, err := NewRace(referee, contenders...).Optimize(ctx, st, released)
+		switch {
+		case err == nil:
+			if res == nil || res.Backend == "" {
+				t.Fatalf("clean finish without a winner: %+v", res)
+			}
+			if rep := verify.State(st, verify.Options{}); !rep.Clean() {
+				t.Fatalf("winner %s committed a dirty state: %s", res.Backend, rep.Summary())
+			}
+		case errors.Is(err, context.Canceled):
+			// The injected cancellation; the caller's state must be intact.
+			if rep := verify.State(st, verify.Options{}); !rep.Clean() {
+				t.Fatalf("cancelled race left a dirty state: %s", rep.Summary())
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			t.Fatalf("race deadlocked past the 60s deadline")
+		default:
+			t.Fatalf("unexpected race error: %v", err)
+		}
+
+		// Goroutine hygiene: every contender must have exited by return.
+		// Allow the runtime a few settle rounds before declaring a leak.
+		for i := 0; ; i++ {
+			if runtime.NumGoroutine() <= before {
+				break
+			}
+			if i >= 50 {
+				t.Fatalf("goroutine leak: %d before race, %d after", before, runtime.NumGoroutine())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

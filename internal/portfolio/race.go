@@ -1,0 +1,142 @@
+// Package portfolio races layer-assignment backends against each other.
+// GAP-LA's observation (PAPERS.md) is that backend diversity, not a faster
+// single kernel, is what kills tail latency on hard instances: an instance
+// that stalls the ADMM leaves is often easy for the Lagrangian heuristic,
+// and vice versa. The Race orchestrator turns that diversity into a fast
+// path: every contender runs concurrently on an isolated fork of the state,
+// the first finisher certified by the referee wins, the losers are
+// cancelled and awaited, and the winner's layers are committed back — so
+// the caller's state ends byte-identical to running the winning backend
+// standalone.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/verify"
+)
+
+// Referee certifies a finished contender's forked state before it may win
+// the race; nil means verified. A referee must not mutate the state.
+type Referee func(st *pipeline.State, released []int) error
+
+// VerifyReferee returns the default referee: the independent checker's
+// scoped audit over the released nets — tree topology, assignment
+// legality and a from-scratch timing recomputation against the cache. A
+// backend whose result fails the audit is disqualified even if it finished
+// first.
+func VerifyReferee() Referee {
+	return func(st *pipeline.State, released []int) error {
+		if rep := verify.Nets(st, released, verify.Options{}); !rep.Clean() {
+			return fmt.Errorf("portfolio: referee rejected result: %s", rep.Summary())
+		}
+		return nil
+	}
+}
+
+// Race is a core.Backend that runs its contenders concurrently and commits
+// the first referee-certified result.
+type Race struct {
+	referee  Referee
+	backends []core.Backend
+}
+
+// NewRace builds a race over the given contenders. A nil referee accepts
+// any error-free finish; production callers should pass VerifyReferee().
+func NewRace(referee Referee, backends ...core.Backend) *Race {
+	return &Race{referee: referee, backends: backends}
+}
+
+// Name implements core.Backend.
+func (r *Race) Name() string { return "race" }
+
+// Optimize races the contenders on forks of st. The winning fork's layers
+// are committed into st (usage swapped atomically per tree, timing cache
+// patched); on failure or cancellation st is untouched. Every contender
+// goroutine has exited by the time Optimize returns — losers are cancelled
+// and then awaited, never abandoned.
+func (r *Race) Optimize(ctx context.Context, st *pipeline.State, released []int) (*core.Result, error) {
+	if len(r.backends) == 0 {
+		return nil, errors.New("portfolio: race needs at least one contender backend")
+	}
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type lane struct {
+		fork *pipeline.State
+		res  *core.Result
+		err  error
+	}
+	lanes := make([]lane, len(r.backends))
+	done := make(chan int, len(r.backends))
+	for i, b := range r.backends {
+		lanes[i].fork = st.Fork(released)
+		go func(i int, b core.Backend, fork *pipeline.State) {
+			res, err := b.Optimize(raceCtx, fork, released)
+			if err == nil && r.referee != nil {
+				err = r.referee(fork, released)
+			}
+			lanes[i].res, lanes[i].err = res, err
+			done <- i
+		}(i, b, lanes[i].fork)
+	}
+
+	// Drain every lane: the first verified finisher wins and cancels the
+	// rest, but we still wait for all of them — a returned Optimize must
+	// leave no contender goroutine behind.
+	winner := -1
+	var firstErr error
+	for range r.backends {
+		i := <-done
+		switch {
+		case lanes[i].err == nil && winner < 0:
+			winner = i
+			cancel()
+		case lanes[i].err == nil:
+			// Finished clean but after the verdict: a cancelled loser
+			// that crossed the line anyway. Its fork is discarded.
+		case firstErr == nil && !errors.Is(lanes[i].err, context.Canceled) &&
+			!errors.Is(lanes[i].err, context.DeadlineExceeded):
+			firstErr = fmt.Errorf("%s: %w", r.backends[i].Name(), lanes[i].err)
+		}
+	}
+
+	if winner < 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("portfolio: race cancelled: %w", err)
+		}
+		if firstErr == nil {
+			firstErr = errors.New("all contenders cancelled")
+		}
+		return nil, fmt.Errorf("portfolio: no contender produced a verified result: %w", firstErr)
+	}
+
+	// Commit the winner: per released tree, swap the old usage out of the
+	// caller's grid, install the fork's layers, swap the new usage in,
+	// then patch the timing cache. The fork's grid went through exactly
+	// the same transition, so st ends byte-identical to a standalone run
+	// of the winning backend.
+	g := st.Design.Grid
+	win := &lanes[winner]
+	var work []int
+	for _, ni := range released {
+		t, ft := st.Trees[ni], win.fork.Trees[ni]
+		if t == nil || ft == nil {
+			continue
+		}
+		t.ApplyUsage(g, -1)
+		t.RestoreLayers(ft.SnapshotLayers())
+		t.ApplyUsage(g, +1)
+		work = append(work, ni)
+	}
+	st.Retime(work)
+
+	res := win.res
+	res.Backend = r.backends[winner].Name()
+	res.RaceCancelled = len(r.backends) - 1
+	return res, nil
+}

@@ -1,0 +1,218 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ispd08"
+	"repro/internal/pipeline"
+	"repro/internal/timing"
+)
+
+// stub is a controllable core.Backend: after an optional delay (or as soon
+// as its context dies) it stamps marker onto the first released segment so
+// tests can tell whose result was committed.
+type stub struct {
+	name  string
+	delay time.Duration
+	// marker indexes the segment direction's legal layer list; the stamped
+	// layer is read back with markerOf/legalLayer.
+	marker int
+	err    error
+	// ignoreCtx makes the stub sleep through cancellation and finish
+	// anyway, exercising the late-clean-finisher path.
+	ignoreCtx bool
+
+	started   atomic.Bool
+	cancelled atomic.Bool
+}
+
+func (s *stub) Name() string { return s.name }
+
+func (s *stub) Optimize(ctx context.Context, st *pipeline.State, released []int) (*core.Result, error) {
+	s.started.Store(true)
+	if s.delay > 0 {
+		if s.ignoreCtx {
+			time.Sleep(s.delay)
+		} else {
+			select {
+			case <-time.After(s.delay):
+			case <-ctx.Done():
+				s.cancelled.Store(true)
+				return nil, ctx.Err()
+			}
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(released) > 0 {
+		if t := st.Trees[released[0]]; t != nil && len(t.Segs) > 0 {
+			layers := st.Design.Grid.Stack.LayersWithDir(t.Segs[0].Dir)
+			t.Segs[0].Layer = layers[s.marker%len(layers)]
+		}
+	}
+	return &core.Result{Released: released, Backend: s.name}, nil
+}
+
+func prepared(t *testing.T) (*pipeline.State, []int) {
+	t.Helper()
+	d, err := ispd08.Generate(ispd08.GenParams{
+		Name: "race-test", W: 12, H: 12, Layers: 8, NumNets: 60, Capacity: 8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.Prepare(d, pipeline.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, timing.SelectCritical(st.Timings(), 0.1)
+}
+
+// markerOf reads back which stub's layer stamp the race committed.
+func markerOf(st *pipeline.State, released []int) int {
+	return st.Trees[released[0]].Segs[0].Layer
+}
+
+// legalLayer is the layer a stub with the given marker index stamps.
+func legalLayer(st *pipeline.State, released []int, idx int) int {
+	tr := st.Trees[released[0]]
+	layers := st.Design.Grid.Stack.LayersWithDir(tr.Segs[0].Dir)
+	return layers[idx%len(layers)]
+}
+
+func TestRaceFirstFinisherWins(t *testing.T) {
+	st, released := prepared(t)
+	fast := &stub{name: "fast", delay: 5 * time.Millisecond, marker: 2}
+	slow := &stub{name: "slow", delay: 2 * time.Second, marker: 4}
+
+	res, err := NewRace(nil, slow, fast).Optimize(context.Background(), st, released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "fast" {
+		t.Fatalf("winner = %q, want fast", res.Backend)
+	}
+	if res.RaceCancelled != 1 {
+		t.Fatalf("RaceCancelled = %d, want 1", res.RaceCancelled)
+	}
+	if got, want := markerOf(st, released), legalLayer(st, released, 2); got != want {
+		t.Fatalf("committed layer = %d, want fast's %d", got, want)
+	}
+	if !slow.cancelled.Load() {
+		t.Fatal("losing contender did not observe cancellation")
+	}
+}
+
+// TestRaceRefereeDisqualifies: the first finisher fails certification, so
+// the slower clean contender must win.
+func TestRaceRefereeDisqualifies(t *testing.T) {
+	st, released := prepared(t)
+	cheat := &stub{name: "cheat", marker: 3}
+	honest := &stub{name: "honest", delay: 20 * time.Millisecond, marker: 5}
+	referee := func(fork *pipeline.State, rel []int) error {
+		if markerOf(fork, rel) == legalLayer(fork, rel, 3) {
+			return errors.New("marker 3 is disqualified")
+		}
+		return nil
+	}
+
+	res, err := NewRace(referee, cheat, honest).Optimize(context.Background(), st, released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "honest" {
+		t.Fatalf("winner = %q, want honest", res.Backend)
+	}
+	if got, want := markerOf(st, released), legalLayer(st, released, 5); got != want {
+		t.Fatalf("committed layer = %d, want honest's %d", got, want)
+	}
+}
+
+// TestRaceAllFail: with every contender erroring, the race reports the
+// first real error and leaves the caller's state untouched.
+func TestRaceAllFail(t *testing.T) {
+	st, released := prepared(t)
+	before := markerOf(st, released)
+	a := &stub{name: "a", err: errors.New("solver exploded")}
+	b := &stub{name: "b", delay: 5 * time.Millisecond, err: errors.New("also bad")}
+
+	_, err := NewRace(nil, a, b).Optimize(context.Background(), st, released)
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "no contender produced a verified result") {
+		t.Fatalf("err = %v", err)
+	}
+	if got := markerOf(st, released); got != before {
+		t.Fatalf("state mutated on failed race: layer %d → %d", before, got)
+	}
+}
+
+// TestRaceOuterCancellation: cancelling the caller's context aborts the
+// race, both contenders observe it, and the error reports the
+// cancellation rather than a contender failure.
+func TestRaceOuterCancellation(t *testing.T) {
+	st, released := prepared(t)
+	before := markerOf(st, released)
+	a := &stub{name: "a", delay: 5 * time.Second, marker: 2}
+	b := &stub{name: "b", delay: 5 * time.Second, marker: 4}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := NewRace(nil, a, b).Optimize(ctx, st, released)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("race did not abort promptly: %v", elapsed)
+	}
+	if !a.cancelled.Load() || !b.cancelled.Load() {
+		t.Fatalf("contenders did not observe cancellation: a=%v b=%v",
+			a.cancelled.Load(), b.cancelled.Load())
+	}
+	if got := markerOf(st, released); got != before {
+		t.Fatalf("state mutated on cancelled race: layer %d → %d", before, got)
+	}
+}
+
+func TestRaceNoBackends(t *testing.T) {
+	st, released := prepared(t)
+	if _, err := NewRace(nil).Optimize(context.Background(), st, released); err == nil {
+		t.Fatal("expected an error for an empty portfolio")
+	}
+}
+
+// TestRaceLoserFinishingClean: both contenders finish without error, the
+// slower one after the verdict — its clean result must be discarded, not
+// committed over the winner's.
+func TestRaceLoserFinishingClean(t *testing.T) {
+	st, released := prepared(t)
+	fast := &stub{name: "fast", marker: 2}
+	slow := &stub{name: "slow", delay: 30 * time.Millisecond, marker: 4, ignoreCtx: true}
+
+	res, err := NewRace(nil, fast, slow).Optimize(context.Background(), st, released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != "fast" || markerOf(st, released) != legalLayer(st, released, 2) {
+		t.Fatalf("winner %q, layer %d; want fast/%d",
+			res.Backend, markerOf(st, released), legalLayer(st, released, 2))
+	}
+}
+
+func TestRaceName(t *testing.T) {
+	if got := NewRace(nil).Name(); got != "race" {
+		t.Fatalf("Name() = %q, want race", got)
+	}
+}

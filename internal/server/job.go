@@ -55,6 +55,12 @@ type JobSpec struct {
 
 	// Engine selects the optimizer: "sdp" (default) or "ilp".
 	Engine string `json:"engine,omitempty"`
+	// Backend selects the solve strategy: "sdp" (default) runs the CPLA
+	// engine chosen by Engine, "lagrange" runs the parallel Lagrangian
+	// backend, and "race" runs both concurrently on isolated forks — the
+	// first result certified by the independent checker wins and the
+	// loser is cancelled.
+	Backend string `json:"backend,omitempty"`
 	// ReleaseRatio selects the top fraction of nets by critical-path delay
 	// (0 → 0.005, the paper's default).
 	ReleaseRatio float64 `json:"release_ratio,omitempty"`
@@ -111,6 +117,14 @@ func (s *JobSpec) Validate() error {
 	case "", "sdp", "ilp":
 	default:
 		return fmt.Errorf("unknown engine %q (want sdp or ilp)", s.Engine)
+	}
+	switch s.Backend {
+	case "", "sdp", "lagrange", "race":
+	default:
+		return fmt.Errorf("unknown backend %q (want sdp, lagrange or race)", s.Backend)
+	}
+	if s.Backend == "lagrange" && s.Engine == "ilp" {
+		return fmt.Errorf("engine ilp conflicts with backend lagrange")
 	}
 	if s.ReleaseRatio < 0 || s.ReleaseRatio > 1 {
 		return fmt.Errorf("release_ratio %g out of [0,1]", s.ReleaseRatio)
@@ -184,8 +198,12 @@ type JobResult struct {
 	Before   timing.Metrics `json:"before"`
 	After    timing.Metrics `json:"after"`
 	// ImproveAvgPct / ImproveMaxPct are the paper's headline percentages.
-	ImproveAvgPct float64       `json:"improve_avg_pct"`
-	ImproveMaxPct float64       `json:"improve_max_pct"`
+	ImproveAvgPct float64 `json:"improve_avg_pct"`
+	ImproveMaxPct float64 `json:"improve_max_pct"`
+	// Backend names the backend that produced the result; in race mode it
+	// is the winner, and RaceCancelled counts the losers cancelled.
+	Backend       string        `json:"backend,omitempty"`
+	RaceCancelled int           `json:"race_cancelled,omitempty"`
 	Rounds        int           `json:"rounds"`
 	Partitions    int           `json:"partitions"`
 	SolveErrors   int           `json:"solve_errors"`

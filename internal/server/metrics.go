@@ -28,6 +28,15 @@ type Metrics struct {
 	VerifyRuns       atomic.Int64 // jobs that ran the independent checker
 	VerifyViolations atomic.Int64 // total violations those checks found
 
+	// backendJobs counts finished jobs per producing backend (the race
+	// winner counts for its own backend); raceWins breaks race outcomes
+	// down by winner.
+	backendJobs [len(backendNames)]atomic.Int64
+	raceWins    [len(backendNames)]atomic.Int64
+
+	RaceJobs            atomic.Int64 // finished jobs that ran in race mode
+	RaceLosersCancelled atomic.Int64 // losing contenders cancelled across races
+
 	SessionsActive  atomic.Int64 // live ECO sessions (gauge)
 	SessionsCreated atomic.Int64 // sessions ever created
 	SessionsEvicted atomic.Int64 // sessions removed by TTL or DELETE
@@ -54,6 +63,31 @@ type Metrics struct {
 // deltaKinds are the per-kind labels tracked for delta solves; a batch
 // mixing kinds lands in "mixed".
 var deltaKinds = [...]string{"reroute", "adjust_capacity", "derate_pitch", "set_critical", "mixed"}
+
+// backendNames are the backends a finished job can credit; an unknown name
+// (future backend) lands in "other".
+var backendNames = [...]string{"sdp", "ilp", "lagrange", "other"}
+
+// ObserveBackend records a finished job's producing backend and, when the
+// job raced, the win and the losers cancelled.
+func (m *Metrics) ObserveBackend(res *JobResult) {
+	if res == nil || res.Backend == "" {
+		return
+	}
+	bi := len(backendNames) - 1 // default "other"
+	for i, name := range backendNames {
+		if name == res.Backend {
+			bi = i
+			break
+		}
+	}
+	m.backendJobs[bi].Add(1)
+	if res.RaceCancelled > 0 {
+		m.RaceJobs.Add(1)
+		m.raceWins[bi].Add(1)
+		m.RaceLosersCancelled.Add(int64(res.RaceCancelled))
+	}
+}
 
 // kindCounters aggregates delta solves of one kind, ratios in micro-units.
 type kindCounters struct {
@@ -135,6 +169,16 @@ type MetricsSnapshot struct {
 	VerifyRuns       int64 `json:"verify_runs"`
 	VerifyViolations int64 `json:"verify_violations"`
 
+	// BackendJobs counts finished jobs per producing backend; RaceWins
+	// breaks race-mode outcomes down by winning backend. Only backends
+	// observed at least once appear.
+	BackendJobs map[string]int64 `json:"backend_jobs,omitempty"`
+	RaceWins    map[string]int64 `json:"race_wins,omitempty"`
+	// RaceJobs counts finished race-mode jobs; RaceLosersCancelled is the
+	// total losing contenders those races cancelled.
+	RaceJobs            int64 `json:"race_jobs"`
+	RaceLosersCancelled int64 `json:"race_losers_cancelled"`
+
 	SessionsActive  int64 `json:"sessions_active"`
 	SessionsCreated int64 `json:"sessions_created"`
 	SessionsEvicted int64 `json:"sessions_evicted"`
@@ -194,6 +238,22 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DeltaSolves:      m.DeltaSolves.Load(),
 		SolveCount:       m.latencyCount.Load(),
 		SolveSumMS:       m.latencySumMS.Load(),
+	}
+	s.RaceJobs = m.RaceJobs.Load()
+	s.RaceLosersCancelled = m.RaceLosersCancelled.Load()
+	for i, name := range backendNames {
+		if n := m.backendJobs[i].Load(); n > 0 {
+			if s.BackendJobs == nil {
+				s.BackendJobs = map[string]int64{}
+			}
+			s.BackendJobs[name] = n
+		}
+		if n := m.raceWins[i].Load(); n > 0 {
+			if s.RaceWins == nil {
+				s.RaceWins = map[string]int64{}
+			}
+			s.RaceWins[name] = n
+		}
 	}
 	s.CacheEvictions = m.CacheEvictions.Load()
 	s.StaUpdates = m.StaUpdates.Load()

@@ -8,9 +8,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ispd08"
+	"repro/internal/lagrange"
 	"repro/internal/legalize"
 	"repro/internal/netlist"
 	"repro/internal/pipeline"
+	"repro/internal/portfolio"
 	"repro/internal/timing"
 	"repro/internal/verify"
 )
@@ -58,7 +60,7 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, onRound func(core.RoundSt
 		auditor = verify.NewSDPAuditor(verify.SDPCheckOptions{})
 		copt.OnSDP = auditor.Hook()
 	}
-	res, err := core.OptimizeCtx(ctx, st, released, copt)
+	res, err := specBackend(spec, copt, onRound).Optimize(ctx, st, released)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +73,8 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, onRound func(core.RoundSt
 		After:         res.After,
 		ImproveAvgPct: improvePct(res.Before.AvgTcp, res.After.AvgTcp),
 		ImproveMaxPct: improvePct(res.Before.MaxTcp, res.After.MaxTcp),
+		Backend:       res.Backend,
+		RaceCancelled: res.RaceCancelled,
 		Rounds:        res.Rounds,
 		Partitions:    res.Partitions,
 		SolveErrors:   res.SolveErrors,
@@ -101,6 +105,23 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, onRound func(core.RoundSt
 	}
 	out.ElapsedMS = time.Since(start).Milliseconds()
 	return out, nil
+}
+
+// specBackend builds the spec's backend: the CPLA engine (default), the
+// Lagrangian heuristic, or a verify-refereed race between the two. In race
+// mode both contenders feed onRound, so the live RoundLog interleaves their
+// rounds — each entry still carries its own stats.
+func specBackend(spec *JobSpec, copt core.Options, onRound func(core.RoundStats)) core.Backend {
+	lagOpt := lagrange.Options{Workers: copt.Workers, OnRound: onRound}
+	switch spec.Backend {
+	case "lagrange":
+		return lagrange.New(lagOpt)
+	case "race":
+		return portfolio.NewRace(portfolio.VerifyReferee(),
+			core.NewBackend(copt), lagrange.New(lagOpt))
+	default:
+		return core.NewBackend(copt)
+	}
 }
 
 // buildDesign materializes the spec's design source. Uploaded ISPD'08 text

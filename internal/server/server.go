@@ -178,6 +178,7 @@ func (s *Server) run(workerID int, job *Job) {
 		job.status = StatusDone
 		job.result = result
 		s.metrics.Done.Add(1)
+		s.metrics.ObserveBackend(result)
 		if result.Verify != nil {
 			s.metrics.VerifyRuns.Add(1)
 			s.metrics.VerifyViolations.Add(int64(result.Verify.Violations))

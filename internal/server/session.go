@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/incr"
 	"repro/internal/ispd08"
+	"repro/internal/lagrange"
 	"repro/internal/netlist"
 	"repro/internal/pipeline"
 	"repro/internal/sta"
@@ -53,6 +54,11 @@ type SessionSpec struct {
 	// equivalence_mode "epsilon" once any reuse fires (see incr.Config).
 	// Warm starts are the existing options.warm_start knob.
 	Revalidate bool `json:"revalidate,omitempty"`
+	// Backend selects the session's optimizer: "sdp" (default, the CPLA
+	// engine) or "lagrange". "race" is rejected — a race winner depends on
+	// goroutine scheduling, which would break the session's cold-replay
+	// equivalence contract.
+	Backend string `json:"backend,omitempty"`
 	// Options tunes the optimizer, as in a job spec.
 	Options *SolveOptions `json:"options,omitempty"`
 }
@@ -61,7 +67,17 @@ type SessionSpec struct {
 func (s *SessionSpec) Validate() error {
 	js := JobSpec{Benchmark: s.Benchmark, Gen: s.Gen, ISPD08: s.ISPD08,
 		ReleaseRatio: s.ReleaseRatio, Options: s.Options}
-	return js.Validate()
+	if err := js.Validate(); err != nil {
+		return err
+	}
+	switch s.Backend {
+	case "", "sdp", "lagrange":
+	case "race":
+		return fmt.Errorf("backend race is not deterministic and cannot back a session (want sdp or lagrange)")
+	default:
+		return fmt.Errorf("unknown backend %q (want sdp or lagrange)", s.Backend)
+	}
+	return nil
 }
 
 // incrConfig translates the spec into the ECO engine's configuration.
@@ -70,7 +86,7 @@ func (s *SessionSpec) incrConfig() incr.Config {
 	popt.Route.Steiner = s.Steiner
 	js := JobSpec{Options: s.Options}
 	copt := js.coreOptions(nil)
-	return incr.Config{
+	cfg := incr.Config{
 		Prepare:    popt,
 		Core:       copt,
 		Ratio:      s.ReleaseRatio,
@@ -78,6 +94,12 @@ func (s *SessionSpec) incrConfig() incr.Config {
 		Verify:     s.Verify,
 		Revalidate: s.Revalidate,
 	}
+	if s.Backend == "lagrange" {
+		// Deterministic regardless of worker count, so the session's
+		// cold-replay bitwise contract holds unchanged.
+		cfg.Backend = lagrange.New(lagrange.Options{Workers: copt.Workers})
+	}
+	return cfg
 }
 
 // designFunc returns the deterministic design factory incr sessions (and

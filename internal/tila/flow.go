@@ -17,7 +17,7 @@ import (
 // per-segment step uses. This is the closest structural match to the
 // published TILA's min-cost-flow engine: capacities are enforced exactly
 // within the round instead of being priced after the fact.
-func assignAllFlow(eng *timing.Engine, g *grid.Grid, trees []*tree.Tree, mult *multipliers) {
+func assignAllFlow(eng *timing.Engine, g *grid.Grid, trees []*tree.Tree, mult *Multipliers) {
 	type segRef struct {
 		tr  *tree.Tree
 		seg *tree.Segment
@@ -37,7 +37,7 @@ func assignAllFlow(eng *timing.Engine, g *grid.Grid, trees []*tree.Tree, mult *m
 	}
 
 	// Linearized cost of segment k on layer l (same terms as
-	// assignNetLinear, minus the λ edge prices — capacity is now hard).
+	// PriceNetLinear, minus the λ edge prices — capacity is now hard).
 	segCost := func(k int, l int) float64 {
 		sr := segs[k]
 		s := sr.seg

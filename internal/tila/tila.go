@@ -64,17 +64,22 @@ type Result struct {
 	FinalOverflow int     // edge+via excess contributed by released nets' region
 }
 
-// multipliers holds λ (edges) and μ (vias) as flat per-layer arrays.
-type multipliers struct {
+// Multipliers holds the Lagrange multipliers λ (edges) and μ (vias) as
+// flat per-layer arrays. Exported together with NewMultipliers,
+// PriceNetLinear and StepMultipliers so the production Lagrangian backend
+// (internal/lagrange) reuses TILA's exact iterate sequence instead of
+// duplicating it.
+type Multipliers struct {
 	w, h    int
 	lambdaH [][]float64 // [layer][(w-1)*h]
 	lambdaV [][]float64 // [layer][w*(h-1)]
 	mu      [][]float64 // [level][w*h]
 }
 
-func newMultipliers(g *grid.Grid) *multipliers {
+// NewMultipliers returns zero multipliers sized for the grid.
+func NewMultipliers(g *grid.Grid) *Multipliers {
 	l := g.NumLayers()
-	m := &multipliers{w: g.W, h: g.H}
+	m := &Multipliers{w: g.W, h: g.H}
 	m.lambdaH = make([][]float64, l)
 	m.lambdaV = make([][]float64, l)
 	for i := 0; i < l; i++ {
@@ -88,14 +93,14 @@ func newMultipliers(g *grid.Grid) *multipliers {
 	return m
 }
 
-func (m *multipliers) lambda(e grid.Edge, l int) float64 {
+func (m *Multipliers) lambda(e grid.Edge, l int) float64 {
 	if e.Horiz {
 		return m.lambdaH[l][e.Y*(m.w-1)+e.X]
 	}
 	return m.lambdaV[l][e.Y*m.w+e.X]
 }
 
-func (m *multipliers) addLambda(e grid.Edge, l int, d float64) {
+func (m *Multipliers) addLambda(e grid.Edge, l int, d float64) {
 	var slot *float64
 	if e.Horiz {
 		slot = &m.lambdaH[l][e.Y*(m.w-1)+e.X]
@@ -108,9 +113,9 @@ func (m *multipliers) addLambda(e grid.Edge, l int, d float64) {
 	}
 }
 
-func (m *multipliers) muAt(x, y, lvl int) float64 { return m.mu[lvl][y*m.w+x] }
+func (m *Multipliers) muAt(x, y, lvl int) float64 { return m.mu[lvl][y*m.w+x] }
 
-func (m *multipliers) addMu(x, y, lvl int, d float64) {
+func (m *Multipliers) addMu(x, y, lvl int, d float64) {
 	slot := &m.mu[lvl][y*m.w+x]
 	*slot += d
 	if *slot < 0 {
@@ -120,7 +125,7 @@ func (m *multipliers) addMu(x, y, lvl int, d float64) {
 
 // muSpan sums μ over the via levels crossed between layers a and b at tile
 // (x, y).
-func (m *multipliers) muSpan(x, y, a, b int) float64 {
+func (m *Multipliers) muSpan(x, y, a, b int) float64 {
 	if a > b {
 		a, b = b, a
 	}
@@ -155,7 +160,7 @@ func Optimize(st *pipeline.State, released []int, opt Options) *Result {
 		t.ApplyUsage(g, -1)
 	}
 
-	res := &Result{InitialDelay: totalDelay(eng, relTrees)}
+	res := &Result{InitialDelay: TotalDelay(eng, relTrees)}
 
 	// Delay scale for subgradient steps and overflow scoring.
 	wl := 0
@@ -167,7 +172,7 @@ func Optimize(st *pipeline.State, released []int, opt Options) *Result {
 		opt.OverflowPenalty = 10 * scale
 	}
 
-	mult := newMultipliers(g)
+	mult := NewMultipliers(g)
 	best := make([][]int, len(relTrees))
 	bestScore := math.Inf(1)
 
@@ -182,7 +187,7 @@ func Optimize(st *pipeline.State, released []int, opt Options) *Result {
 			assignAllFlow(eng, g, relTrees, mult)
 		default:
 			for _, t := range relTrees {
-				assignNetLinear(eng, g, t, mult)
+				PriceNetLinear(eng, g, t, mult)
 			}
 		}
 		// Score this assignment: delay plus penalized overflow.
@@ -190,7 +195,7 @@ func Optimize(st *pipeline.State, released []int, opt Options) *Result {
 			t.ApplyUsage(g, +1)
 		}
 		ov := g.CollectOverflow()
-		score := totalDelay(eng, relTrees) + opt.OverflowPenalty*float64(ov.EdgeExcess+ov.ViaExcess)
+		score := TotalDelay(eng, relTrees) + opt.OverflowPenalty*float64(ov.EdgeExcess+ov.ViaExcess)
 		if score < bestScore {
 			bestScore = score
 			for i, t := range relTrees {
@@ -199,7 +204,7 @@ func Optimize(st *pipeline.State, released []int, opt Options) *Result {
 		}
 		// Subgradient step on all resources while usage is committed.
 		step := opt.Step * scale / float64(iter+1)
-		updateMultipliers(g, mult, step)
+		StepMultipliers(g, mult, step)
 		for _, t := range relTrees {
 			t.ApplyUsage(g, -1)
 		}
@@ -213,7 +218,7 @@ func Optimize(st *pipeline.State, released []int, opt Options) *Result {
 		}
 		t.ApplyUsage(g, +1)
 	}
-	res.FinalDelay = totalDelay(eng, relTrees)
+	res.FinalDelay = TotalDelay(eng, relTrees)
 	ov := g.CollectOverflow()
 	res.FinalOverflow = ov.EdgeExcess + ov.ViaExcess
 	return res
@@ -222,7 +227,7 @@ func Optimize(st *pipeline.State, released []int, opt Options) *Result {
 // totalDelay is TILA's objective: the summed weighted delay of every
 // segment and via of the released nets (weighted-sum model, not worst
 // path).
-func totalDelay(eng *timing.Engine, trees []*tree.Tree) float64 {
+func TotalDelay(eng *timing.Engine, trees []*tree.Tree) float64 {
 	sum := 0.0
 	for _, t := range trees {
 		nt := eng.Analyze(t)
@@ -235,7 +240,7 @@ func totalDelay(eng *timing.Engine, trees []*tree.Tree) float64 {
 
 // assignNetLR reassigns one net by tree DP given the multipliers, with
 // downstream caps frozen at the current assignment.
-func assignNetLR(eng *timing.Engine, g *grid.Grid, t *tree.Tree, mult *multipliers) {
+func assignNetLR(eng *timing.Engine, g *grid.Grid, t *tree.Tree, mult *Multipliers) {
 	cd := eng.CdWithLayers(t, nil)
 	numLayers := g.NumLayers()
 	dp := make([][]float64, len(t.Segs))
@@ -311,12 +316,12 @@ func assignNetLR(eng *timing.Engine, g *grid.Grid, t *tree.Tree, mult *multiplie
 	}
 }
 
-// assignNetLinear is the faithful TILA pricing step: via terms are
+// PriceNetLinear is the faithful TILA pricing step: via terms are
 // linearized against the neighbors' previous-iteration layers, making every
 // segment's cost separable; each segment then independently takes its
 // cheapest layer. This is the approximation of quadratic terms the CPLA
 // paper's introduction criticizes in TILA.
-func assignNetLinear(eng *timing.Engine, g *grid.Grid, t *tree.Tree, mult *multipliers) {
+func PriceNetLinear(eng *timing.Engine, g *grid.Grid, t *tree.Tree, mult *Multipliers) {
 	cd := eng.CdWithLayers(t, nil)
 	prev := t.SnapshotLayers()
 	for _, s := range t.Segs {
@@ -361,7 +366,7 @@ func layersFor(g *grid.Grid, s *tree.Segment) []int {
 
 // lambdaCost sums the edge multipliers of placing s on layer l, plus a hard
 // wall for layers with zero capacity.
-func lambdaCost(g *grid.Grid, mult *multipliers, s *tree.Segment, l int) float64 {
+func lambdaCost(g *grid.Grid, mult *Multipliers, s *tree.Segment, l int) float64 {
 	cost := 0.0
 	for _, e := range s.Edges {
 		if g.EdgeCap(e, l) <= 0 {
@@ -373,9 +378,9 @@ func lambdaCost(g *grid.Grid, mult *multipliers, s *tree.Segment, l int) float64
 	return cost
 }
 
-// updateMultipliers performs one subgradient step over every edge and via
+// StepMultipliers performs one subgradient step over every edge and via
 // resource: multiplier += step·(usage − capacity), clamped at zero.
-func updateMultipliers(g *grid.Grid, mult *multipliers, step float64) {
+func StepMultipliers(g *grid.Grid, mult *Multipliers, step float64) {
 	for l := 0; l < g.NumLayers(); l++ {
 		horiz := g.Stack.Dir(l) == tech.Horizontal
 		g.Edges2D(func(e grid.Edge) {

@@ -86,7 +86,7 @@ func TestOptimizeEmptyRelease(t *testing.T) {
 
 func TestMultiplierClamping(t *testing.T) {
 	st := prepare(t, 5, 50)
-	m := newMultipliers(st.Design.Grid)
+	m := NewMultipliers(st.Design.Grid)
 	e := grid.Edge{X: 1, Y: 1, Horiz: true}
 	m.addLambda(e, 0, 5)
 	if m.lambda(e, 0) != 5 {

@@ -93,3 +93,17 @@ func (t *Tree) RestoreLayers(layers []int) {
 		s.Layer = layers[i]
 	}
 }
+
+// Clone returns a copy of the tree whose segments can be re-layered
+// independently of the original. Segment structs are copied — Layer is the
+// only field the layer assigners mutate — while the Nodes slice and each
+// segment's Edges and Children remain shared read-only with the original.
+func (t *Tree) Clone() *Tree {
+	nt := *t
+	nt.Segs = make([]*Segment, len(t.Segs))
+	for i, s := range t.Segs {
+		cs := *s
+		nt.Segs[i] = &cs
+	}
+	return &nt
+}

@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-kernels bench-incr bench-sta bench-race serve fuzz
+.PHONY: check test bench bench-kernels bench-incr bench-sta bench-race bench-batch serve fuzz
 
 # Fast verification gate: gofmt, full build, go vet, race-enabled tests of
 # the CPLA hot-path and server packages.
@@ -21,12 +21,16 @@ serve:
 # against a from-scratch analysis, bitwise. FuzzRace races the backend
 # portfolio over random instances and config bits, asserting no deadlock,
 # no contender goroutine leak and a verify-clean committed state.
+# FuzzBatchBucketing throws random mixed-dimension problem sets at the
+# batched SDP dispatcher, asserting bucket accounting, bitwise float64
+# equality with per-leaf solves and float32 certificate/fallback accounting.
 fuzz:
 	go test ./internal/ispd08/ -run=NONE -fuzz=FuzzParse -fuzztime=30s
 	go test ./internal/partition/ -run=NONE -fuzz=FuzzPartition -fuzztime=30s
 	go test ./internal/incr/ -run=NONE -fuzz=FuzzDeltas -fuzztime=30s
 	go test ./internal/sta/ -run=NONE -fuzz=FuzzSTAUpdate -fuzztime=30s
 	go test ./internal/portfolio/ -run=NONE -fuzz=FuzzRace -fuzztime=30s
+	go test ./internal/sdp/ -run=NONE -fuzz=FuzzBatchBucketing -fuzztime=30s
 
 # The allocation-sensitive benchmarks recorded in BENCH_sdp.json.
 bench:
@@ -52,6 +56,14 @@ bench-incr:
 # bitwise. Rewrites BENCH_sta.json.
 bench-sta:
 	go run ./cmd/benchsta
+
+# Batched leaf-solving benchmark: per-leaf vs batched structure-of-arrays
+# dispatch vs the certified float32 fast lane, on both the fixed-work and
+# the converging leaf sets, plus the base-solve and end-to-end benchmarks.
+# Rewrites the "after" section of BENCH_batch.json ("before" is the seed
+# tree, preserved).
+bench-batch:
+	go run ./cmd/benchbatch
 
 # Backend portfolio benchmark: SDP vs Lagrangian vs a race of the two on
 # small and suite instance classes, every run gated on a clean verify audit

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/sdp"
+	"repro/internal/tree"
+)
+
+// solveRoundBatched is the round-level batched leaf dispatch for the
+// ADMM-SDP engine: instead of each worker goroutine building and solving one
+// leaf end to end, the round runs in three phases —
+//
+//  1. build + cache probe, parallel across leaves: the lifted relaxation is
+//     constructed and the memo/revalidation tiers are consulted exactly as
+//     the per-leaf path does;
+//  2. one sdp.SolveBatchCtx call over every leaf that needs a fresh solve:
+//     leaves are bucketed by matrix dimension and iterated in
+//     structure-of-arrays lanes, waking the kernel pool once per bucket;
+//  3. readout + post-mapping, parallel across leaves, with the OnSDP auditor
+//     hook fired for each freshly solved relaxation.
+//
+// With float64 lanes (BatchAuto) the committed layers are bit-identical to
+// the per-leaf path: the batch solver is bitwise-equal to per-leaf
+// Workspace solves at any worker count, and every other phase is the same
+// code. BatchFloat32 substitutes the certified float32 lane, whose committed
+// results carry a float64 certificate or are transparent float64 re-solves.
+func solveRoundBatched(ctx context.Context, in *buildInput, trees []*tree.Tree, leaves []*partition.Leaf, opt Options, cache *SolveCache) ([]proposal, sdp.BatchStats) {
+	proposals := make([]proposal, len(leaves))
+	sls := make([]*sdpLeaf, len(leaves))
+	probes := make([]sdpProbe, len(leaves))
+
+	// Phase 1: build the relaxations and probe the cache tiers in parallel.
+	runLeafParallel(len(leaves), opt.Workers, func(li int) {
+		leaf := leaves[li]
+		proposals[li].leaf = leaf
+		proposals[li].key = leafKey(leaf)
+		items := make([]item, len(leaf.Items))
+		for i, it := range leaf.Items {
+			items[i] = item{treeIdx: it.Tree, segID: it.Seg}
+		}
+		sls[li] = buildSDPLeaf(buildProblem(in, trees, items))
+		probes[li] = probeSDPCache(sls[li], opt, cache, proposals[li].key)
+	})
+
+	// Phase 2: one batched solve over the leaves the cache could not serve.
+	var pend []int
+	for li := range leaves {
+		if probes[li].xFrac == nil {
+			pend = append(pend, li)
+		}
+	}
+	probs := make([]*sdp.Problem, len(pend))
+	warms := make([]*sdp.State, len(pend))
+	for i, li := range pend {
+		probs[i] = sls[li].prob
+		warms[i] = probes[li].warm
+	}
+	br := sdp.SolveBatchCtx(ctx, probs, sdp.Options{
+		MaxIters: opt.SDPIters,
+		Tol:      opt.SDPTol,
+	}, warms, sdp.BatchOptions{
+		Float32: opt.BatchLeaves == BatchFloat32,
+		Workers: opt.Workers,
+	})
+
+	// Phase 3: readout and post-mapping in parallel. posOf maps a leaf index
+	// to its slot in the batch result.
+	posOf := make(map[int]int, len(pend))
+	for i, li := range pend {
+		posOf[li] = i
+	}
+	runLeafParallel(len(leaves), opt.Workers, func(li int) {
+		sl := sls[li]
+		var xFrac [][]float64
+		if i, fresh := posOf[li]; fresh {
+			if err := br.Errs[i]; err != nil {
+				proposals[li].err = fmt.Errorf("core: partition SDP (%v) failed: %w", opt.SDPSolver, err)
+				return
+			}
+			xFrac, proposals[li].stats = finishSDPLeaf(sl, br.Results[i], br.States[i], probes[li].cache, opt)
+		} else {
+			xFrac, proposals[li].stats = probes[li].xFrac, probes[li].ls
+		}
+		layers, err := mapLeaf(sl.p, xFrac, opt)
+		proposals[li].layers, proposals[li].err = layers, err
+	})
+	return proposals, br.Stats
+}
+
+// runLeafParallel fans f out over [0, n) on up to workers goroutines — the
+// same bounded-worker shape as the per-leaf dispatch.
+func runLeafParallel(n, workers int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// mapLeaf rounds a leaf's fractional solution into per-item layer choices —
+// the shared tail of the per-leaf and batched paths.
+func mapLeaf(p *problem, xFrac [][]float64, opt Options) ([]int, error) {
+	var choice []int
+	switch opt.Mapping {
+	case MappingGreedy:
+		choice = argmaxMap(p, xFrac)
+	case MappingFlow:
+		choice = flowMap(p, xFrac)
+	default:
+		choice = postMap(p, xFrac)
+	}
+	layers := make([]int, len(p.segs))
+	for i := range p.segs {
+		li := choice[i]
+		if li < 0 || li >= len(p.segs[i].layers) {
+			return nil, fmt.Errorf("core: mapping produced invalid layer index %d", li)
+		}
+		layers[i] = p.segs[i].layers[li]
+	}
+	return layers, nil
+}

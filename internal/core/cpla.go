@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/grid"
@@ -60,6 +59,37 @@ func (m Mapping) String() string {
 	return "alg1"
 }
 
+// BatchMode selects how a round's ADMM leaf solves are dispatched.
+type BatchMode int
+
+const (
+	// BatchAuto (default) solves each round's leaves through the bucketed
+	// structure-of-arrays batch solver (sdp.SolveBatch) in float64 — leaves
+	// are grouped by matrix dimension and iterated in slab-backed lanes that
+	// wake the kernel pool once per bucket. Bit-identical to BatchOff at any
+	// worker count; only the ADMM backend batches (IPM and ILP always run
+	// per leaf).
+	BatchAuto BatchMode = iota
+	// BatchOff restores the historical per-leaf dispatch.
+	BatchOff
+	// BatchFloat32 batches with the certified float32 fast lane: leaves
+	// iterate in float32 slabs, every result is re-verified in float64
+	// against the solver tolerance, and certificate failures transparently
+	// re-solve in float64 (counted in RoundStats.F32Fallbacks). Committed
+	// metrics are float64-consistent but not bitwise-identical to BatchOff.
+	BatchFloat32
+)
+
+func (m BatchMode) String() string {
+	switch m {
+	case BatchOff:
+		return "off"
+	case BatchFloat32:
+		return "float32"
+	}
+	return "auto"
+}
+
 // SDPSolver selects the semidefinite solver backend.
 type SDPSolver int
 
@@ -113,6 +143,11 @@ type Options struct {
 	// SDPSolver selects the SDP backend: the first-order ADMM (default) or
 	// the CSDP-style interior-point method.
 	SDPSolver SDPSolver
+	// BatchLeaves selects the round-level leaf dispatch for the ADMM
+	// backend: batched float64 lanes (BatchAuto, the default,
+	// bit-identical to per-leaf), per-leaf (BatchOff), or batched with the
+	// certified float32 fast lane (BatchFloat32, opt-in).
+	BatchLeaves BatchMode
 	// ILPMaxNodes / ILPGap control branch and bound (0 → 4000 / 0.02).
 	ILPMaxNodes int
 	ILPGap      float64
@@ -280,6 +315,40 @@ type RoundStats struct {
 	// fast-path projections (0 when none ran). Small values mean the fast
 	// path is doing rank-k work instead of O(n³) full decompositions.
 	AvgRankFrac float64
+	// BatchBuckets / BatchedLeaves report the round's batched dispatch: how
+	// many distinct matrix dimensions were bucketed and how many leaves were
+	// solved through bucket lanes. Zero with BatchOff, the IPM/ILP backends,
+	// or when every leaf was served from the cache.
+	BatchBuckets  int
+	BatchedLeaves int
+	// F32Fallbacks counts float32-lane leaves whose float64 certificate
+	// failed and were transparently re-solved in float64 this round (nonzero
+	// only with BatchFloat32). F32Certified is the complementary count of
+	// leaves whose float32 iterate was committed under a passing
+	// certificate.
+	F32Fallbacks int
+	F32Certified int
+	// LeafSizeHist counts this round's solved leaves by SDP matrix
+	// dimension: bucket i counts dimensions ≤ LeafSizeBuckets[i], the last
+	// bucket the overflow. All-zero for ILP rounds (no SDP dimension). A
+	// fixed-size array so RoundStats stays comparable.
+	LeafSizeHist [len(LeafSizeBuckets) + 1]int
+}
+
+// LeafSizeBuckets are the upper bounds of RoundStats.LeafSizeHist's buckets
+// (SDP matrix dimension n = 1 + Σ legal layers + capacity slacks). The
+// batched solver groups leaves by exact dimension; the histogram shows the
+// distribution those buckets are drawn from.
+var LeafSizeBuckets = [...]int{16, 32, 48, 64, 96, 128, 192}
+
+// leafSizeBucket returns the LeafSizeHist slot for dimension n.
+func leafSizeBucket(n int) int {
+	for i, b := range LeafSizeBuckets {
+		if n <= b {
+			return i
+		}
+	}
+	return len(LeafSizeBuckets)
 }
 
 // Result summarizes an Optimize run.
@@ -365,30 +434,23 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 		})
 		res.Partitions = len(leaves)
 
-		// Solve every leaf in parallel; proposals are independent because
-		// each leaf owns its segments and reads frozen grid state.
-		type proposal struct {
-			leaf   *partition.Leaf
-			layers []int // chosen layer per leaf item, aligned with items
-			key    uint64
-			stats  leafStats
-			err    error
-		}
-		proposals := make([]proposal, len(leaves))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, opt.Workers)
-		for li, leaf := range leaves {
-			wg.Add(1)
-			go func(li int, leaf *partition.Leaf) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+		// Solve every leaf; proposals are independent because each leaf owns
+		// its segments and reads frozen grid state. The ADMM backend batches
+		// the round's solves by matrix dimension unless BatchOff (bitwise
+		// neutral — see solveRoundBatched); other backends run per leaf.
+		var proposals []proposal
+		var batchStats sdp.BatchStats
+		if opt.Engine == EngineSDP && opt.SDPSolver == SolverADMM && opt.BatchLeaves != BatchOff {
+			proposals, batchStats = solveRoundBatched(ctx, in, st.Trees, leaves, opt, cache)
+		} else {
+			proposals = make([]proposal, len(leaves))
+			runLeafParallel(len(leaves), opt.Workers, func(li int) {
+				leaf := leaves[li]
 				key := leafKey(leaf)
 				layers, ls, err := solveLeaf(ctx, in, st.Trees, leaf, opt, cache, key)
 				proposals[li] = proposal{leaf: leaf, layers: layers, key: key, stats: ls, err: err}
-			}(li, leaf)
+			})
 		}
-		wg.Wait()
 
 		// A round interrupted mid-solve is discarded whole: nothing has been
 		// committed yet, so dropping the proposals leaves trees, grid usage
@@ -404,10 +466,17 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 			snapshots[ni] = st.Trees[ni].SnapshotLayers()
 			st.Trees[ni].ApplyUsage(g, -1)
 		}
-		stats := RoundStats{Partitions: len(leaves)}
+		stats := RoundStats{
+			Partitions:    len(leaves),
+			BatchBuckets:  batchStats.Buckets,
+			BatchedLeaves: batchStats.BatchedLeaves,
+		}
 		evBefore := cache.Stats().Evictions
 		var proj sdp.SolveStats
 		for _, pr := range proposals {
+			if pr.stats.dim > 0 {
+				stats.LeafSizeHist[leafSizeBucket(pr.stats.dim)]++
+			}
 			if pr.err != nil {
 				stats.SolveErrors++
 				continue
@@ -433,6 +502,8 @@ func OptimizeCtx(ctx context.Context, st *pipeline.State, released []int, opt Op
 		stats.PSDFullEig = proj.FullEig
 		stats.PSDFallbacks = proj.JacobiFallbacks + proj.PartialAborts
 		stats.AvgRankFrac = proj.AvgRankFrac()
+		stats.F32Fallbacks = proj.F32Fallbacks
+		stats.F32Certified = proj.F32Certified
 		res.SolveErrors += stats.SolveErrors
 		for _, ni := range work {
 			st.Trees[ni].ApplyUsage(g, +1)
@@ -555,8 +626,18 @@ type leafStats struct {
 	warm  bool
 	memo  bool // exact solution served from the cache, solver skipped
 	reval bool // cached solution reused by the revalidation tier (epsilon)
+	dim   int  // SDP matrix dimension of the leaf relaxation (0: ILP)
 	cache *leafCache
 	proj  sdp.SolveStats // PSD-projection path telemetry (ADMM backend only)
+}
+
+// proposal is one leaf's round outcome awaiting commit.
+type proposal struct {
+	leaf   *partition.Leaf
+	layers []int // chosen layer per leaf item, aligned with items
+	key    uint64
+	stats  leafStats
+	err    error
 }
 
 // solveLeaf builds and solves one partition, returning the chosen layer per
@@ -581,22 +662,9 @@ func solveLeaf(ctx context.Context, in *buildInput, trees []*tree.Tree, leaf *pa
 	if err != nil {
 		return nil, ls, err
 	}
-	var choice []int
-	switch opt.Mapping {
-	case MappingGreedy:
-		choice = argmaxMap(p, xFrac)
-	case MappingFlow:
-		choice = flowMap(p, xFrac)
-	default:
-		choice = postMap(p, xFrac)
-	}
-	layers := make([]int, len(items))
-	for i := range items {
-		li := choice[i]
-		if li < 0 || li >= len(p.segs[i].layers) {
-			return nil, ls, fmt.Errorf("core: mapping produced invalid layer index %d", li)
-		}
-		layers[i] = p.segs[i].layers[li]
+	layers, err := mapLeaf(p, xFrac, opt)
+	if err != nil {
+		return nil, ls, err
 	}
 	return layers, ls, nil
 }

@@ -13,9 +13,26 @@ import (
 // nothing beyond the problem description itself.
 var sdpWorkspaces = sync.Pool{New: func() any { return sdp.NewWorkspace() }}
 
-// solveSDP builds the lifted semidefinite relaxation of the partition
-// problem (§3.3) and returns fractional layer preferences xFrac[vi][li] ∈
-// [0,1] per segment and legal layer.
+// sdpLeaf is one partition leaf's built semidefinite relaxation plus the
+// index map needed to read fractional layer preferences back out of the
+// solved matrix. Splitting build and readout from the solve lets the round
+// loop batch the solves of many leaves (see solveRoundBatched) without
+// duplicating the lifting.
+type sdpLeaf struct {
+	p    *problem
+	prob *sdp.Problem
+	off  []int
+	numX int
+}
+
+func (sl *sdpLeaf) xIdx(vi, li int) int { return 1 + sl.off[vi] + li }
+
+// dim is the SDP matrix dimension the leaf solves at.
+func (sl *sdpLeaf) dim() int { return sl.prob.N }
+
+// buildSDPLeaf builds the lifted semidefinite relaxation of the partition
+// problem (§3.3): fractional layer preferences xFrac[vi][li] ∈ [0,1] per
+// segment and legal layer are read off the diagonal after the solve.
 //
 // The lifting is the standard binary-quadratic one: the matrix variable is
 //
@@ -29,14 +46,14 @@ var sdpWorkspaces = sync.Pool{New: func() any { return sdp.NewWorkspace() }}
 // entries (nonnegative because PSD diagonals are); the via-capacity terms
 // (4d) are folded into the objective as congestion penalties on the via
 // cost entries, as the paper prescribes.
-func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, key uint64) ([][]float64, leafStats, error) {
+func buildSDPLeaf(p *problem) *sdpLeaf {
 	numX := p.numXVars()
 	off := p.xOffsets()
 	nSlack := len(p.edges)
 	n := 1 + numX + nSlack
 
-	prob := &sdp.Problem{N: n}
-	xIdx := func(vi, li int) int { return 1 + off[vi] + li }
+	sl := &sdpLeaf{p: p, prob: &sdp.Problem{N: n}, off: off, numX: numX}
+	prob := sl.prob
 	slackIdx := func(k int) int { return 1 + numX + k }
 
 	// Objective: linear costs on the diagonal, via pair costs on the
@@ -45,7 +62,7 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 	scale := costScale(p)
 	for vi := range p.segs {
 		for li := range p.segs[vi].layers {
-			prob.C.Add(xIdx(vi, li), xIdx(vi, li), p.segs[vi].cost[li]/scale)
+			prob.C.Add(sl.xIdx(vi, li), sl.xIdx(vi, li), p.segs[vi].cost[li]/scale)
 		}
 	}
 	for _, pr := range p.pairs {
@@ -54,7 +71,7 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 				if tv == 0 {
 					continue
 				}
-				prob.C.Add(xIdx(pr.a, la), xIdx(pr.b, lb), tv/(2*scale))
+				prob.C.Add(sl.xIdx(pr.a, la), sl.xIdx(pr.b, lb), tv/(2*scale))
 			}
 		}
 	}
@@ -68,7 +85,7 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 	for vi := range p.segs {
 		for li := range p.segs[vi].layers {
 			var a sdp.SymMatrix
-			k := xIdx(vi, li)
+			k := sl.xIdx(vi, li)
 			a.Add(k, k, 1)
 			a.Add(0, k, -0.5)
 			prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a, RHS: 0})
@@ -79,7 +96,7 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 	for vi := range p.segs {
 		var a sdp.SymMatrix
 		for li := range p.segs[vi].layers {
-			a.Add(0, xIdx(vi, li), 0.5)
+			a.Add(0, sl.xIdx(vi, li), 0.5)
 		}
 		prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a, RHS: 1})
 	}
@@ -92,7 +109,7 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 			if li < 0 {
 				continue
 			}
-			a.Add(0, xIdx(vi, li), 0.5)
+			a.Add(0, sl.xIdx(vi, li), 0.5)
 		}
 		si := slackIdx(k)
 		a.Add(si, si, 1)
@@ -105,80 +122,18 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 		}
 		prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a, RHS: rhs})
 	}
+	return sl
+}
 
-	var res *sdp.Result
-	var ls leafStats
-	var err error
-	if opt.SDPSolver == SolverIPM {
-		// Post-mapping needs ranking rather than certificates; 1e-4 with a
-		// generous iteration cap is plenty and much faster than full
-		// convergence on the larger partitions.
-		res, err = sdp.SolveIPMCtx(ctx, prob, sdp.Options{MaxIters: 120, Tol: 1e-4})
-	} else {
-		// Cross-solve acceleration tiers. A byte-identical recurring
-		// problem reuses the previous fractional solution outright (the
-		// solver is deterministic, so this cannot change the result).
-		// With opt.Revalidate, a same-shape problem whose delay and
-		// penalty coefficients drifted within their budgets under
-		// still-feasible capacity bounds reuses the cached fractional
-		// solution too (epsilon equivalence). Otherwise the
-		// leaf's latest ADMM state either seeds the iterates
-		// (opt.WarmStart) or only donates its Gram Cholesky factor, which
-		// is value-identical to recomputing it.
-		sig := sdp.ProblemSignature(prob)
-		if xf := cache.lookup(key, sig); xf != nil {
-			return xf, leafStats{warm: true, memo: true}, nil
-		}
-		rec := cache.record(key)
-		var comps sigComponents
-		var dlyVec, penVec []float64
-		var rkey uint64
-		if opt.Revalidate {
-			comps = problemComponents(p)
-			dlyVec = delayVector(p)
-			penVec = penaltyVector(p)
-			rkey = revalKey(key, comps, p.round)
-			rrec := cache.revalRecord(rkey)
-			if rrec != nil &&
-				coeffDrift(rrec.dly, dlyVec) <= opt.RevalDelayTol*costScale(p) &&
-				coeffDrift(rrec.pen, penVec) <= opt.RevalPenaltyTol*costScale(p) &&
-				capFeasible(p, rrec.xFrac) {
-				if opt.OnRevalidate == nil || opt.OnRevalidate(revalCheck(p, key, rrec.xFrac)) {
-					cache.noteReval()
-					return rrec.xFrac, leafStats{warm: true, reval: true}, nil
-				}
-			}
-		}
-		var warm *sdp.State
-		if rec != nil {
-			warm = rec.state
-		}
-		if !opt.WarmStart {
-			warm = warm.FactorOnly()
-		}
-		ws := sdpWorkspaces.Get().(*sdp.Workspace)
-		res, err = ws.SolveCtx(ctx, prob, sdp.Options{
-			MaxIters: opt.SDPIters,
-			Tol:      opt.SDPTol,
-		}, warm)
-		if err == nil {
-			ls = leafStats{iters: res.Iters, warm: res.Warm, cache: &leafCache{sig: sig, state: ws.State(), comps: comps, dly: dlyVec, pen: penVec, rkey: rkey}, proj: res.Stats}
-		}
-		sdpWorkspaces.Put(ws)
-	}
-	if err != nil {
-		return nil, ls, fmt.Errorf("core: partition SDP (%v) failed: %w", opt.SDPSolver, err)
-	}
-	if opt.OnSDP != nil {
-		opt.OnSDP(prob, res)
-	}
-
-	// Read the diagonal (the paper reads xij off the diagonal of X).
+// readout extracts the fractional layer preferences: the paper reads xij off
+// the diagonal of X, clamped into [0,1].
+func (sl *sdpLeaf) readout(res *sdp.Result) [][]float64 {
+	p := sl.p
 	out := make([][]float64, len(p.segs))
 	for vi := range p.segs {
 		out[vi] = make([]float64, len(p.segs[vi].layers))
 		for li := range p.segs[vi].layers {
-			v := res.X.At(xIdx(vi, li), xIdx(vi, li))
+			v := res.X.At(sl.xIdx(vi, li), sl.xIdx(vi, li))
 			if v < 0 {
 				v = 0
 			}
@@ -188,9 +143,120 @@ func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, k
 			out[vi][li] = v
 		}
 	}
-	if ls.cache != nil {
-		ls.cache.xFrac = out
+	return out
+}
+
+// sdpProbe is the outcome of the cache-tier probe for one leaf: either the
+// leaf is already served (xFrac non-nil) or it must be solved with the
+// returned warm state, after which the pending leafCache record (minus
+// xFrac) captures what the next round reuses.
+type sdpProbe struct {
+	xFrac [][]float64 // non-nil: served by the memo or revalidation tier
+	ls    leafStats   // complete when xFrac is non-nil
+	warm  *sdp.State
+	cache *leafCache // pending record for a fresh solve
+}
+
+// probeSDPCache runs the cross-solve acceleration tiers. A byte-identical
+// recurring problem reuses the previous fractional solution outright (the
+// solver is deterministic, so this cannot change the result). With
+// opt.Revalidate, a same-shape problem whose delay and penalty coefficients
+// drifted within their budgets under still-feasible capacity bounds reuses
+// the cached fractional solution too (epsilon equivalence). Otherwise the
+// leaf's latest ADMM state either seeds the iterates (opt.WarmStart) or only
+// donates its Gram Cholesky factor, which is value-identical to recomputing
+// it.
+func probeSDPCache(sl *sdpLeaf, opt Options, cache *SolveCache, key uint64) sdpProbe {
+	p := sl.p
+	sig := sdp.ProblemSignature(sl.prob)
+	if xf := cache.lookup(key, sig); xf != nil {
+		return sdpProbe{xFrac: xf, ls: leafStats{warm: true, memo: true, dim: sl.dim()}}
 	}
+	rec := cache.record(key)
+	var comps sigComponents
+	var dlyVec, penVec []float64
+	var rkey uint64
+	if opt.Revalidate {
+		comps = problemComponents(p)
+		dlyVec = delayVector(p)
+		penVec = penaltyVector(p)
+		rkey = revalKey(key, comps, p.round)
+		rrec := cache.revalRecord(rkey)
+		if rrec != nil &&
+			coeffDrift(rrec.dly, dlyVec) <= opt.RevalDelayTol*costScale(p) &&
+			coeffDrift(rrec.pen, penVec) <= opt.RevalPenaltyTol*costScale(p) &&
+			capFeasible(p, rrec.xFrac) {
+			if opt.OnRevalidate == nil || opt.OnRevalidate(revalCheck(p, key, rrec.xFrac)) {
+				cache.noteReval()
+				return sdpProbe{xFrac: rrec.xFrac, ls: leafStats{warm: true, reval: true, dim: sl.dim()}}
+			}
+		}
+	}
+	var warm *sdp.State
+	if rec != nil {
+		warm = rec.state
+	}
+	if !opt.WarmStart {
+		warm = warm.FactorOnly()
+	}
+	return sdpProbe{
+		warm:  warm,
+		cache: &leafCache{sig: sig, comps: comps, dly: dlyVec, pen: penVec, rkey: rkey},
+	}
+}
+
+// finishSDPLeaf assembles the leaf outcome of a fresh ADMM solve: telemetry,
+// the cross-round cache record (completed with the solver state and the
+// fractional readout), and the OnSDP auditor delivery.
+func finishSDPLeaf(sl *sdpLeaf, res *sdp.Result, state *sdp.State, pending *leafCache, opt Options) ([][]float64, leafStats) {
+	if opt.OnSDP != nil {
+		opt.OnSDP(sl.prob, res)
+	}
+	out := sl.readout(res)
+	pending.state = state
+	pending.xFrac = out
+	ls := leafStats{iters: res.Iters, warm: res.Warm, cache: pending, proj: res.Stats, dim: sl.dim()}
+	return out, ls
+}
+
+// solveSDP builds and solves one partition leaf's relaxation through the
+// per-leaf path (the IPM backend, and the ADMM backend when round-level
+// batching is off). The batched round path shares every phase — build,
+// cache probe, readout — and differs only in dispatching the ADMM solves
+// bucket-wise (see solveRoundBatched).
+func solveSDP(ctx context.Context, p *problem, opt Options, cache *SolveCache, key uint64) ([][]float64, leafStats, error) {
+	sl := buildSDPLeaf(p)
+
+	if opt.SDPSolver == SolverIPM {
+		// Post-mapping needs ranking rather than certificates; 1e-4 with a
+		// generous iteration cap is plenty and much faster than full
+		// convergence on the larger partitions.
+		res, err := sdp.SolveIPMCtx(ctx, sl.prob, sdp.Options{MaxIters: 120, Tol: 1e-4})
+		if err != nil {
+			return nil, leafStats{dim: sl.dim()}, fmt.Errorf("core: partition SDP (%v) failed: %w", opt.SDPSolver, err)
+		}
+		if opt.OnSDP != nil {
+			opt.OnSDP(sl.prob, res)
+		}
+		return sl.readout(res), leafStats{dim: sl.dim()}, nil
+	}
+
+	pr := probeSDPCache(sl, opt, cache, key)
+	if pr.xFrac != nil {
+		return pr.xFrac, pr.ls, nil
+	}
+	ws := sdpWorkspaces.Get().(*sdp.Workspace)
+	res, err := ws.SolveCtx(ctx, sl.prob, sdp.Options{
+		MaxIters: opt.SDPIters,
+		Tol:      opt.SDPTol,
+	}, pr.warm)
+	if err != nil {
+		sdpWorkspaces.Put(ws)
+		return nil, leafStats{dim: sl.dim()}, fmt.Errorf("core: partition SDP (%v) failed: %w", opt.SDPSolver, err)
+	}
+	state := ws.State()
+	sdpWorkspaces.Put(ws)
+	out, ls := finishSDPLeaf(sl, res, state, pr.cache, opt)
 	return out, ls, nil
 }
 

@@ -1,0 +1,24 @@
+package incr
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSessionBaseSolve measures a cold ECO session bring-up: design
+// generation, routing, initial assignment and the full base CPLA solve —
+// the dominant cost of opening a session against a new design.
+func BenchmarkSessionBaseSolve(b *testing.B) {
+	g, cfg := testGen(5), testCfg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(context.Background(), g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Base() == nil {
+			b.Fatal("no base result")
+		}
+	}
+}

@@ -57,6 +57,13 @@ type ProjStats struct {
 	// average k/n the fast path actually saw.
 	RankSum int
 	DimSum  int
+	// F32Certified / F32Fallbacks count float32-fast-lane leaf outcomes in
+	// the batched solver: a certified leaf committed its float32 iterate
+	// after the float64 certificate passed, a fallback was transparently
+	// re-solved in float64 after the certificate (or the float32 projection
+	// itself) failed. Both are zero outside the float32 lane.
+	F32Certified int
+	F32Fallbacks int
 }
 
 // AvgRankFrac returns the average k/n over fast-path projections (0 when
@@ -77,6 +84,8 @@ func (s *ProjStats) Accumulate(o ProjStats) {
 	s.PartialAborts += o.PartialAborts
 	s.RankSum += o.RankSum
 	s.DimSum += o.DimSum
+	s.F32Certified += o.F32Certified
+	s.F32Fallbacks += o.F32Fallbacks
 }
 
 const (
@@ -110,17 +119,18 @@ func tred1(z *Matrix, d, e, hh []float64) {
 		l := i - 1
 		h, scale := 0.0, 0.0
 		if l > 0 {
-			for k := 0; k <= l; k++ {
-				scale += math.Abs(z.At(i, k))
+			zi := z.Row(i)[: l+1 : l+1]
+			for _, v := range zi {
+				scale += math.Abs(v)
 			}
 			if scale == 0 {
-				e[i] = z.At(i, l)
+				e[i] = zi[l]
 				hh[i] = 0
 			} else {
-				zi := z.Row(i)
-				for k := 0; k <= l; k++ {
-					zi[k] /= scale
-					h += zi[k] * zi[k]
+				for k, v := range zi {
+					v /= scale
+					zi[k] = v
+					h += v * v
 				}
 				f := zi[l]
 				g := math.Sqrt(h)
@@ -130,26 +140,60 @@ func tred1(z *Matrix, d, e, hh []float64) {
 				e[i] = scale * g
 				h -= f * g
 				zi[l] = f - g
+				// e[j] ← (L·u)[j], streamed over the rows of the lower
+				// triangle so every access is contiguous. For each j the
+				// additions land in exactly the order of the classic
+				// two-loop form — the row part (k ≤ j, ascending) first,
+				// finalized in a register when row j streams past, then the
+				// below-diagonal contributions (k > j, ascending) as rows
+				// j+1..l stream — so the sums are bitwise identical. Rows
+				// go two at a time: the two dot chains are independent, and
+				// e[c] takes row r's then row r+1's contribution as two
+				// separate additions, preserving the ascending-row order.
+				r := 0
+				for ; r+1 <= l; r += 2 {
+					zr := z.Row(r)[: r+1 : r+1]
+					zs := z.Row(r + 1)[: r+2 : r+2]
+					ur, us := zi[r], zi[r+1]
+					var g1, g2 float64
+					for c := 0; c < r; c++ {
+						v1 := zr[c]
+						v2 := zs[c]
+						g1 += v1 * zi[c]
+						g2 += v2 * zi[c]
+						ec := e[c] + v1*ur
+						e[c] = ec + v2*us
+					}
+					er := g1 + zr[r]*ur
+					g2 += zs[r] * zi[r]
+					e[r] = er + zs[r]*us
+					e[r+1] = g2 + zs[r+1]*us
+				}
+				for ; r <= l; r++ {
+					zr := z.Row(r)[: r+1 : r+1]
+					ur := zi[r]
+					g := 0.0
+					for c := 0; c < r; c++ {
+						v := zr[c]
+						g += v * zi[c]
+						e[c] += v * ur
+					}
+					e[r] = g + zr[r]*ur
+				}
 				f = 0
 				for j := 0; j <= l; j++ {
-					g = 0
-					for k := 0; k <= j; k++ {
-						g += z.At(j, k) * zi[k]
-					}
-					for k := j + 1; k <= l; k++ {
-						g += z.At(k, j) * zi[k]
-					}
-					e[j] = g / h
-					f += e[j] * zi[j]
+					ej := e[j] / h
+					e[j] = ej
+					f += ej * zi[j]
 				}
 				hq := f / (h + h)
 				for j := 0; j <= l; j++ {
 					f = zi[j]
 					g = e[j] - hq*f
 					e[j] = g
-					zj := z.Row(j)
-					for k := 0; k <= j; k++ {
-						zj[k] -= f*e[k] + g*zi[k]
+					zj := z.Row(j)[: j+1 : j+1]
+					for k, zjk := range zj {
+						zj[k] = zjk - (f*e[k] + g*zi[k])
 					}
 				}
 				hh[i] = h
@@ -185,6 +229,58 @@ func backTransform(z *Matrix, hh []float64, y []float64) {
 		g /= h
 		for k := 0; k < i; k++ {
 			y[k] -= g * zi[k]
+		}
+	}
+}
+
+// backTransformAll is backTransform over a batch of vectors with the loop
+// order flipped: reflectors outer, vectors inner, so each reflector row of z
+// streams through cache once for the whole batch instead of once per vector.
+// Each vector still sees the reflectors in the same order with the same dot
+// and axpy accumulation order, so every vector's result is bitwise identical
+// to a standalone backTransform call.
+func backTransformAll(z *Matrix, hh []float64, vecs [][]float64) {
+	n := z.Rows
+	for i := 1; i < n; i++ {
+		h := hh[i]
+		if h == 0 {
+			continue
+		}
+		zi := z.Row(i)[:i:i]
+		// Four vectors per pass: the dot products are independent
+		// accumulator chains, so interleaving hides FP-add latency while
+		// each vector's own accumulation order stays exactly backTransform's.
+		j := 0
+		for ; j+3 < len(vecs); j += 4 {
+			y1 := vecs[j][:i:i]
+			y2 := vecs[j+1][:i:i]
+			y3 := vecs[j+2][:i:i]
+			y4 := vecs[j+3][:i:i]
+			var g1, g2, g3, g4 float64
+			for k, zk := range zi {
+				g1 += zk * y1[k]
+				g2 += zk * y2[k]
+				g3 += zk * y3[k]
+				g4 += zk * y4[k]
+			}
+			g1, g2, g3, g4 = g1/h, g2/h, g3/h, g4/h
+			for k, zk := range zi {
+				y1[k] -= g1 * zk
+				y2[k] -= g2 * zk
+				y3[k] -= g3 * zk
+				y4[k] -= g4 * zk
+			}
+		}
+		for ; j < len(vecs); j++ {
+			y := vecs[j][:i:i]
+			g := 0.0
+			for k, zk := range zi {
+				g += zk * y[k]
+			}
+			g /= h
+			for k, zk := range zi {
+				y[k] -= g * zk
+			}
 		}
 	}
 }
@@ -356,16 +452,23 @@ func bisectEigenvalues(d, e []float64, first, k int, lo, hi float64, cl, ch int,
 func tridiagSolveShifted(d, e []float64, lam, anorm float64, b, c0, c1, c2 []float64) {
 	n := len(d)
 	tiny := 2.3e-16 * math.Max(anorm, 1)
-	for i := 0; i < n; i++ {
-		c0[i] = d[i] - lam
-		if i+1 < n {
-			c1[i] = e[i+1]
-		} else {
-			c1[i] = 0
-		}
-		c2[i] = 0
+	c0[0] = d[0] - lam
+	if n > 1 {
+		c1[0] = e[1]
+	} else {
+		c1[0] = 0
 	}
+	c2[0] = 0
 	for i := 0; i < n-1; i++ {
+		// Row i+1 of U is seeded from the raw tridiagonal just in time, so
+		// setup and elimination share one pass over the arrays.
+		c0[i+1] = d[i+1] - lam
+		if i+2 < n {
+			c1[i+1] = e[i+2]
+		} else {
+			c1[i+1] = 0
+		}
+		c2[i+1] = 0
 		sub := e[i+1] // T[i+1][i]; columns left of i are already eliminated
 		if math.Abs(sub) > math.Abs(c0[i]) {
 			// Swap rows i and i+1.
@@ -563,17 +666,15 @@ func projectPSDPartialInto(dst, a *Matrix, ws *EigenWorkspace) bool {
 	}
 
 	// Back-transform through the Householder reflectors — the remaining
-	// O(k·n²) dense stage, parallel over eigenvectors.
+	// O(k·n²) dense stage. Batched reflector-outer order streams z once for
+	// the whole eigenvector set; chunking over vectors keeps the parallel
+	// split bitwise-neutral (each vector's op sequence is unchanged).
 	if canParallel(k, 1) {
 		parallelRows(k, 1, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				backTransform(z, hh, vecs[j])
-			}
+			backTransformAll(z, hh, vecs[lo:hi])
 		})
 	} else {
-		for j := 0; j < k; j++ {
-			backTransform(z, hh, vecs[j])
-		}
+		backTransformAll(z, hh, vecs)
 	}
 
 	// Rank-k assembly, parallel over rows of dst.
@@ -605,7 +706,43 @@ func projectPSDPartialInto(dst, a *Matrix, ws *EigenWorkspace) bool {
 func rankUpdateRows(dst *Matrix, vecs [][]float64, lam []float64, neg bool, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		oi := dst.Row(i)
-		for j := range vecs {
+		j := 0
+		// Vector quads share one pass over oi. Per element the updates stay
+		// separate additions in the original ascending-j order, so the
+		// fusion is bitwise-neutral; any zero coefficient in a quad drops to
+		// the pair/scalar paths, which skip f == 0 exactly like the
+		// original loop.
+		for ; j+3 < len(vecs); j += 4 {
+			v1, v2, v3, v4 := vecs[j], vecs[j+1], vecs[j+2], vecs[j+3]
+			f1 := lam[j] * v1[i]
+			f2 := lam[j+1] * v2[i]
+			f3 := lam[j+2] * v3[i]
+			f4 := lam[j+3] * v4[i]
+			if neg {
+				f1, f2, f3, f4 = -f1, -f2, -f3, -f4
+			}
+			if f1 != 0 && f2 != 0 && f3 != 0 && f4 != 0 {
+				for k, x1 := range v1 {
+					t := oi[k] + f1*x1
+					t += f2 * v2[k]
+					t += f3 * v3[k]
+					oi[k] = t + f4*v4[k]
+				}
+			} else {
+				axpyPairInto(oi, f1, f2, v1, v2)
+				axpyPairInto(oi, f3, f4, v3, v4)
+			}
+		}
+		for ; j+1 < len(vecs); j += 2 {
+			v1, v2 := vecs[j], vecs[j+1]
+			f1 := lam[j] * v1[i]
+			f2 := lam[j+1] * v2[i]
+			if neg {
+				f1, f2 = -f1, -f2
+			}
+			axpyPairInto(oi, f1, f2, v1, v2)
+		}
+		for ; j < len(vecs); j++ {
 			vj := vecs[j]
 			f := lam[j] * vj[i]
 			if neg {
@@ -616,6 +753,23 @@ func rankUpdateRows(dst *Matrix, vecs [][]float64, lam []float64, neg bool, lo, 
 			}
 			axpyInto(oi, f, vj)
 		}
+	}
+}
+
+// axpyPairInto is dst += f1*v1 followed by dst += f2*v2 fused into one pass,
+// with either update skipped when its coefficient is zero — matching the
+// scalar loop's skip semantics and addition order exactly.
+func axpyPairInto(dst []float64, f1, f2 float64, v1, v2 []float64) {
+	switch {
+	case f1 != 0 && f2 != 0:
+		for k, x1 := range v1 {
+			t := dst[k] + f1*x1
+			dst[k] = t + f2*v2[k]
+		}
+	case f1 != 0:
+		axpyInto(dst, f1, v1)
+	case f2 != 0:
+		axpyInto(dst, f2, v2)
 	}
 }
 

@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refTred1 is the pre-streaming two-loop tred1 kept verbatim as the bitwise
+// reference: the production version reorders memory access only, never the
+// floating-point accumulation, and these tests hold it to that contract.
+func refTred1(z *Matrix, d, e, hh []float64) {
+	n := z.Rows
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+				hh[i] = 0
+			} else {
+				zi := z.Row(i)
+				for k := 0; k <= l; k++ {
+					zi[k] /= scale
+					h += zi[k] * zi[k]
+				}
+				f := zi[l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				zi[l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * zi[k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * zi[k]
+					}
+					e[j] = g / h
+					f += e[j] * zi[j]
+				}
+				hq := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = zi[j]
+					g = e[j] - hq*f
+					e[j] = g
+					zj := z.Row(j)
+					for k := 0; k <= j; k++ {
+						zj[k] -= f*e[k] + g*zi[k]
+					}
+				}
+				hh[i] = h
+			}
+		} else {
+			e[i] = z.At(i, l)
+			hh[i] = 0
+		}
+	}
+	hh[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		d[i] = z.At(i, i)
+	}
+}
+
+func randSym(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// TestTred1BitwiseMatchesReference drives the streaming tred1 against the
+// two-loop reference on random symmetric matrices across dimensions and
+// demands exact bit equality of the tridiagonal, the reflector rows, and
+// the h values.
+func TestTred1BitwiseMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sizes := []int{1, 2, 3, 4, 5, 8, 13, 16, 17, 24, 33, 48, 96}
+	for _, n := range sizes {
+		for rep := 0; rep < 4; rep++ {
+			a := randSym(rng, n)
+			if rep == 3 && n > 2 {
+				// Exercise the scale == 0 branch with a zeroed row/column.
+				for k := 0; k < n; k++ {
+					a.Set(n-1, k, 0)
+					a.Set(k, n-1, 0)
+				}
+			}
+			z1, z2 := a.Clone(), a.Clone()
+			d1, e1, h1 := make([]float64, n), make([]float64, n), make([]float64, n)
+			d2, e2, h2 := make([]float64, n), make([]float64, n), make([]float64, n)
+			refTred1(z1, d1, e1, h1)
+			tred1(z2, d2, e2, h2)
+			for i := 0; i < n; i++ {
+				if math.Float64bits(d1[i]) != math.Float64bits(d2[i]) ||
+					math.Float64bits(e1[i]) != math.Float64bits(e2[i]) ||
+					math.Float64bits(h1[i]) != math.Float64bits(h2[i]) {
+					t.Fatalf("n=%d rep=%d: tridiagonal mismatch at %d: d %v vs %v, e %v vs %v, hh %v vs %v",
+						n, rep, i, d1[i], d2[i], e1[i], e2[i], h1[i], h2[i])
+				}
+			}
+			for i := range z1.Data {
+				if math.Float64bits(z1.Data[i]) != math.Float64bits(z2.Data[i]) {
+					t.Fatalf("n=%d rep=%d: reflector storage mismatch at flat %d: %v vs %v",
+						n, rep, i, z1.Data[i], z2.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBackTransformAllBitwiseMatchesSingle checks the batched reflector-outer
+// back-transform returns bit-identical vectors to per-vector backTransform,
+// for every batch split (the parallel chunking slices vecs arbitrarily).
+func TestBackTransformAllBitwiseMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{2, 3, 7, 16, 33, 96} {
+		a := randSym(rng, n)
+		d, e, hh := make([]float64, n), make([]float64, n), make([]float64, n)
+		tred1(a, d, e, hh)
+		k := n/2 + 1
+		single := make([][]float64, k)
+		batch := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			single[j] = append([]float64(nil), v...)
+			batch[j] = append([]float64(nil), v...)
+		}
+		for j := 0; j < k; j++ {
+			backTransform(a, hh, single[j])
+		}
+		// Apply in two uneven chunks to mimic a parallel split.
+		mid := k / 3
+		backTransformAll(a, hh, batch[:mid])
+		backTransformAll(a, hh, batch[mid:])
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				if math.Float64bits(single[j][i]) != math.Float64bits(batch[j][i]) {
+					t.Fatalf("n=%d vec=%d idx=%d: %v vs %v", n, j, i, single[j][i], batch[j][i])
+				}
+			}
+		}
+	}
+}
+
+// TestRankUpdateRowsPairBitwise checks the pair-fused rank-k update against a
+// plain sequential axpy sweep, including zero-coefficient skip paths.
+func TestRankUpdateRowsPairBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range []int{3, 8, 17, 48} {
+		for _, k := range []int{1, 2, 3, 5, 8} {
+			vecs := make([][]float64, k)
+			lam := make([]float64, k)
+			for j := range vecs {
+				vecs[j] = make([]float64, n)
+				for i := range vecs[j] {
+					vecs[j][i] = rng.NormFloat64()
+				}
+				lam[j] = rng.NormFloat64()
+			}
+			if k > 2 {
+				lam[1] = 0       // force an f==0 skip
+				vecs[k-1][0] = 0 // zero coefficient for row 0
+			}
+			for _, neg := range []bool{false, true} {
+				want := randSym(rng, n)
+				got := want.Clone()
+				for i := 0; i < n; i++ {
+					oi := want.Row(i)
+					for j := range vecs {
+						f := lam[j] * vecs[j][i]
+						if neg {
+							f = -f
+						}
+						if f == 0 {
+							continue
+						}
+						axpyInto(oi, f, vecs[j])
+					}
+				}
+				rankUpdateRows(got, vecs, lam, neg, 0, n)
+				for i := range want.Data {
+					if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+						t.Fatalf("n=%d k=%d neg=%v: mismatch at flat %d", n, k, neg, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -91,6 +91,22 @@ acquire:
 	wg.Wait()
 }
 
+// ParallelRange exposes the kernel pool's range fan-out to sibling
+// packages: f runs over disjoint contiguous ranges covering [0, n), each at
+// least minChunk long, drawn from the shared non-blocking helper pool. The
+// batched SDP solver uses it to wake the pool once per dimension bucket —
+// one fan-out amortized over every leaf in the bucket — instead of once per
+// dense kernel. Because ranges are disjoint and the per-item work is
+// self-contained, any split (including the serial degradation) produces
+// identical results.
+func ParallelRange(n, minChunk int, f func(lo, hi int)) {
+	parallelRows(n, minChunk, f)
+}
+
+// KernelParallelism returns the maximum concurrency the shared kernel pool
+// supports: its helper slots plus the calling goroutine.
+func KernelParallelism() int { return cap(kernelSem) + 1 }
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

@@ -16,6 +16,8 @@
 package sdp
 
 import (
+	"sync"
+
 	"repro/internal/linalg"
 )
 
@@ -130,13 +132,24 @@ type Result struct {
 	Stats SolveStats
 }
 
-// Solve runs the dual ADMM from a cold start in a one-shot workspace. It
+// oneShotPool recycles workspaces across Solve calls, so ad-hoc one-shot
+// solves (verification certificates, tests, tools) stop paying a full
+// buffer allocation each time. Results and states never alias workspace
+// buffers (X is always cloned out), so returning the workspace immediately
+// is safe.
+var oneShotPool = sync.Pool{New: func() any { return NewWorkspace() }}
+
+// Solve runs the dual ADMM from a cold start in a pooled workspace. It
 // returns an error only for malformed problems (dimension mismatch,
 // linearly dependent constraints making AAᵀ singular). Callers solving many
 // related problems should keep a Workspace and use its Solve method, which
-// reuses every iteration buffer and supports warm starts.
+// reuses every iteration buffer and supports warm starts; batches of
+// independent problems belong in SolveBatch.
 func Solve(p *Problem, opt Options) (*Result, error) {
-	return NewWorkspace().Solve(p, opt, nil)
+	w := oneShotPool.Get().(*Workspace)
+	res, err := w.Solve(p, opt, nil)
+	oneShotPool.Put(w)
+	return res, err
 }
 
 // applyA evaluates the linear map A(X) = (A₁•X, …, A_m•X).

@@ -95,6 +95,11 @@ type SolveOptions struct {
 	Mapping      string  `json:"mapping,omitempty"` // alg1|greedy|flow
 	Workers      int     `json:"workers,omitempty"`
 	WarmStart    bool    `json:"warm_start,omitempty"`
+	// Batch selects the ADMM round dispatch: "auto" (default; batched
+	// structure-of-arrays float64 lanes, bit-identical to per-leaf), "off"
+	// (per-leaf dispatch), or "float32" (certified float32 fast lane with
+	// transparent float64 fallback).
+	Batch string `json:"batch,omitempty"` // auto|off|float32
 }
 
 // Validate checks the spec's internal consistency; it does not touch the
@@ -146,6 +151,11 @@ func (s *JobSpec) Validate() error {
 		default:
 			return fmt.Errorf("unknown mapping %q (want alg1, greedy or flow)", o.Mapping)
 		}
+		switch o.Batch {
+		case "", "auto", "off", "float32":
+		default:
+			return fmt.Errorf("unknown batch mode %q (want auto, off or float32)", o.Batch)
+		}
 	}
 	return nil
 }
@@ -176,6 +186,12 @@ func (s *JobSpec) coreOptions(onRound func(core.RoundStats)) core.Options {
 		case "flow":
 			opt.Mapping = core.MappingFlow
 		}
+		switch o.Batch {
+		case "off":
+			opt.BatchLeaves = core.BatchOff
+		case "float32":
+			opt.BatchLeaves = core.BatchFloat32
+		}
 	}
 	return opt
 }
@@ -202,13 +218,19 @@ type JobResult struct {
 	ImproveMaxPct float64 `json:"improve_max_pct"`
 	// Backend names the backend that produced the result; in race mode it
 	// is the winner, and RaceCancelled counts the losers cancelled.
-	Backend       string        `json:"backend,omitempty"`
-	RaceCancelled int           `json:"race_cancelled,omitempty"`
-	Rounds        int           `json:"rounds"`
-	Partitions    int           `json:"partitions"`
-	SolveErrors   int           `json:"solve_errors"`
-	ADMMIters     int           `json:"admm_iters"`
-	WarmStarts    int           `json:"warm_starts"`
+	Backend       string `json:"backend,omitempty"`
+	RaceCancelled int    `json:"race_cancelled,omitempty"`
+	Rounds        int    `json:"rounds"`
+	Partitions    int    `json:"partitions"`
+	SolveErrors   int    `json:"solve_errors"`
+	ADMMIters     int    `json:"admm_iters"`
+	WarmStarts    int    `json:"warm_starts"`
+	// BatchedLeaves counts leaf solves dispatched through the batched
+	// structure-of-arrays lanes; F32Certified / F32Fallbacks account for the
+	// float32 fast lane (certified commits vs float64 re-solves).
+	BatchedLeaves int           `json:"batched_leaves,omitempty"`
+	F32Certified  int           `json:"f32_certified,omitempty"`
+	F32Fallbacks  int           `json:"f32_fallbacks,omitempty"`
 	ViaCount      int           `json:"via_count"`
 	Overflow      grid.Overflow `json:"overflow"`
 	// LegalizeMoves / LegalizeRemaining report the optional repair pass.

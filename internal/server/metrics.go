@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/incr"
 )
 
@@ -24,6 +25,15 @@ type Metrics struct {
 
 	ADMMIters  atomic.Int64 // total ADMM iterations over all rounds
 	WarmStarts atomic.Int64 // total warm-started leaf solves
+
+	BatchBuckets  atomic.Int64 // dimension buckets formed by batched rounds
+	BatchedLeaves atomic.Int64 // leaf solves dispatched through SoA lanes
+	F32Certified  atomic.Int64 // float32 lane results with a float64 certificate
+	F32Fallbacks  atomic.Int64 // float32 lane leaves re-solved in float64
+
+	// leafSizeHist counts solved leaves by SDP matrix dimension, bucketed
+	// per core.LeafSizeBuckets (last bucket is the overflow).
+	leafSizeHist [len(core.LeafSizeBuckets) + 1]atomic.Int64
 
 	VerifyRuns       atomic.Int64 // jobs that ran the independent checker
 	VerifyViolations atomic.Int64 // total violations those checks found
@@ -97,6 +107,23 @@ type kindCounters struct {
 	dirtySumMicro atomic.Int64
 }
 
+// ObserveRound folds one optimizer round's telemetry into the counters:
+// iteration and warm-start totals, batched-dispatch and float32-lane
+// accounting, and the leaf-size histogram.
+func (m *Metrics) ObserveRound(rs core.RoundStats) {
+	m.ADMMIters.Add(int64(rs.ADMMIters))
+	m.WarmStarts.Add(int64(rs.WarmStarts))
+	m.BatchBuckets.Add(int64(rs.BatchBuckets))
+	m.BatchedLeaves.Add(int64(rs.BatchedLeaves))
+	m.F32Certified.Add(int64(rs.F32Certified))
+	m.F32Fallbacks.Add(int64(rs.F32Fallbacks))
+	for i, c := range rs.LeafSizeHist {
+		if c > 0 {
+			m.leafSizeHist[i].Add(int64(c))
+		}
+	}
+}
+
 // ObserveDirtyRatio records one delta solve's measured dirty-leaf ratio.
 func (m *Metrics) ObserveDirtyRatio(r float64) {
 	m.dirtyRatioCount.Add(1)
@@ -165,6 +192,18 @@ type MetricsSnapshot struct {
 
 	ADMMIters  int64 `json:"admm_iters"`
 	WarmStarts int64 `json:"warm_starts"`
+
+	// BatchBuckets / BatchedLeaves report the structure-of-arrays leaf
+	// dispatch: dimension buckets formed and leaf solves batched through
+	// them. F32Certified / F32Fallbacks account for every float32-lane
+	// result: certified commits vs transparent float64 re-solves.
+	BatchBuckets  int64 `json:"batch_buckets"`
+	BatchedLeaves int64 `json:"batched_leaves"`
+	F32Certified  int64 `json:"f32_certified"`
+	F32Fallbacks  int64 `json:"f32_fallbacks"`
+	// LeafSizeHist buckets solved leaves by SDP matrix dimension (LE is the
+	// dimension upper bound; 0 means overflow). Omitted until a leaf solves.
+	LeafSizeHist []HistBucket `json:"leaf_size_hist,omitempty"`
 
 	VerifyRuns       int64 `json:"verify_runs"`
 	VerifyViolations int64 `json:"verify_violations"`
@@ -238,6 +277,23 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		DeltaSolves:      m.DeltaSolves.Load(),
 		SolveCount:       m.latencyCount.Load(),
 		SolveSumMS:       m.latencySumMS.Load(),
+	}
+	s.BatchBuckets = m.BatchBuckets.Load()
+	s.BatchedLeaves = m.BatchedLeaves.Load()
+	s.F32Certified = m.F32Certified.Load()
+	s.F32Fallbacks = m.F32Fallbacks.Load()
+	var leafTotal int64
+	for i := range m.leafSizeHist {
+		leafTotal += m.leafSizeHist[i].Load()
+	}
+	if leafTotal > 0 {
+		for i := range m.leafSizeHist {
+			b := HistBucket{Count: m.leafSizeHist[i].Load()}
+			if i < len(core.LeafSizeBuckets) {
+				b.LE = float64(core.LeafSizeBuckets[i])
+			}
+			s.LeafSizeHist = append(s.LeafSizeHist, b)
+		}
 	}
 	s.RaceJobs = m.RaceJobs.Load()
 	s.RaceLosersCancelled = m.RaceLosersCancelled.Load()

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/incr"
 )
 
@@ -48,6 +49,41 @@ func TestMetricsDeltaKindBreakdown(t *testing.T) {
 	}
 	if _, ok := s.DeltaKinds["reroute"]; ok {
 		t.Fatal("unobserved kind appeared in the snapshot")
+	}
+}
+
+func TestMetricsObserveRoundBatchTelemetry(t *testing.T) {
+	var m Metrics
+	rs := core.RoundStats{ADMMIters: 120, WarmStarts: 3, BatchBuckets: 4, BatchedLeaves: 9, F32Certified: 7, F32Fallbacks: 2}
+	rs.LeafSizeHist[0] = 5                         // dims ≤ LeafSizeBuckets[0]
+	rs.LeafSizeHist[len(core.LeafSizeBuckets)] = 4 // overflow bucket
+	m.ObserveRound(rs)
+	m.ObserveRound(core.RoundStats{ADMMIters: 30, BatchedLeaves: 1})
+
+	s := m.Snapshot()
+	if s.ADMMIters != 150 || s.WarmStarts != 3 {
+		t.Fatalf("iters/warm = %d/%d, want 150/3", s.ADMMIters, s.WarmStarts)
+	}
+	if s.BatchBuckets != 4 || s.BatchedLeaves != 10 || s.F32Certified != 7 || s.F32Fallbacks != 2 {
+		t.Fatalf("batch counters: %d/%d/%d/%d", s.BatchBuckets, s.BatchedLeaves, s.F32Certified, s.F32Fallbacks)
+	}
+	if len(s.LeafSizeHist) != len(core.LeafSizeBuckets)+1 {
+		t.Fatalf("leaf_size_hist has %d buckets, want %d", len(s.LeafSizeHist), len(core.LeafSizeBuckets)+1)
+	}
+	if s.LeafSizeHist[0].Count != 5 || s.LeafSizeHist[0].LE != float64(core.LeafSizeBuckets[0]) {
+		t.Fatalf("first bucket: %+v", s.LeafSizeHist[0])
+	}
+	last := s.LeafSizeHist[len(s.LeafSizeHist)-1]
+	if last.Count != 4 || last.LE != 0 {
+		t.Fatalf("overflow bucket: %+v", last)
+	}
+}
+
+func TestMetricsLeafSizeHistOmittedWhenEmpty(t *testing.T) {
+	var m Metrics
+	m.ObserveRound(core.RoundStats{ADMMIters: 10})
+	if s := m.Snapshot(); s.LeafSizeHist != nil {
+		t.Fatalf("empty histogram should be omitted, got %+v", s.LeafSizeHist)
 	}
 }
 

@@ -82,6 +82,9 @@ func DefaultRunner(ctx context.Context, spec *JobSpec, onRound func(core.RoundSt
 	for _, rs := range res.RoundLog {
 		out.ADMMIters += rs.ADMMIters
 		out.WarmStarts += rs.WarmStarts
+		out.BatchedLeaves += rs.BatchedLeaves
+		out.F32Certified += rs.F32Certified
+		out.F32Fallbacks += rs.F32Fallbacks
 	}
 	if spec.Legalize {
 		lr := legalize.Repair(st.Design.Grid, st.Engine, st.Trees, released)

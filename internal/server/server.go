@@ -164,8 +164,7 @@ func (s *Server) run(workerID int, job *Job) {
 	result, err := s.cfg.Runner(ctx, &job.Spec, func(rs core.RoundStats) {
 		job.setPhase("optimize")
 		job.recordRound(rs)
-		s.metrics.ADMMIters.Add(int64(rs.ADMMIters))
-		s.metrics.WarmStarts.Add(int64(rs.WarmStarts))
+		s.metrics.ObserveRound(rs)
 	})
 	elapsed := time.Since(start)
 	s.metrics.Running.Add(-1)

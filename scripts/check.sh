@@ -63,6 +63,13 @@ go run ./cmd/benchsta -smoke
 # the unit suites could miss on real instance shapes.
 go run ./cmd/benchrace -smoke
 
+# Batched-dispatch smoke gate: the batched float64 lanes must stay bitwise
+# identical to per-leaf solves (any worker count), every float32-lane result
+# must carry a float64 certificate or be a counted float64 re-solve, and a
+# short timing run must not show the batched dispatcher regressing behind
+# the per-leaf baseline it replaces.
+go run ./cmd/benchbatch -smoke
+
 # Slack-report allocation gate: WorstNets must serve repeat queries from
 # the report's cached order without sorting or allocating per call.
 go test -run TestWorstNetsAllocs -count=1 ./internal/timing/

@@ -1,4 +1,4 @@
-.PHONY: check test bench bench-kernels bench-incr bench-sta bench-race bench-batch serve fuzz
+.PHONY: check test bench bench-kernels bench-incr bench-sta bench-race bench-batch bench-cluster serve fuzz
 
 # Fast verification gate: gofmt, full build, go vet, race-enabled tests of
 # the CPLA hot-path and server packages.
@@ -24,6 +24,9 @@ serve:
 # FuzzBatchBucketing throws random mixed-dimension problem sets at the
 # batched SDP dispatcher, asserting bucket accounting, bitwise float64
 # equality with per-leaf solves and float32 certificate/fallback accounting.
+# FuzzWALReplay feeds truncated, bit-flipped and duplicated byte streams to
+# the session WAL reader, asserting it always recovers a record-aligned
+# prefix (recover-or-reject, never a panic or a partial record).
 fuzz:
 	go test ./internal/ispd08/ -run=NONE -fuzz=FuzzParse -fuzztime=30s
 	go test ./internal/partition/ -run=NONE -fuzz=FuzzPartition -fuzztime=30s
@@ -31,6 +34,7 @@ fuzz:
 	go test ./internal/sta/ -run=NONE -fuzz=FuzzSTAUpdate -fuzztime=30s
 	go test ./internal/portfolio/ -run=NONE -fuzz=FuzzRace -fuzztime=30s
 	go test ./internal/sdp/ -run=NONE -fuzz=FuzzBatchBucketing -fuzztime=30s
+	go test ./internal/cluster/ -run=NONE -fuzz=FuzzWALReplay -fuzztime=30s
 
 # The allocation-sensitive benchmarks recorded in BENCH_sdp.json.
 bench:
@@ -64,6 +68,13 @@ bench-sta:
 # tree, preserved).
 bench-batch:
 	go run ./cmd/benchbatch
+
+# Distributed-subsystem benchmark: session recovery (store load + history
+# replay) at several WAL lengths, and remote leaf-solve fan-out vs the local
+# batch path, every row gated on bitwise identity. Rewrites
+# BENCH_cluster.json.
+bench-cluster:
+	go run ./cmd/benchcluster
 
 # Backend portfolio benchmark: SDP vs Lagrangian vs a race of the two on
 # small and suite instance classes, every run gated on a clean verify audit

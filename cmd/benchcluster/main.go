@@ -1,0 +1,362 @@
+// Command benchcluster measures the distributed subsystem and records the
+// result in BENCH_cluster.json (the `make bench-cluster` target).
+//
+// Two scenarios, both gated on byte-identity:
+//
+//   - Recovery: an ECO session is persisted through the cluster store
+//     (WAL plus snapshots), then recovered and replayed at several log
+//     lengths, timing Store.Recover (disk) and incr.ReplayBatches
+//     (compute) separately. Each recovered session must be
+//     bitwise-identical to a cold replay of the original's resolved
+//     history (incr.Divergence).
+//
+//   - Fan-out: a converging leaf set solves locally via sdp.SolveBatchCtx
+//     and remotely through cluster.RemoteSolver against a real in-process
+//     HTTP worker; every per-leaf result must match bitwise (the fan-out
+//     contract) and the wall-clock of both paths is recorded.
+//
+//     go run ./cmd/benchcluster
+//     go run ./cmd/benchcluster -smoke   # fast CI gate: tiny instances, identity checks only
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	cpla "repro"
+	"repro/internal/cluster"
+	"repro/internal/incr"
+	"repro/internal/ispd08"
+	"repro/internal/sdp"
+)
+
+type recoveryReport struct {
+	Batches   int     `json:"batches"`
+	RecoverMS float64 `json:"recover_ms"` // Store.Recover: snapshot + WAL tail off disk
+	ReplayMS  float64 `json:"replay_ms"`  // incr.ReplayBatches: base solve + batch re-solves
+	Snapshots uint64  `json:"snapshots"`
+	Replayed  uint64  `json:"replayed_records"`
+	Identical bool    `json:"identical"` // vs cold replay of the original history
+}
+
+type fanoutReport struct {
+	Leaves       int     `json:"leaves"`
+	Dim          int     `json:"dim"`
+	LocalMS      float64 `json:"local_ms"`
+	RemoteMS     float64 `json:"remote_ms"`
+	RemoteLeaves uint64  `json:"remote_leaves"`
+	Fallbacks    uint64  `json:"fallbacks"`
+	Identical    bool    `json:"identical"`
+}
+
+type record struct {
+	Description string           `json:"description"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	Recovery    []recoveryReport `json:"recovery"`
+	Fanout      fanoutReport     `json:"fanout"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_cluster.json", "output record path")
+	smoke := flag.Bool("smoke", false, "fast CI gate: one short recovery plus a small fan-out identity check, no output file")
+	flag.Parse()
+	if *smoke {
+		os.Exit(runSmoke())
+	}
+	os.Exit(run(*out))
+}
+
+// sessionSetup is the deterministic instance the recovery scenario replays.
+func sessionSetup() (incr.DesignFunc, incr.Config) {
+	p := ispd08.GenParams{Name: "benchcluster", W: 14, H: 14, Layers: 6, NumNets: 80, Capacity: 8, Seed: 7}
+	gen := func() (*cpla.Design, error) { return ispd08.Generate(p) }
+	cfg := incr.Config{
+		Prepare: cpla.DefaultPrepareOptions(),
+		Core:    cpla.CPLAOptions{MaxRounds: 1},
+		Ratio:   0.02,
+	}
+	return gen, cfg
+}
+
+// ecoBatches builds n small delta batches cycling capacity and pitch edits.
+func ecoBatches(n int) [][]incr.Delta {
+	out := make([][]incr.Delta, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = []incr.Delta{{AdjustCapacity: &incr.AdjustCapacitySpec{
+				MinX: i % 3, MinY: i % 3, MaxX: 4 + i%3, MaxY: 4 + i%3, Factor: 0.9,
+			}}}
+		} else {
+			out[i] = []incr.Delta{{DeratePitch: &incr.DeratePitchSpec{
+				Layer: 1 + i%4, Factor: 0.97,
+			}}}
+		}
+	}
+	return out
+}
+
+// persistSession solves a session, applies batches, and writes the whole
+// history through the store exactly as cplad does (resolved batches).
+// Returns the live session for the divergence gate.
+func persistSession(ctx context.Context, dir, id string, batches [][]incr.Delta) (*incr.Session, error) {
+	gen, cfg := sessionSetup()
+	store, err := cluster.Open(dir, cluster.StoreOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	s, err := incr.New(ctx, gen, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("base solve: %w", err)
+	}
+	if err := store.Create(id, map[string]string{"instance": "benchcluster"}); err != nil {
+		return nil, err
+	}
+	for i, b := range batches {
+		h0 := len(s.History())
+		if _, err := s.Apply(ctx, b); err != nil {
+			return nil, fmt.Errorf("batch %d: %w", i, err)
+		}
+		if err := store.AppendBatch(id, s.History()[h0:]); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// measureRecovery persists a session at the given log length, then times
+// store recovery and history replay, gating on bitwise identity.
+func measureRecovery(ctx context.Context, nBatches int) (recoveryReport, error) {
+	rep := recoveryReport{Batches: nBatches}
+	dir, err := os.MkdirTemp("", "benchcluster-*")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+
+	orig, err := persistSession(ctx, filepath.Join(dir, "store"), "bench", ecoBatches(nBatches))
+	if err != nil {
+		return rep, err
+	}
+
+	store, err := cluster.Open(filepath.Join(dir, "store"), cluster.StoreOptions{})
+	if err != nil {
+		return rep, err
+	}
+	defer store.Close()
+	start := time.Now()
+	states, err := store.Recover()
+	if err != nil {
+		return rep, err
+	}
+	rep.RecoverMS = ms(time.Since(start))
+	if len(states) != 1 {
+		return rep, fmt.Errorf("recovered %d sessions, want 1", len(states))
+	}
+	st := store.Stats()
+	rep.Snapshots = st.Snapshots
+	rep.Replayed = st.ReplayedRecords
+
+	gen, cfg := sessionSetup()
+	start = time.Now()
+	replayed, err := incr.ReplayBatches(ctx, gen, cfg, states[0].Batches)
+	if err != nil {
+		return rep, fmt.Errorf("replay: %w", err)
+	}
+	rep.ReplayMS = ms(time.Since(start))
+
+	// Gate: the recovered session must be bitwise-identical to a cold
+	// replay of the ORIGINAL session's resolved history.
+	coldSt, coldRel, coldRes, err := incr.ColdReplay(ctx, gen, cfg, orig.History())
+	if err != nil {
+		return rep, fmt.Errorf("cold replay: %w", err)
+	}
+	if d := incr.Divergence(replayed, coldSt, coldRel, coldRes); d != "" {
+		return rep, fmt.Errorf("recovered session diverges: %s", d)
+	}
+	if d := incr.Divergence(orig, coldSt, coldRel, coldRes); d != "" {
+		return rep, fmt.Errorf("original session diverges from its own history: %s", d)
+	}
+	rep.Identical = true
+	return rep, nil
+}
+
+// convProblem is the converging leaf family from the batch benchmarks: a
+// diagonally dominant objective under unit diagonal constraints.
+func convProblem(n int, seed int64) *sdp.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &sdp.Problem{N: n}
+	for i := 0; i < n; i++ {
+		p.C.Add(i, i, 1+rng.Float64())
+		if j := rng.Intn(n); j != i {
+			p.C.Add(i, j, rng.NormFloat64()*0.1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var a sdp.SymMatrix
+		a.Add(i, i, 1)
+		p.Constraints = append(p.Constraints, sdp.Constraint{A: a, RHS: 0.3 + 0.5*rng.Float64()})
+	}
+	return p
+}
+
+// startWorker serves the fan-out protocol on a loopback port: the same
+// cold float64 batch solve cplad's /v1/solve runs.
+func startWorker() (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		var req cluster.SolveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		br := sdp.SolveBatchCtx(r.Context(), req.Problems, req.Opt, nil, sdp.BatchOptions{})
+		resp := cluster.SolveResponse{Results: br.Results, Errs: make([]string, len(br.Errs))}
+		for i, e := range br.Errs {
+			if e != nil {
+				resp.Errs[i] = e.Error()
+			}
+		}
+		json.NewEncoder(w).Encode(&resp)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// measureFanout times local vs remote solving of one leaf set and verifies
+// bitwise identity of every result.
+func measureFanout(ctx context.Context, leaves, dim int) (fanoutReport, error) {
+	rep := fanoutReport{Leaves: leaves, Dim: dim}
+	probs := make([]*sdp.Problem, leaves)
+	for i := range probs {
+		probs[i] = convProblem(dim, int64(2+i))
+	}
+	opt := sdp.Options{MaxIters: 200, Tol: 1e-7}
+
+	start := time.Now()
+	local := sdp.SolveBatchCtx(ctx, probs, opt, nil, sdp.BatchOptions{})
+	rep.LocalMS = ms(time.Since(start))
+
+	addr, shutdown, err := startWorker()
+	if err != nil {
+		return rep, err
+	}
+	defer shutdown()
+	rs, err := cluster.NewRemoteSolver([]string{addr}, cluster.RemoteOptions{Timeout: 5 * time.Minute})
+	if err != nil {
+		return rep, err
+	}
+	start = time.Now()
+	remote := rs.SolveBatch(ctx, probs, opt, nil, sdp.BatchOptions{})
+	rep.RemoteMS = ms(time.Since(start))
+	st := rs.Stats()
+	rep.RemoteLeaves = st.RemoteLeaves
+	rep.Fallbacks = st.Fallbacks
+
+	for i := range probs {
+		if local.Errs[i] != nil || remote.Errs[i] != nil {
+			return rep, fmt.Errorf("leaf %d errored: local %v remote %v", i, local.Errs[i], remote.Errs[i])
+		}
+		l, r := local.Results[i], remote.Results[i]
+		if l.Objective != r.Objective || l.Iters != r.Iters || len(l.X.Data) != len(r.X.Data) {
+			return rep, fmt.Errorf("leaf %d diverged: obj %v vs %v, iters %d vs %d", i, l.Objective, r.Objective, l.Iters, r.Iters)
+		}
+		for k := range l.X.Data {
+			if math.Float64bits(l.X.Data[k]) != math.Float64bits(r.X.Data[k]) {
+				return rep, fmt.Errorf("leaf %d X[%d] differs bitwise", i, k)
+			}
+		}
+	}
+	if st.Fallbacks > 0 {
+		return rep, fmt.Errorf("healthy worker but %d buckets fell back locally", st.Fallbacks)
+	}
+	rep.Identical = true
+	return rep, nil
+}
+
+func run(out string) int {
+	ctx := context.Background()
+	rec := record{
+		Description: "Distributed subsystem benchmarks. recovery: an ECO session is persisted through the cluster store (WAL + periodic snapshots) at several delta-log lengths, then recovered by a fresh store; recover_ms is the disk load (snapshot + WAL tail, prefix-validated), replay_ms is incr.ReplayBatches rebuilding the live session, and identical means the recovered session matched a cold replay of the original's resolved history bitwise (incr.Divergence). fanout: a converging leaf set is solved locally (sdp.SolveBatchCtx) and through cluster.RemoteSolver against a real loopback HTTP worker; identical means every per-leaf result matched bitwise, the fan-out contract at any topology. Regenerate with `make bench-cluster`.",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+
+	for _, n := range []int{1, 4, 16} {
+		rep, err := measureRecovery(ctx, n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcluster: recovery (%d batches): %v\n", n, err)
+			return 1
+		}
+		rec.Recovery = append(rec.Recovery, rep)
+		fmt.Printf("recovery %2d batches: recover %.1fms, replay %.0fms (%d records, %d snapshots), bitwise OK\n",
+			n, rep.RecoverMS, rep.ReplayMS, rep.Replayed, rep.Snapshots)
+	}
+
+	fan, err := measureFanout(ctx, 8, 96)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcluster: fanout: %v\n", err)
+		return 1
+	}
+	rec.Fanout = fan
+	fmt.Printf("fanout %d leaves of dim %d: local %.0fms, remote %.0fms (%d leaves over HTTP), bitwise OK\n",
+		fan.Leaves, fan.Dim, fan.LocalMS, fan.RemoteMS, fan.RemoteLeaves)
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcluster: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcluster: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", out)
+	return 0
+}
+
+// runSmoke is the fast CI gate (scripts/check.sh): one short recovery
+// round-trip and one small fan-out batch, both gated on bitwise identity.
+// Catches regressions in the WAL/replay path or the wire codec without the
+// full timing sweep.
+func runSmoke() int {
+	ctx := context.Background()
+	start := time.Now()
+	rep, err := measureRecovery(ctx, 2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcluster: smoke FAIL: recovery: %v\n", err)
+		return 1
+	}
+	fmt.Printf("smoke recovery: 2 batches recovered + replayed bitwise in %.1fs\n", time.Since(start).Seconds())
+
+	start = time.Now()
+	fan, err := measureFanout(ctx, 4, 24)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcluster: smoke FAIL: fanout: %v\n", err)
+		return 1
+	}
+	if !rep.Identical || !fan.Identical {
+		fmt.Fprintln(os.Stderr, "benchcluster: smoke FAIL: identity gate not set")
+		return 1
+	}
+	fmt.Printf("smoke fanout: %d leaves bitwise-identical over HTTP in %.1fs\n",
+		fan.Leaves, time.Since(start).Seconds())
+	fmt.Println("smoke PASS")
+	return 0
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

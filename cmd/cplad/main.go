@@ -21,6 +21,13 @@
 //	curl -s -X POST localhost:8080/v1/sessions/<id>/deltas \
 //	    -d '{"deltas":[{"reroute":{"net":12}}]}'
 //	curl -s localhost:8080/v1/sessions/<id>
+//
+// Cluster mode (see README "Running a cluster"): -data-dir makes sessions
+// durable (WAL + snapshots, crash recovery on restart), -peers/-self shard
+// the session space across processes, -solve-peers fans leaf-solve batches
+// out to workers:
+//
+//	cplad -addr :8081 -self localhost:8081 -peers localhost:8081,localhost:8082 -data-dir /var/lib/cplad-1
 package main
 
 import (
@@ -32,9 +39,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -48,10 +57,18 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle ECO sessions are evicted after this long")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before hard-cancelling")
 	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default: profiling leaks timing information, keep it inside trusted networks)")
+	dataDir := flag.String("data-dir", "", "session durability root: WAL + snapshots per session, crash recovery on restart (empty: sessions are in-memory only)")
+	snapshotEvery := flag.Int("snapshot-every", 8, "delta batches between session snapshots (with -data-dir)")
+	self := flag.String("self", "", "this process's address as peers reach it, e.g. host:8080 (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated static peer list for session sharding; must be identical on every peer and include -self")
+	proxySessions := flag.Bool("proxy-sessions", false, "reverse-proxy non-owned session requests to the owner instead of answering 307")
+	solvePeers := flag.String("solve-peers", "", "comma-separated worker addresses for remote leaf-solve fan-out (empty: solve in-process)")
+	solveTimeout := flag.Duration("solve-timeout", 2*time.Minute, "per-batch remote solve timeout")
+	hedgeAfter := flag.Duration("hedge-after", 0, "delay before hedging a slow remote batch onto a second worker (0: solve-timeout/4)")
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		JobTimeout:     *jobTimeout,
@@ -59,8 +76,57 @@ func main() {
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,
 		Logger:         log,
-	})
+	}
+
+	if *dataDir != "" {
+		store, err := cluster.Open(*dataDir, cluster.StoreOptions{SnapshotEvery: *snapshotEvery})
+		if err != nil {
+			log.Error("open session store", "error", err)
+			os.Exit(1)
+		}
+		cfg.Store = store
+		log.Info("session durability enabled", "dir", *dataDir, "snapshot_every", *snapshotEvery)
+	}
+
+	var membership *cluster.Membership
+	if *peers != "" {
+		m, err := cluster.NewMembership(*self, splitList(*peers), cluster.MembershipOptions{})
+		if err != nil {
+			log.Error("cluster membership", "error", err)
+			os.Exit(1)
+		}
+		membership = m
+		cfg.Cluster = m
+		cfg.ProxySessions = *proxySessions
+		log.Info("session sharding enabled", "self", m.Self(), "peers", m.Peers(), "proxy", *proxySessions)
+	}
+
+	if *solvePeers != "" {
+		rs, err := cluster.NewRemoteSolver(splitList(*solvePeers), cluster.RemoteOptions{
+			Timeout:    *solveTimeout,
+			HedgeAfter: *hedgeAfter,
+			Healthy:    healthFunc(membership),
+		})
+		if err != nil {
+			log.Error("remote solver", "error", err)
+			os.Exit(1)
+		}
+		cfg.LeafSolver = rs
+		log.Info("remote leaf-solve fan-out enabled", "workers", rs.Workers(), "timeout", *solveTimeout)
+	}
+
+	srv := server.New(cfg)
 	srv.Start()
+	if membership != nil {
+		membership.Start()
+		defer membership.Stop()
+	}
+	if n, err := srv.Recover(); err != nil {
+		log.Error("session recovery", "error", err)
+		os.Exit(1)
+	} else if n > 0 {
+		log.Info("session recovery started", "sessions", n)
+	}
 
 	handler := srv.Handler()
 	if *enablePprof {
@@ -114,4 +180,38 @@ func main() {
 		os.Exit(1)
 	}
 	log.Info("shutdown complete")
+}
+
+// splitList parses a comma-separated flag into trimmed non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// healthFunc adapts membership probes for the remote solver. Membership
+// only probes the session ring, so its verdict applies just to workers
+// that are also ring peers; workers outside the ring (and every worker
+// when sharding is off) are assumed reachable — the solver's hedge and
+// local fallback still cover their failures. Passing m.Healthy directly
+// would read every non-peer worker as unhealthy and silently pin all
+// solves local.
+func healthFunc(m *cluster.Membership) func(string) bool {
+	if m == nil {
+		return nil
+	}
+	probed := make(map[string]bool)
+	for _, p := range m.Peers() {
+		probed[p] = true
+	}
+	return func(addr string) bool {
+		if !probed[addr] {
+			return true
+		}
+		return m.Healthy(addr)
+	}
 }

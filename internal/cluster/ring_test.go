@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingAgreementAcrossPeerOrder(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2", "n1"}, 64) // shuffled + dup
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("peer-order dependent ownership for %s", key)
+		}
+	}
+}
+
+func TestRingOwnershipRoughlyEven(t *testing.T) {
+	peers := []string{"n1", "n2", "n3", "n4"}
+	r, err := NewRing(peers, 0) // DefaultVnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("s%d", i))]++
+	}
+	for _, p := range peers {
+		frac := float64(counts[p]) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("peer %s owns %.1f%% of keys — ring badly skewed", p, 100*frac)
+		}
+	}
+	// Exact arc fractions sum to 1 and roughly predict the sample.
+	own := r.OwnershipFractions()
+	sum := 0.0
+	for _, p := range peers {
+		sum += own[p]
+		if math.Abs(own[p]-float64(counts[p])/n) > 0.08 {
+			t.Fatalf("peer %s: arc fraction %.3f far from sampled %.3f", p, own[p], float64(counts[p])/n)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ownership fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestRingSinglePeerOwnsAll(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if r.Owner(fmt.Sprintf("k%d", i)) != "only" {
+			t.Fatal("single peer must own every key")
+		}
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 4); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{""}, 4); err == nil {
+		t.Fatal("empty peer address accepted")
+	}
+}
+
+func TestNormalizeAddr(t *testing.T) {
+	cases := map[string]string{
+		"localhost:8080":    "http://localhost:8080",
+		"http://h:1/":       "http://h:1",
+		"https://x.example": "https://x.example",
+		"  host:9 ":         "http://host:9",
+		"":                  "",
+	}
+	for in, want := range cases {
+		if got := NormalizeAddr(in); got != want {
+			t.Errorf("NormalizeAddr(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// fsyncBounds are the fsync-latency histogram bucket upper bounds in
+// seconds; a final +Inf bucket is implicit.
+var fsyncBounds = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5}
+
+// fsyncHistogram is a fixed-bucket latency histogram, lock-free.
+type fsyncHistogram struct {
+	counts [8]atomic.Uint64 // len(fsyncBounds)+1, last is +Inf
+	sumUs  atomic.Uint64    // total latency in microseconds
+}
+
+func (h *fsyncHistogram) observe(sec float64) {
+	i := 0
+	for i < len(fsyncBounds) && sec > fsyncBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumUs.Add(uint64(sec * 1e6))
+}
+
+// HistBucket is one cumulative histogram bucket: Count observations with
+// value <= LE. LE 0 means +Inf (the JSON surface cannot carry infinities),
+// matching the server metrics' histogram convention.
+type HistBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+func (h *fsyncHistogram) snapshot() []HistBucket {
+	out := make([]HistBucket, len(fsyncBounds)+1)
+	var cum uint64
+	for i := range out {
+		cum += h.counts[i].Load()
+		le := 0.0 // the +Inf bucket
+		if i < len(fsyncBounds) {
+			le = fsyncBounds[i]
+		}
+		out[i] = HistBucket{LE: le, Count: cum}
+	}
+	return out
+}
+
+// StoreStats is a point-in-time view of store activity for /metrics.
+type StoreStats struct {
+	Sessions          int          `json:"sessions"`
+	WalAppends        uint64       `json:"wal_appends"`
+	Fsyncs            uint64       `json:"fsyncs"`
+	FsyncSumMicros    uint64       `json:"fsync_sum_micros"`
+	FsyncHist         []HistBucket `json:"fsync_hist"`
+	Snapshots         uint64       `json:"snapshots"`
+	SnapshotAgeSec    float64      `json:"snapshot_age_sec"` // -1 before the first snapshot
+	RecoveredSessions uint64       `json:"recovered_sessions"`
+	ReplayedRecords   uint64       `json:"replayed_records"`
+	Tombstones        uint64       `json:"tombstones"`
+	CorruptedSkipped  uint64       `json:"corrupted_skipped"`
+	TruncatedTails    uint64       `json:"truncated_tails"`
+}
+
+// Stats returns current store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	age := -1.0
+	if last := s.lastSnapUnix.Load(); last > 0 {
+		age = time.Since(time.Unix(last, 0)).Seconds()
+	}
+	return StoreStats{
+		Sessions:          n,
+		WalAppends:        s.appends.Load(),
+		Fsyncs:            s.fsyncs.Load(),
+		FsyncSumMicros:    s.fsyncHist.sumUs.Load(),
+		FsyncHist:         s.fsyncHist.snapshot(),
+		Snapshots:         s.snapshots.Load(),
+		SnapshotAgeSec:    age,
+		RecoveredSessions: s.recovered.Load(),
+		ReplayedRecords:   s.replayedRecs.Load(),
+		Tombstones:        s.tombstones.Load(),
+		CorruptedSkipped:  s.corrupted.Load(),
+		TruncatedTails:    s.truncatedLogs.Load(),
+	}
+}

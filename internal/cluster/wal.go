@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/incr"
+)
+
+// WAL framing: every record is [4-byte LE payload length][4-byte LE
+// IEEE-CRC32 of payload][JSON payload]. The reader accepts the longest
+// valid prefix and stops at the first frame that is torn (short), fails
+// its CRC, fails to decode, or breaks the strictly-increasing Seq order —
+// prefix recovery, so a corrupt tail can lose the newest records but can
+// never resurrect different ones (recover-or-reject, never diverge).
+
+// Record types. A session's log is create, then zero or more deltas
+// batches, optionally closed by a tombstone.
+const (
+	RecordCreate    = "create"
+	RecordDeltas    = "deltas"
+	RecordTombstone = "tombstone"
+)
+
+// Record is one durable session mutation. Seq is strictly increasing
+// within a session's log, starting at 1 with the create record; recovery
+// rejects everything from the first out-of-order (duplicated, skipped or
+// replayed) record onward.
+type Record struct {
+	Seq    uint64          `json:"seq"`
+	Type   string          `json:"type"`
+	Spec   json.RawMessage `json:"spec,omitempty"`   // create only
+	Deltas []incr.Delta    `json:"deltas,omitempty"` // deltas only
+}
+
+// maxRecordBytes bounds a single record payload — a guard against a
+// corrupt length prefix allocating gigabytes, not a practical limit
+// (delta batches are a few KB).
+const maxRecordBytes = 16 << 20
+
+const walHeaderLen = 8
+
+// putHeader writes the 8-byte header (LE length, LE CRC32) for payload
+// into hdr[:walHeaderLen].
+func putHeader(hdr, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], checksum(payload))
+}
+
+// parseHeader decodes a frame header; ok is false on a short buffer.
+func parseHeader(data []byte) (n int, sum uint32, ok bool) {
+	if len(data) < walHeaderLen {
+		return 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint32(data[0:4])), binary.LittleEndian.Uint32(data[4:8]), true
+}
+
+func checksum(payload []byte) uint32 { return crc32.ChecksumIEEE(payload) }
+
+// appendRecord frames rec onto buf and returns the extended buffer.
+func appendRecord(buf []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [walHeaderLen]byte
+	putHeader(hdr[:], payload)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// readLog decodes the longest valid prefix of a WAL byte stream. It
+// returns the records, the byte length of the valid prefix (so a writer
+// reopening the log can truncate a torn tail before appending), and
+// whether trailing bytes were discarded. firstSeq is the Seq the first
+// record must carry; each subsequent record must increment it by exactly
+// one. It never returns an error: malformed input is by definition a
+// shorter valid prefix.
+func readLog(data []byte, firstSeq uint64) (recs []Record, validLen int, truncated bool) {
+	off := 0
+	want := firstSeq
+	for {
+		if len(data)-off < walHeaderLen {
+			return recs, off, off < len(data)
+		}
+		n, sum, _ := parseHeader(data[off:])
+		if n > maxRecordBytes || len(data)-off-walHeaderLen < n {
+			return recs, off, true
+		}
+		payload := data[off+walHeaderLen : off+walHeaderLen+n]
+		if checksum(payload) != sum {
+			return recs, off, true
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, off, true
+		}
+		if rec.Seq != want {
+			return recs, off, true
+		}
+		switch rec.Type {
+		case RecordCreate, RecordDeltas, RecordTombstone:
+		default:
+			return recs, off, true
+		}
+		recs = append(recs, rec)
+		off += walHeaderLen + n
+		want++
+	}
+}
+
+// readLogFrom is readLog over a reader (convenience for tests).
+func readLogFrom(r io.Reader, firstSeq uint64) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, _ := readLog(data, firstSeq)
+	return recs, nil
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/incr"
+)
+
+func testRecords(t *testing.T) []Record {
+	t.Helper()
+	spec, err := json.Marshal(map[string]string{"benchmark": "adaptec1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Record{
+		{Seq: 1, Type: RecordCreate, Spec: spec},
+		{Seq: 2, Type: RecordDeltas, Deltas: []incr.Delta{
+			{DeratePitch: &incr.DeratePitchSpec{Layer: 3, Factor: 0.9}},
+		}},
+		{Seq: 3, Type: RecordDeltas, Deltas: []incr.Delta{
+			{AdjustCapacity: &incr.AdjustCapacitySpec{MinX: 1, MinY: 1, MaxX: 4, MaxY: 4, Factor: 0.8}},
+			{Reroute: &incr.RerouteSpec{Net: 7, Edges: []incr.EdgeSpec{{X: 1, Y: 2, Horiz: true}}}},
+		}},
+	}
+}
+
+func encodeLog(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf []byte
+	for i := range recs {
+		var err error
+		buf, err = appendRecord(buf, &recs[i])
+		if err != nil {
+			t.Fatalf("appendRecord: %v", err)
+		}
+	}
+	return buf
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	want := testRecords(t)
+	data := encodeLog(t, want)
+	got, validLen, truncated := readLog(data, 1)
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if validLen != len(data) {
+		t.Fatalf("validLen = %d, want %d", validLen, len(data))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Reader form agrees.
+	got2, err := readLogFrom(bytes.NewReader(data), 1)
+	if err != nil || !reflect.DeepEqual(got2, want) {
+		t.Fatalf("readLogFrom mismatch (err=%v)", err)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	want := testRecords(t)
+	data := encodeLog(t, want)
+	// Chop bytes off the end: every cut must recover a record-aligned
+	// prefix, never error, never return a partial record.
+	full := len(data)
+	for cut := 1; cut < full; cut++ {
+		got, validLen, truncated := readLog(data[:full-cut], 1)
+		if validLen > full-cut {
+			t.Fatalf("cut %d: validLen %d beyond data", cut, validLen)
+		}
+		// A cut landing exactly on a frame boundary is a clean shorter
+		// log; anywhere else the torn frame must be reported.
+		if truncated != (validLen < full-cut) {
+			t.Fatalf("cut %d: truncated=%v with validLen %d of %d", cut, truncated, validLen, full-cut)
+		}
+		if len(got) > len(want) {
+			t.Fatalf("cut %d: %d records from a %d-record log", cut, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("cut %d: record %d diverged", cut, i)
+			}
+		}
+	}
+}
+
+func TestWALBitFlip(t *testing.T) {
+	want := testRecords(t)
+	data := encodeLog(t, want)
+	// Flip one bit at every position: the reader must stop at or before
+	// the damaged record and return an intact prefix.
+	for pos := 0; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0x10
+		got, _, _ := readLog(mut, 1)
+		if len(got) > len(want) {
+			t.Fatalf("pos %d: more records than written", pos)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("pos %d: record %d diverged after bit flip", pos, i)
+			}
+		}
+	}
+}
+
+func TestWALDuplicateAndSkippedSeq(t *testing.T) {
+	recs := testRecords(t)
+	// Duplicate record 2: replayed frame must stop the read.
+	dup := append([]Record{}, recs[0], recs[1], recs[1])
+	got, _, truncated := readLog(encodeLog(t, dup), 1)
+	if !truncated || len(got) != 2 {
+		t.Fatalf("duplicate seq: got %d records, truncated=%v; want 2, true", len(got), truncated)
+	}
+	// Skip a seq: same.
+	skip := []Record{recs[0], recs[2]}
+	got, _, truncated = readLog(encodeLog(t, skip), 1)
+	if !truncated || len(got) != 1 {
+		t.Fatalf("skipped seq: got %d records, truncated=%v; want 1, true", len(got), truncated)
+	}
+	// Wrong firstSeq: nothing valid.
+	got, _, _ = readLog(encodeLog(t, recs), 2)
+	if len(got) != 0 {
+		t.Fatalf("wrong firstSeq accepted %d records", len(got))
+	}
+}
+
+func TestWALUnknownTypeRejected(t *testing.T) {
+	recs := []Record{{Seq: 1, Type: "mystery"}}
+	got, _, truncated := readLog(encodeLog(t, recs), 1)
+	if len(got) != 0 || !truncated {
+		t.Fatalf("unknown record type accepted: %+v", got)
+	}
+}

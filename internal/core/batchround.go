@@ -59,7 +59,11 @@ func solveRoundBatched(ctx context.Context, in *buildInput, trees []*tree.Tree, 
 		probs[i] = sls[li].prob
 		warms[i] = probes[li].warm
 	}
-	br := sdp.SolveBatchCtx(ctx, probs, sdp.Options{
+	solver := opt.LeafSolver
+	if solver == nil {
+		solver = localLeafSolver{}
+	}
+	br := solver.SolveBatch(ctx, probs, sdp.Options{
 		MaxIters: opt.SDPIters,
 		Tol:      opt.SDPTol,
 	}, warms, sdp.BatchOptions{

@@ -148,6 +148,12 @@ type Options struct {
 	// bit-identical to per-leaf), per-leaf (BatchOff), or batched with the
 	// certified float32 fast lane (BatchFloat32, opt-in).
 	BatchLeaves BatchMode
+	// LeafSolver, when non-nil, replaces the in-process batched dispatch
+	// with a custom one — the cluster fan-out installs a remote solver
+	// here. Implementations must return results byte-identical to the
+	// local sdp.SolveBatchCtx (see LeafSolver). Consulted only on the
+	// batched ADMM path; ignored with BatchOff or the IPM/ILP backends.
+	LeafSolver LeafSolver
 	// ILPMaxNodes / ILPGap control branch and bound (0 → 4000 / 0.02).
 	ILPMaxNodes int
 	ILPGap      float64

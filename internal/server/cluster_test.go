@@ -1,0 +1,619 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/incr"
+	"repro/internal/sdp"
+)
+
+// hswitch lets an httptest listener start before the Server behind it
+// exists, so membership peer URLs are known at Server construction time.
+type hswitch struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (hs *hswitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	hs.mu.Lock()
+	h := hs.h
+	hs.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (hs *hswitch) set(h http.Handler) {
+	hs.mu.Lock()
+	hs.h = h
+	hs.mu.Unlock()
+}
+
+// newClusterPair starts two sharded servers that agree on a two-peer ring.
+func newClusterPair(t *testing.T, proxy bool, mod func(*Config)) (srvA, srvB *Server, urlA, urlB string) {
+	t.Helper()
+	swA, swB := &hswitch{}, &hswitch{}
+	tsA := httptest.NewServer(swA)
+	t.Cleanup(tsA.Close)
+	tsB := httptest.NewServer(swB)
+	t.Cleanup(tsB.Close)
+	peers := []string{tsA.URL, tsB.URL}
+	build := func(self string, sw *hswitch) *Server {
+		m, err := cluster.NewMembership(self, peers, cluster.MembershipOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Workers: 1, Cluster: m, ProxySessions: proxy, Logger: discardLogger()}
+		if mod != nil {
+			mod(&cfg)
+		}
+		srv := New(cfg)
+		srv.Start()
+		sw.set(srv.Handler())
+		return srv
+	}
+	return build(tsA.URL, swA), build(tsB.URL, swB), tsA.URL, tsB.URL
+}
+
+// ownedID finds a session ID the given peer owns on m's ring.
+func ownedID(t *testing.T, m *cluster.Membership, owner, prefix string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("%s-%d", prefix, i)
+		if m.Owner(id) == owner {
+			return id
+		}
+	}
+	t.Fatalf("no ID owned by %s in 10000 tries", owner)
+	return ""
+}
+
+// noRedirect is a client that surfaces 307s instead of following them.
+var noRedirect = &http.Client{
+	CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	},
+}
+
+// liveSession digs out the underlying engine session for equivalence checks.
+func liveSession(t *testing.T, srv *Server, id string) *incr.Session {
+	t.Helper()
+	es, ok := srv.Session(id)
+	if !ok {
+		t.Fatalf("session %s not held by server", id)
+	}
+	es.mu.Lock()
+	sess := es.sess
+	es.mu.Unlock()
+	if sess == nil {
+		t.Fatalf("session %s has no engine state", id)
+	}
+	return sess
+}
+
+func TestClusterRedirectsToOwner(t *testing.T) {
+	srvA, _, urlA, urlB := newClusterPair(t, false, nil)
+	id := ownedID(t, srvA.cfg.Cluster, urlA, "redir")
+
+	body, _ := json.Marshal(tinySessionSpec(11))
+	resp, err := noRedirect.Post(urlB+"/v1/sessions?id="+id, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("create on non-owner: status %d, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if loc != urlA+"/v1/sessions?id="+id {
+		t.Fatalf("Location = %q, want owner URL", loc)
+	}
+
+	// Following the redirect (as a client would) lands the session on A.
+	resp2, err := http.Post(loc, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("create on owner: status %d, want 202", resp2.StatusCode)
+	}
+	if _, ok := srvA.Session(id); !ok {
+		t.Fatal("session did not land on the owner")
+	}
+
+	// Reads through the non-owner redirect too; Go's default client follows
+	// them transparently, so the session is reachable from either peer.
+	getResp, err := noRedirect.Get(urlB + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("GET on non-owner: status %d, want 307", getResp.StatusCode)
+	}
+}
+
+func TestClusterProxiesToOwner(t *testing.T) {
+	srvA, srvB, urlA, urlB := newClusterPair(t, true, nil)
+	id := ownedID(t, srvA.cfg.Cluster, urlA, "proxy")
+
+	// Create through the NON-owner: the proxy must carry the request (and
+	// its body) to A transparently.
+	body, _ := json.Marshal(tinySessionSpec(12))
+	resp, err := http.Post(urlB+"/v1/sessions?id="+id, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view SessionView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || view.ID != id {
+		t.Fatalf("proxied create: status %d id %q", resp.StatusCode, view.ID)
+	}
+	if _, ok := srvA.Session(id); !ok {
+		t.Fatal("proxied session did not land on the owner")
+	}
+	if _, ok := srvB.Session(id); ok {
+		t.Fatal("non-owner holds the session locally")
+	}
+
+	// The whole lifecycle works through the non-owner: poll ready, apply a
+	// batch, read paths, delete.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, v := getSessionVia(t, urlB, id)
+		if code != http.StatusOK {
+			t.Fatalf("proxied GET: status %d", code)
+		}
+		if v.Status == SessionReady {
+			break
+		}
+		if v.Status != SessionPreparing || time.Now().After(deadline) {
+			t.Fatalf("session stuck in %q (%s)", v.Status, v.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	dbody, _ := json.Marshal(DeltaRequest{Deltas: []incr.Delta{
+		{AdjustCapacity: &incr.AdjustCapacitySpec{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2, Factor: 0.6}},
+	}})
+	dresp, err := http.Post(urlB+"/v1/sessions/"+id+"/deltas", "application/json", bytes.NewReader(dbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied deltas: status %d", dresp.StatusCode)
+	}
+	if snapB := getMetricsVia(t, urlB); snapB.Cluster == nil || snapB.Cluster.SessionsProxied == 0 {
+		t.Fatalf("proxy hops not counted: %+v", snapB.Cluster)
+	}
+}
+
+// getMetricsVia is getMetrics against a raw base URL.
+func getMetricsVia(t *testing.T, base string) MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// getSessionVia is getSession against a raw base URL.
+func getSessionVia(t *testing.T, base, id string) (int, SessionView) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view SessionView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, view
+}
+
+func TestClusterRoutingLoopAnswers502(t *testing.T) {
+	srvA, _, urlA, urlB := newClusterPair(t, true, nil)
+	id := ownedID(t, srvA.cfg.Cluster, urlA, "loop")
+
+	// A request for an A-owned session arriving at B already forwarded
+	// means the ring views disagree: it must die here, not bounce.
+	req, err := http.NewRequest(http.MethodGet, urlB+"/v1/sessions/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Cplad-Forwarded", urlA)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("forwarded misroute: status %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestClusterRetryAfterPropagatesThroughProxy(t *testing.T) {
+	srvA, _, urlA, urlB := newClusterPair(t, true, func(c *Config) { c.MaxSessions = 1 })
+
+	// Fill the owner to its session limit.
+	first := ownedID(t, srvA.cfg.Cluster, urlA, "fill")
+	if _, err := srvA.CreateSessionWithID(tinySessionSpec(13), first); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second A-owned create through the NON-owner must come back as the
+	// owner's 429 with its Retry-After back-pressure intact.
+	second := ownedID(t, srvA.cfg.Cluster, urlA, "over")
+	body, _ := json.Marshal(tinySessionSpec(14))
+	resp, err := http.Post(urlB+"/v1/sessions?id="+second, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit proxied create: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("Retry-After header lost crossing the proxy")
+	}
+
+	// Redirect mode propagates trivially — the client talks to the owner
+	// directly after the 307 — but verify the 307 itself carries no body
+	// surprises by following it end to end.
+	respA, err := http.Post(urlA+"/v1/sessions?id="+ownedID(t, srvA.cfg.Cluster, urlA, "direct"),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	respA.Body.Close()
+	if respA.StatusCode != http.StatusTooManyRequests || respA.Header.Get("Retry-After") == "" {
+		t.Fatalf("direct over-limit create: status %d, Retry-After %q",
+			respA.StatusCode, respA.Header.Get("Retry-After"))
+	}
+}
+
+// chaosDeltaBatches is the ECO scenario the recovery tests replay.
+func chaosDeltaBatches() [][]incr.Delta {
+	return [][]incr.Delta{
+		{{AdjustCapacity: &incr.AdjustCapacitySpec{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3, Factor: 0.6}}},
+		{{DeratePitch: &incr.DeratePitchSpec{Layer: 2, Factor: 0.85}},
+			{SetCritical: &incr.SetCriticalSpec{Nets: []int{0, 3, 7}}}},
+	}
+}
+
+// applyBatchesHTTP pushes batches through the HTTP surface one at a time.
+func applyBatchesHTTP(t *testing.T, ts *httptest.Server, id string, batches [][]incr.Delta) {
+	t.Helper()
+	for i, b := range batches {
+		resp, _ := postDeltas(t, ts, id, b)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d: status %d", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestSessionRecoveryBitwiseIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySessionSpec(21)
+	batches := chaosDeltaBatches()
+
+	// Uninterrupted reference: same spec and batches, no store, no crash.
+	_, refTS := newTestServer(t, Config{Workers: 1})
+	_, refView := postSession(t, refTS, spec)
+	waitSessionStatus(t, refTS, refView.ID, SessionReady)
+	applyBatchesHTTP(t, refTS, refView.ID, batches)
+
+	// Durable run, then a crash: no drain, no tombstone, and a torn byte
+	// tail on the WAL as if the process died mid-append.
+	store1, err := cluster.Open(dir, cluster.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, ts1 := newTestServer(t, Config{Workers: 1, Store: store1})
+	_, created := postSession(t, ts1, spec)
+	waitSessionStatus(t, ts1, created.ID, SessionReady)
+	applyBatchesHTTP(t, ts1, created.ID, batches)
+	refSess := liveSession(t, srv1, created.ID) // keep the live engine as the reference state
+	store1.Close()
+	walPath := filepath.Join(dir, created.ID, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x7f, 0x00, 0x13})
+	f.Close()
+
+	// Recover into a fresh process.
+	store2, err := cluster.Open(dir, cluster.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newTestServer(t, Config{Workers: 1, Store: store2})
+	n, err := srv2.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("Recover: %d sessions, err %v", n, err)
+	}
+	waitSessionStatus(t, ts2, created.ID, SessionReady)
+	recSess := liveSession(t, srv2, created.ID)
+
+	// The recovered history is the exact resolved history of the original.
+	if !reflect.DeepEqual(recSess.History(), refSess.History()) {
+		t.Fatal("recovered session replayed a different history")
+	}
+	// Bitwise identity: cold-replay the recovered history once, then both
+	// the never-crashed session and the recovered one must match it exactly
+	// (Tcp, per-segment layers, overflow — Divergence checks all of it).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	coldSt, coldRel, coldRes, err := incr.ColdReplay(ctx, spec.designFunc(), spec.incrConfig(), recSess.History())
+	if err != nil {
+		t.Fatalf("cold replay: %v", err)
+	}
+	if d := incr.Divergence(refSess, coldSt, coldRel, coldRes); d != "" {
+		t.Fatalf("reference vs cold replay of recovered history: %s", d)
+	}
+	if d := incr.Divergence(recSess, coldSt, coldRel, coldRes); d != "" {
+		t.Fatalf("recovered session diverged from its own cold replay: %s", d)
+	}
+	// And the recovered session keeps working (and logging) after recovery.
+	resp, dr := postDeltas(t, ts2, created.ID, []incr.Delta{
+		{DeratePitch: &incr.DeratePitchSpec{Layer: 1, Factor: 0.9}},
+	})
+	if resp.StatusCode != http.StatusOK || dr.Result == nil {
+		t.Fatalf("post-recovery delta: status %d", resp.StatusCode)
+	}
+	snap := getMetrics(t, ts2)
+	if snap.Cluster == nil || snap.Cluster.SessionsRecovered != 1 || snap.Cluster.ReplayedBatches != int64(len(batches)) {
+		t.Fatalf("recovery metrics: %+v", snap.Cluster)
+	}
+}
+
+func TestSessionTTLEvictionTombstonesDurably(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := cluster.Open(dir, cluster.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, ts1 := newTestServer(t, Config{Workers: 1, Store: store1, SessionTTL: time.Minute})
+	_, created := postSession(t, ts1, tinySessionSpec(22))
+	waitSessionStatus(t, ts1, created.ID, SessionReady)
+
+	// Age the session past its TTL and trigger the lazy sweep.
+	es, _ := srv1.Session(created.ID)
+	es.mu.Lock()
+	es.lastUsed = time.Now().Add(-time.Hour)
+	es.mu.Unlock()
+	if code, _ := getSession(t, ts1, created.ID); code != http.StatusNotFound {
+		t.Fatalf("expired session still served: %d", code)
+	}
+	store1.Close()
+
+	// Recovery must NOT resurrect it: the eviction wrote a tombstone.
+	store2, err := cluster.Open(dir, cluster.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	srv2, _ := newTestServer(t, Config{Workers: 1, Store: store2})
+	n, err := srv2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("evicted session resurrected by recovery (%d sessions)", n)
+	}
+}
+
+// A plain worker process has no cluster config, so its /metrics starts
+// without a cluster section — but once it serves a solve batch the served
+// counters must become visible.
+func TestWorkerServedCountersSurface(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if snap := getMetrics(t, ts); snap.Cluster != nil {
+		t.Fatalf("standalone metrics grew a cluster section: %+v", snap.Cluster)
+	}
+
+	prob := &sdp.Problem{N: 3}
+	for i := 0; i < 3; i++ {
+		prob.C.Add(i, i, float64(1+i))
+		var a sdp.SymMatrix
+		a.Add(i, i, 1)
+		prob.Constraints = append(prob.Constraints, sdp.Constraint{A: a, RHS: 0.5})
+	}
+	body, _ := json.Marshal(cluster.SolveRequest{
+		Problems: []*sdp.Problem{prob},
+		Opt:      sdp.Options{MaxIters: 20, Tol: 1e-6},
+	})
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr cluster.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(sr.Results) != 1 || sr.Results[0] == nil {
+		t.Fatalf("solve: status %d, results %+v", resp.StatusCode, sr.Results)
+	}
+
+	snap := getMetrics(t, ts)
+	if snap.Cluster == nil || snap.Cluster.SolveBatchesServed != 1 || snap.Cluster.SolveLeavesServed != 1 {
+		t.Fatalf("served counters not surfaced: %+v", snap.Cluster)
+	}
+}
+
+// killerWorker accepts /v1/solve and slams the connection shut mid-request,
+// simulating a worker dying mid-solve.
+func killerWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("hijack unsupported")
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			return
+		}
+		conn.Close()
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestClusterChaosByteIdentity is the chaos harness: leaf solves fan out to
+// a worker pool where one worker dies mid-solve on every request, and the
+// session-owning process crashes (torn WAL tail, no drain) between delta
+// batches. The recovered state must still be byte-identical to a
+// single-process run that saw neither failure.
+func TestClusterChaosByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySessionSpec(23)
+	batches := chaosDeltaBatches()
+
+	// Reference: one process, local solves, no faults.
+	refSrv, refTS := newTestServer(t, Config{Workers: 1})
+	_, refView := postSession(t, refTS, spec)
+	waitSessionStatus(t, refTS, refView.ID, SessionReady)
+	applyBatchesHTTP(t, refTS, refView.ID, batches[:1])
+
+	// A real worker (full server, real /v1/solve) plus one that always
+	// dies mid-request.
+	_, workerTS := newTestServer(t, Config{Workers: 1})
+	killer := killerWorker(t)
+	newRemote := func() *cluster.RemoteSolver {
+		rs, err := cluster.NewRemoteSolver([]string{killer.URL, workerTS.URL}, cluster.RemoteOptions{
+			Timeout:    30 * time.Second,
+			HedgeAfter: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+
+	// Chaos process #1: remote fan-out through the flaky pool, first batch,
+	// then a crash with a torn WAL tail.
+	store1, err := cluster.Open(dir, cluster.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs1 := newRemote()
+	_, ts1 := newTestServer(t, Config{Workers: 1, Store: store1, LeafSolver: rs1})
+	_, created := postSession(t, ts1, spec)
+	waitSessionStatus(t, ts1, created.ID, SessionReady)
+	applyBatchesHTTP(t, ts1, created.ID, batches[:1])
+	if st := rs1.Stats(); st.Batches == 0 {
+		t.Fatalf("chaos run never used the remote solver: %+v", st)
+	}
+	store1.Close()
+	walPath := filepath.Join(dir, created.ID, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad})
+	f.Close()
+
+	// Chaos process #2: recover (replay also runs through the flaky pool),
+	// then apply the second batch.
+	store2, err := cluster.Open(dir, cluster.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := newTestServer(t, Config{Workers: 1, Store: store2, LeafSolver: newRemote()})
+	n, err := srv2.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("Recover: %d, %v", n, err)
+	}
+	waitSessionStatus(t, ts2, created.ID, SessionReady)
+	applyBatchesHTTP(t, ts2, created.ID, batches[1:])
+	chaosSess := liveSession(t, srv2, created.ID)
+
+	// The faulty topology plus the crash must be invisible: byte-identical
+	// to the clean single-process run.
+	applyBatchesHTTP(t, refTS, refView.ID, batches[1:])
+	refSess := liveSession(t, refSrv, refView.ID)
+	if !reflect.DeepEqual(chaosSess.History(), refSess.History()) {
+		t.Fatal("chaos run resolved a different delta history")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	coldSt, coldRel, coldRes, err := incr.ColdReplay(ctx, spec.designFunc(), spec.incrConfig(), chaosSess.History())
+	if err != nil {
+		t.Fatalf("cold replay: %v", err)
+	}
+	if d := incr.Divergence(chaosSess, coldSt, coldRel, coldRes); d != "" {
+		t.Fatalf("chaos session diverged: %s", d)
+	}
+	if d := incr.Divergence(refSess, coldSt, coldRel, coldRes); d != "" {
+		t.Fatalf("reference diverged from chaos history replay: %s", d)
+	}
+}
+
+func TestClusterViewEndpoint(t *testing.T) {
+	srvA, _, urlA, _ := newClusterPair(t, true, nil)
+	resp, err := http.Get(urlA + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view ClusterView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if !view.Enabled || view.Self != urlA || len(view.Peers) != 2 {
+		t.Fatalf("cluster view: %+v", view)
+	}
+	if view.Durable {
+		t.Fatal("no store configured but view says durable")
+	}
+	if view.Vnodes != srvA.cfg.Cluster.Ring().Vnodes() {
+		t.Fatalf("vnodes %d", view.Vnodes)
+	}
+	var selfRows, owned int
+	for _, p := range view.Peers {
+		if p.Self {
+			selfRows++
+		}
+		if p.Ownership > 0 {
+			owned++
+		}
+	}
+	if selfRows != 1 || owned != 2 {
+		t.Fatalf("peer rows wrong: %+v", view.Peers)
+	}
+	if !strings.HasPrefix(view.Self, "http://") {
+		t.Fatalf("self not normalized: %q", view.Self)
+	}
+}

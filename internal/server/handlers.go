@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/cluster"
 	"repro/internal/sta"
 )
 
@@ -38,8 +39,14 @@ var (
 //	POST   /v1/sessions/{id}/deltas apply a delta batch and re-solve (200; 409 while preparing)
 //	GET    /v1/sessions/{id}/paths  top-K critical paths (?k=&siblings=&required=; 409 while preparing)
 //	DELETE /v1/sessions/{id}       evict a session
+//	POST   /v1/solve               solve one leaf bucket (cluster fan-out worker side)
+//	GET    /v1/cluster             membership, shard ownership, health
 //	GET    /healthz                liveness (503 while draining)
 //	GET    /metrics                counter snapshot
+//
+// With clustering on, session routes are owner-routed: a non-owner
+// answers 307 (or proxies, see Config.ProxySessions) toward the session's
+// owner on the hash ring.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -52,6 +59,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/deltas", s.handleSessionDeltas)
 	mux.HandleFunc("GET /v1/sessions/{id}/paths", s.handleSessionPaths)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -108,6 +117,28 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	// The session ID is assigned before the body is read so ownership can
+	// be decided (and the request redirected or proxied, body intact) up
+	// front; ?id= carries the assignment across the forward hop.
+	id := r.URL.Query().Get("id")
+	if id != "" && !cluster.ValidSessionID(id) {
+		writeError(w, &statusError{code: http.StatusBadRequest, msg: "invalid session id"})
+		return
+	}
+	if s.cfg.Cluster != nil {
+		if id == "" {
+			id = newJobID()
+			q := r.URL.Query()
+			q.Set("id", id)
+			r.URL.RawQuery = q.Encode()
+		}
+		if !s.ownsSession(w, r, id) {
+			return
+		}
+	}
+	if id == "" {
+		id = newJobID()
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	var spec SessionSpec
 	dec := json.NewDecoder(r.Body)
@@ -124,7 +155,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &statusError{code: http.StatusBadRequest, msg: "bad JSON: " + err.Error()})
 		return
 	}
-	es, err := s.CreateSession(spec)
+	es, err := s.CreateSessionWithID(spec, id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -138,6 +169,9 @@ func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsSession(w, r, r.PathValue("id")) {
+		return
+	}
 	es, ok := s.Session(r.PathValue("id"))
 	if !ok {
 		writeError(w, errSessionNotFound)
@@ -147,6 +181,9 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsSession(w, r, r.PathValue("id")) {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	var req DeltaRequest
 	dec := json.NewDecoder(r.Body)
@@ -174,6 +211,9 @@ const (
 )
 
 func (s *Server) handleSessionPaths(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsSession(w, r, r.PathValue("id")) {
+		return
+	}
 	q := r.URL.Query()
 	k := defaultPathsK
 	if v := q.Get("k"); v != "" {
@@ -213,6 +253,9 @@ func (s *Server) handleSessionPaths(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.ownsSession(w, r, r.PathValue("id")) {
+		return
+	}
 	es, err := s.DeleteSession(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
@@ -230,7 +273,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	snap.Cluster = s.clusterMetrics()
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -52,6 +52,13 @@ type Metrics struct {
 	SessionsEvicted atomic.Int64 // sessions removed by TTL or DELETE
 	DeltaSolves     atomic.Int64 // delta batches applied across all sessions
 
+	SessionsRecovered  atomic.Int64 // sessions rebuilt from the WAL store
+	ReplayedBatches    atomic.Int64 // delta batches replayed during recovery
+	SessionsProxied    atomic.Int64 // session requests reverse-proxied to the owner
+	SessionsRedirected atomic.Int64 // session requests answered with 307 to the owner
+	SolveBatchesServed atomic.Int64 // remote leaf-solve buckets served via /v1/solve
+	SolveLeavesServed  atomic.Int64 // leaf problems solved in those buckets
+
 	CacheEvictions atomic.Int64 // solve-cache LRU evictions over delta solves
 
 	StaUpdates     atomic.Int64 // STA engine Update calls over delta solves
@@ -246,6 +253,11 @@ type MetricsSnapshot struct {
 	SolveCount   int64        `json:"solve_count"`
 	SolveSumMS   int64        `json:"solve_sum_ms"`
 	SolveLatency []HistBucket `json:"solve_latency"`
+
+	// Cluster is the per-shard section — queue depth, WAL fsync latency,
+	// snapshot age, recovery replay counts, fan-out counters. Present only
+	// when a cluster feature (store, membership or remote solver) is on.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // DeltaKindStats aggregates the delta solves of one batch kind.

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -37,9 +38,29 @@ type Config struct {
 	SessionTTL time.Duration
 	// Logger receives structured per-job logs. nil → slog.Default().
 	Logger *slog.Logger
-	// Runner executes jobs. nil → DefaultRunner. Tests inject controllable
-	// runners here.
+	// Runner executes jobs. nil → DefaultRunner (with LeafSolver threaded
+	// through, when set). Tests inject controllable runners here.
 	Runner Runner
+
+	// Store, when non-nil, makes sessions durable: every create, resolved
+	// delta batch and eviction is WAL-logged (fsync on commit) and Recover
+	// rebuilds surviving sessions after a restart.
+	Store *cluster.Store
+	// Cluster, when non-nil, shards the session space across a static peer
+	// list via consistent hashing; this process serves only sessions it
+	// owns and redirects (307) or proxies the rest to their owner.
+	Cluster *cluster.Membership
+	// ProxySessions makes non-owners reverse-proxy session requests to the
+	// owner instead of redirecting. Error semantics (429/503 with
+	// Retry-After) pass through either way.
+	ProxySessions bool
+	// LeafSolver, when non-nil, replaces the in-process batched leaf solve
+	// in every job and session — the cluster remote fan-out installs here.
+	// Implementations must be byte-identical to the local dispatch.
+	LeafSolver core.LeafSolver
+	// MaxSolveBytes bounds POST /v1/solve request bodies — leaf-solve
+	// buckets from trusted peers, much larger than uploads. 0 → 256 MiB.
+	MaxSolveBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -65,7 +86,10 @@ func (c Config) withDefaults() Config {
 		c.Logger = slog.Default()
 	}
 	if c.Runner == nil {
-		c.Runner = DefaultRunner
+		c.Runner = RunnerWithLeafSolver(c.LeafSolver)
+	}
+	if c.MaxSolveBytes <= 0 {
+		c.MaxSolveBytes = 256 << 20
 	}
 	return c
 }

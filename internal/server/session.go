@@ -80,6 +80,16 @@ func (s *SessionSpec) Validate() error {
 	return nil
 }
 
+// sessionConfig is the server's view of a spec's engine configuration:
+// the spec translation plus server-level seams (the cluster leaf solver).
+// LeafSolver never changes committed results, so sessions created before a
+// fan-out reconfiguration replay identically after it.
+func (s *Server) sessionConfig(spec *SessionSpec) incr.Config {
+	cfg := spec.incrConfig()
+	cfg.Core.LeafSolver = s.cfg.LeafSolver
+	return cfg
+}
+
 // incrConfig translates the spec into the ECO engine's configuration.
 func (s *SessionSpec) incrConfig() incr.Config {
 	popt := pipeline.DefaultOptions()
@@ -121,6 +131,10 @@ func (s *SessionSpec) sourceLabel() string {
 type ECOSession struct {
 	ID   string
 	Spec SessionSpec
+
+	// walMu serializes history capture + WAL append per session, so
+	// concurrent delta batches log in the exact order they committed.
+	walMu sync.Mutex
 
 	mu       sync.Mutex
 	status   SessionStatus
@@ -186,12 +200,19 @@ var errSessionNotFound = &statusError{code: http.StatusNotFound, msg: "no such s
 // CreateSession admits a new ECO session and starts its base solve in the
 // background; the returned record is in SessionPreparing until it finishes.
 func (s *Server) CreateSession(spec SessionSpec) (*ECOSession, error) {
+	return s.CreateSessionWithID(spec, newJobID())
+}
+
+// CreateSessionWithID is CreateSession with a caller-chosen ID — the
+// cluster router assigns the ID before deciding the owner, so the creating
+// process and the owning process agree on it.
+func (s *Server) CreateSessionWithID(spec SessionSpec, id string) (*ECOSession, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, &statusError{code: http.StatusBadRequest, msg: err.Error()}
 	}
 	now := time.Now()
 	es := &ECOSession{
-		ID:       newJobID(),
+		ID:       id,
 		Spec:     spec,
 		status:   SessionPreparing,
 		created:  now,
@@ -208,8 +229,22 @@ func (s *Server) CreateSession(spec SessionSpec) (*ECOSession, error) {
 		s.mu.Unlock()
 		return nil, errSessionsFull
 	}
+	if _, dup := s.sessions[es.ID]; dup {
+		s.mu.Unlock()
+		return nil, &statusError{code: http.StatusConflict, msg: "session id already in use"}
+	}
 	s.sessions[es.ID] = es
 	s.mu.Unlock()
+	// WAL the create before acknowledging: a session the client saw
+	// accepted must survive a crash.
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Create(es.ID, &spec); err != nil {
+			s.mu.Lock()
+			delete(s.sessions, es.ID)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("session log: %w", err)
+		}
+	}
 	s.metrics.SessionsCreated.Add(1)
 	s.metrics.SessionsActive.Add(1)
 	s.log.Info("session accepted", "session", es.ID, "source", spec.sourceLabel())
@@ -220,7 +255,7 @@ func (s *Server) CreateSession(spec SessionSpec) (*ECOSession, error) {
 		ctx, cancel := context.WithTimeout(s.workCtx, s.cfg.JobTimeout)
 		defer cancel()
 		start := time.Now()
-		sess, err := incr.New(ctx, spec.designFunc(), spec.incrConfig())
+		sess, err := incr.New(ctx, spec.designFunc(), s.sessionConfig(&spec))
 		es.mu.Lock()
 		if err != nil {
 			es.status = SessionFailed
@@ -289,10 +324,23 @@ func (s *Server) DeleteSession(id string) (*ECOSession, error) {
 	if !ok {
 		return nil, errSessionNotFound
 	}
+	s.tombstone(id)
 	s.metrics.SessionsEvicted.Add(1)
 	s.metrics.SessionsActive.Add(-1)
 	s.log.Info("session deleted", "session", id)
 	return es, nil
+}
+
+// tombstone durably marks an evicted session dead so crash recovery does
+// not resurrect it. Failure is logged, not fatal: the in-memory eviction
+// already happened, and a leftover log loses disk space, not correctness.
+func (s *Server) tombstone(id string) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.Tombstone(id); err != nil {
+		s.log.Warn("session tombstone failed", "session", id, "error", err)
+	}
 }
 
 // evictExpiredLocked drops sessions idle past the TTL. Preparing sessions
@@ -305,6 +353,7 @@ func (s *Server) evictExpiredLocked(now time.Time) {
 		es.mu.Unlock()
 		if expired {
 			delete(s.sessions, id)
+			s.tombstone(id)
 			s.metrics.SessionsEvicted.Add(1)
 			s.metrics.SessionsActive.Add(-1)
 			s.log.Info("session evicted", "session", id, "ttl", s.cfg.SessionTTL)
@@ -335,8 +384,14 @@ func (s *Server) ApplyDeltas(id string, deltas []incr.Delta) (*incr.DeltaResult,
 	ctx, cancel := context.WithTimeout(s.workCtx, s.cfg.JobTimeout)
 	defer cancel()
 	start := time.Now()
+	// walMu spans history capture, solve and append, so concurrent batches
+	// on one session land in the WAL in commit order (the engine would
+	// serialize the solves anyway; this extends that ordering to the log).
+	es.walMu.Lock()
+	h0 := len(sess.History())
 	res, err := sess.Apply(ctx, deltas)
 	if err != nil {
+		es.walMu.Unlock()
 		// Validation errors are the client's; anything after commit cannot
 		// fail validation, so a late error means the solve itself broke.
 		if strings.HasPrefix(err.Error(), "incr:") {
@@ -344,6 +399,23 @@ func (s *Server) ApplyDeltas(id string, deltas []incr.Delta) (*incr.DeltaResult,
 		}
 		return nil, fmt.Errorf("delta solve: %w", err)
 	}
+	if s.cfg.Store != nil {
+		// Log the RESOLVED batch (auto reroutes explicit) so replay is a
+		// pure function of the log. An append failure is honest
+		// degradation: the in-memory state advanced but durability is
+		// gone, so fail the session rather than silently diverge on the
+		// next crash.
+		if werr := s.cfg.Store.AppendBatch(id, sess.History()[h0:]); werr != nil {
+			es.walMu.Unlock()
+			es.mu.Lock()
+			es.status = SessionFailed
+			es.err = "session log append failed: " + werr.Error()
+			es.mu.Unlock()
+			s.log.Error("session wal append failed", "session", id, "error", werr)
+			return nil, fmt.Errorf("session log: %w", werr)
+		}
+	}
+	es.walMu.Unlock()
 	es.mu.Lock()
 	es.deltas++
 	es.lastUsed = time.Now()

@@ -4,8 +4,9 @@
 # where concurrency lives: the CPLA hot path (parallel leaf solves, warm
 # cache), the cplad job server (queue, cancellation, drain) and the
 # independent checker (SDP audit hook fires from leaf workers), the
-# Lagrangian backend (parallel pricing sweep) and the portfolio racer
-# (contender lanes, cancellation, commit). -short skips
+# Lagrangian backend (parallel pricing sweep), the portfolio racer
+# (contender lanes, cancellation, commit) and the cluster layer (WAL
+# store fsync path, hedged remote dispatch, membership probes). -short skips
 # the heavy single-threaded convergence properties and the full-stack server
 # e2e; the concurrent paths still run under the detector. The same run
 # collects statement coverage of those gate packages and fails if the total
@@ -13,7 +14,7 @@
 # `make check`).
 set -eu
 
-# Short-mode statement coverage of the gate packages measured at 85.6%;
+# Short-mode statement coverage of the gate packages measured at 84.9%;
 # fail if it decays past the safety margin.
 cover_min=84.0
 
@@ -30,7 +31,7 @@ cover_out=$(mktemp)
 trap 'rm -f "$cover_out"' EXIT
 go test -race -short -timeout 15m -coverprofile="$cover_out" \
 	./internal/core/ ./internal/sdp/ ./internal/server/ ./internal/verify/ \
-	./internal/lagrange/ ./internal/portfolio/
+	./internal/lagrange/ ./internal/portfolio/ ./internal/cluster/
 
 cover_total=$(go tool cover -func="$cover_out" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
 echo "coverage: ${cover_total}% (baseline ${cover_min}%)"
@@ -69,6 +70,13 @@ go run ./cmd/benchrace -smoke
 # short timing run must not show the batched dispatcher regressing behind
 # the per-leaf baseline it replaces.
 go run ./cmd/benchbatch -smoke
+
+# Cluster smoke gate: a durable session must recover from disk (snapshot +
+# WAL tail) and replay bitwise-identical to a cold replay of the original
+# history, and leaf solves fanned out to a real HTTP worker must come back
+# bitwise-identical to the local batch solve. Catches WAL-format, replay
+# and wire-codec regressions.
+go run ./cmd/benchcluster -smoke
 
 # Slack-report allocation gate: WorstNets must serve repeat queries from
 # the report's cached order without sorting or allocating per call.
